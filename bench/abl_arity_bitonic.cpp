@@ -1,0 +1,48 @@
+// Ablation (paper §3.2, text): access-tree arity sweep for bitonic
+// sorting on a 16×16 mesh. Paper finding: unlike matrix multiplication,
+// the 2-ary and 2-4-ary access trees perform slightly better (≈5% and
+// ≈8%) than the 4-ary tree, because the locality pattern of the bitonic
+// sorting circuit matches the 2-ary mesh decomposition.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bs = diva::apps::bitonic;
+
+int main() {
+  const int side = 16;
+  bs::Config cfg;
+  cfg.keysPerProc = scale() == Scale::Quick ? 1024 : 4096;
+
+  Machine mh(side, side);
+  const auto ho = bs::runHandOptimized(mh, cfg);
+
+  std::printf("Ablation — access tree arity, bitonic sort %dx%d, %d keys/proc\n\n",
+              side, side, cfg.keysPerProc);
+  support::Table table({"strategy", "congestion ratio", "exec time ratio",
+                        "time vs 4-ary"});
+
+  double fourAryTime = 0;
+  std::vector<std::pair<StratSpec, bs::Result>> rows;
+  for (const auto& spec : {accessTree(4), accessTree(2), accessTree(2, 4),
+                           accessTree(4, 16), accessTree(16), fixedHome()}) {
+    Machine m(side, side);
+    Runtime rt(m, spec.config);
+    rows.emplace_back(spec, bs::runDiva(m, rt, cfg));
+    if (spec.config.arity == 4 && spec.config.leafSize == 1)
+      fourAryTime = rows.back().second.timeUs;
+  }
+  table.addRow({"hand-optimized", "1.00", "1.00", ""});
+  for (const auto& [spec, r] : rows) {
+    table.addRow({spec.name,
+                  ratioCell(static_cast<double>(r.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(r.timeUs, ho.timeUs),
+                  support::fmtPercent(r.timeUs / fourAryTime)});
+  }
+  table.print();
+  return 0;
+}

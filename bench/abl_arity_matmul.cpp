@@ -1,0 +1,44 @@
+// Ablation (paper §3.1, text): access-tree arity sweep for matrix
+// multiplication on a 16×16 mesh. Paper finding: "the smaller the degree
+// of the access tree, the smaller the congestion. However, the 4-ary
+// access tree strategy achieves the best communication and execution
+// times because it chooses the best compromise between minimizing the
+// congestion and minimizing the number of startups."
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace mm = diva::apps::matmul;
+
+int main() {
+  const int side = 16;
+  mm::Config cfg;
+  cfg.blockInts = scale() == Scale::Quick ? 1024 : 4096;
+  const auto cm = net::CostModel::gcel().withoutCompute();
+
+  Machine mh(side, side, cm);
+  const auto ho = mm::runHandOptimized(mh, cfg);
+
+  std::printf("Ablation — access tree arity, matmul %dx%d, block %d\n\n", side, side,
+              cfg.blockInts);
+  support::Table table({"strategy", "congestion ratio", "comm time ratio",
+                        "messages [10^3]"});
+  table.addRow({"hand-optimized", "1.00", "1.00", support::fmt(0.0, 0)});
+
+  for (const auto& spec : {accessTree(2), accessTree(2, 4), accessTree(4),
+                           accessTree(4, 16), accessTree(16), fixedHome()}) {
+    Machine m(side, side, cm);
+    Runtime rt(m, spec.config);
+    const auto r = mm::runDiva(m, rt, cfg);
+    table.addRow({spec.name,
+                  ratioCell(static_cast<double>(r.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(r.timeUs, ho.timeUs),
+                  support::fmt(m.net.messagesSent() / 1e3, 0)});
+  }
+  table.print();
+  return 0;
+}

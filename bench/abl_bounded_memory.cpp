@@ -1,0 +1,47 @@
+// Ablation (paper §2 and §3.3): bounded memory modules and LRU copy
+// replacement. The paper observes that with 60,000 bodies the 2-ary
+// access tree starts replacing copies (its taller trees hold more copies
+// per processor), bending its congestion curve upward. Here we cap the
+// per-processor module and sweep the capacity on a fixed workload.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bh = diva::apps::barneshut;
+
+int main() {
+  const int side = 8;
+  bh::Config cfg;
+  cfg.numBodies = scale() == Scale::Quick ? 2000 : 6000;
+  cfg.steps = 3;
+  cfg.warmupSteps = 1;
+
+  std::printf("Ablation — bounded memory modules, Barnes-Hut %d bodies on %dx%d\n\n",
+              cfg.numBodies, side, side);
+  support::Table table({"capacity/proc", "strategy", "evictions", "refusals",
+                        "congestion [10^4 msgs]", "time [min]"});
+
+  const std::vector<std::uint64_t> capacities = {
+      ~0ull, 512ull * 1024, 192ull * 1024, 96ull * 1024};
+
+  for (const auto cap : capacities) {
+    for (const auto& spec : {accessTree(2), accessTree(4), fixedHome()}) {
+      RuntimeConfig rc = spec.config;
+      rc.cacheCapacityBytes = cap;
+      Machine m(side, side);
+      Runtime rt(m, rc);
+      const auto r = bh::run(m, rt, cfg);
+      const std::string capStr =
+          cap == ~0ull ? "unbounded" : support::fmt(cap / 1024.0, 0) + " KB";
+      table.addRow({capStr, spec.name, std::to_string(m.stats.ops.evictions),
+                    std::to_string(m.stats.ops.evictionFailures),
+                    support::fmt(r.congestionMessages / 1e4, 2),
+                    support::fmt(r.timeUs / 60e6, 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (paper §2, "practical improvements"): the theoretical fully
+// random embedding vs the practical parent-relative ("regular")
+// embedding of access tree nodes. The paper argues the regular embedding
+// shortens expected tree-edge routes without observable downsides; this
+// bench quantifies that on matrix multiplication and bitonic sorting.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace mm = diva::apps::matmul;
+namespace bs = diva::apps::bitonic;
+
+int main() {
+  const int side = scale() == Scale::Quick ? 8 : 16;
+
+  std::printf("Ablation — random vs regular access tree embedding (%dx%d mesh)\n\n",
+              side, side);
+  support::Table table({"application", "embedding", "congestion [KB]", "time [s]",
+                        "total traffic [MB]"});
+
+  for (const auto kind : {mesh::EmbeddingKind::Regular, mesh::EmbeddingKind::Random}) {
+    const char* name = kind == mesh::EmbeddingKind::Regular ? "regular" : "random";
+    RuntimeConfig rc = RuntimeConfig::accessTree(4, 1);
+    rc.embedding = kind;
+
+    {
+      mm::Config cfg;
+      cfg.blockInts = 1024;
+      Machine m(side, side, net::CostModel::gcel().withoutCompute());
+      Runtime rt(m, rc);
+      const auto r = mm::runDiva(m, rt, cfg);
+      table.addRow({"matmul", name, support::fmt(r.congestionBytes / 1e3, 0),
+                    support::fmt(r.timeUs / 1e6, 2),
+                    support::fmt(r.totalBytes / 1e6, 1)});
+    }
+    {
+      bs::Config cfg;
+      cfg.keysPerProc = 1024;
+      Machine m(side, side);
+      Runtime rt(m, rc);
+      const auto r = bs::runDiva(m, rt, cfg);
+      table.addRow({"bitonic", name, support::fmt(r.congestionBytes / 1e3, 0),
+                    support::fmt(r.timeUs / 1e6, 2),
+                    support::fmt(r.totalBytes / 1e6, 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches.
+//
+// Env knobs:
+//   DIVA_FULL=1   — run the paper's full parameter sweeps (slower).
+//   DIVA_QUICK=1  — minimal sweeps for smoke-testing.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/barneshut/barneshut.hpp"
+#include "apps/bitonic/bitonic.hpp"
+#include "apps/matmul/matmul.hpp"
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "support/table.hpp"
+
+namespace diva::bench {
+
+inline bool envFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v && std::string(v) != "0";
+}
+
+enum class Scale { Quick, Default, Full };
+
+inline Scale scale() {
+  if (envFlag("DIVA_QUICK")) return Scale::Quick;
+  if (envFlag("DIVA_FULL")) return Scale::Full;
+  return Scale::Default;
+}
+
+struct StratSpec {
+  RuntimeConfig config;
+  const char* name;
+};
+
+inline StratSpec fixedHome() { return {RuntimeConfig::fixedHome(), "fixed home"}; }
+inline StratSpec accessTree(int arity, int leafSize = 1) {
+  static const char* names[][2] = {{"", ""}};
+  (void)names;
+  RuntimeConfig rc = RuntimeConfig::accessTree(arity, leafSize);
+  const char* label = "access tree";
+  if (arity == 2 && leafSize == 1) label = "2-ary access tree";
+  if (arity == 4 && leafSize == 1) label = "4-ary access tree";
+  if (arity == 16 && leafSize == 1) label = "16-ary access tree";
+  if (arity == 2 && leafSize == 4) label = "2-4-ary access tree";
+  if (arity == 4 && leafSize == 8) label = "4-8-ary access tree";
+  if (arity == 4 && leafSize == 16) label = "4-16-ary access tree";
+  return {rc, label};
+}
+
+/// "24.52" / "44%"-style cells as in the paper's bar charts.
+inline std::string ratioCell(double value, double baseline) {
+  return support::fmt(value / baseline, 2);
+}
+
+}  // namespace diva::bench

@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared Barnes–Hut sweep used by the Figure 8/9/10 benches: the paper's
+// five strategies over a range of body counts on a 16×16 mesh, 7 time
+// steps with the first 2 excluded (scaled down by default; DIVA_FULL runs
+// the paper's exact configuration).
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace diva::bench {
+
+struct BhPoint {
+  int bodies;
+  StratSpec strat;
+  apps::barneshut::Result result;
+};
+
+inline std::vector<StratSpec> bhStrategies() {
+  return {fixedHome(), accessTree(16), accessTree(4, 16), accessTree(4),
+          accessTree(2)};
+}
+
+inline std::vector<int> bhBodyCounts() {
+  switch (scale()) {
+    case Scale::Quick: return {4000, 8000};
+    case Scale::Default: return {8000, 16000, 32000};
+    case Scale::Full: return {10000, 20000, 30000, 40000, 50000, 60000};
+  }
+  return {};
+}
+
+inline apps::barneshut::Config bhConfig(int bodies) {
+  apps::barneshut::Config cfg;
+  cfg.numBodies = bodies;
+  if (scale() == Scale::Full) {
+    cfg.steps = 7;
+    cfg.warmupSteps = 2;
+  } else {
+    cfg.steps = 3;  // 1 warm-up + 2 measured keeps the default run short
+    cfg.warmupSteps = 1;
+  }
+  return cfg;
+}
+
+inline std::vector<BhPoint> runBhSweep(int rows = 16, int cols = 16) {
+  std::vector<BhPoint> out;
+  for (const int n : bhBodyCounts()) {
+    for (const auto& spec : bhStrategies()) {
+      Machine m(rows, cols);
+      Runtime rt(m, spec.config);
+      out.push_back(BhPoint{n, spec, apps::barneshut::run(m, rt, bhConfig(n))});
+    }
+  }
+  return out;
+}
+
+}  // namespace diva::bench

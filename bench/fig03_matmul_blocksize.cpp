@@ -1,0 +1,57 @@
+// Figure 3: matrix multiplication on a 16×16 mesh — congestion ratio and
+// communication-time ratio vs block size, for the fixed home and 4-ary
+// access tree strategies relative to the hand-optimized message passing
+// strategy. (Paper values for reference: congestion ratios ≈ 33→25 for
+// fixed home and ≈ 9→6.5 for the access tree as blocks grow from 64 to
+// 4096 entries; time ratios smaller than congestion ratios; access tree
+// about twice as fast as fixed home.)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace mm = diva::apps::matmul;
+
+int main() {
+  const int side = 16;
+  std::vector<int> blocks;
+  switch (scale()) {
+    case Scale::Quick: blocks = {64, 1024}; break;
+    default: blocks = {64, 256, 1024, 4096}; break;
+  }
+  // The paper measures *communication* time for this experiment (local
+  // block products removed from the program).
+  const auto cm = net::CostModel::gcel().withoutCompute();
+
+  std::printf("Figure 3 — matrix multiplication on a %dx%d mesh\n", side, side);
+  std::printf("ratios relative to the hand-optimized message passing strategy\n\n");
+  support::Table table({"block size", "strategy", "congestion ratio", "comm time ratio",
+                        "congestion [KB]", "comm time [ms]"});
+
+  for (const int block : blocks) {
+    mm::Config cfg;
+    cfg.blockInts = block;
+
+    Machine mh(side, side, cm);
+    const auto ho = mm::runHandOptimized(mh, cfg);
+    table.addRow({std::to_string(block), "hand-optimized", "1.00", "1.00",
+                  support::fmt(ho.congestionBytes / 1e3, 0),
+                  support::fmt(ho.timeUs / 1e3, 0)});
+
+    for (const auto& spec : {accessTree(4), fixedHome()}) {
+      Machine m(side, side, cm);
+      Runtime rt(m, spec.config);
+      const auto r = mm::runDiva(m, rt, cfg);
+      table.addRow({std::to_string(block), spec.name,
+                    ratioCell(static_cast<double>(r.congestionBytes),
+                              static_cast<double>(ho.congestionBytes)),
+                    ratioCell(r.timeUs, ho.timeUs),
+                    support::fmt(r.congestionBytes / 1e3, 0),
+                    support::fmt(r.timeUs / 1e3, 0)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4: matrix multiplication with 4096-entry blocks — congestion and
+// communication-time ratios vs network size (4×4 … 32×32). Paper:
+// congestion ratio of the fixed home strategy grows ≈ √P (5.6 → 48),
+// the access tree's ≈ log P (3.9 → 8.1); the access tree's advantage in
+// time grows with the network (99% → 28% of the fixed home time).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace mm = diva::apps::matmul;
+
+int main() {
+  std::vector<int> sides;
+  switch (scale()) {
+    case Scale::Quick: sides = {4, 8}; break;
+    case Scale::Default: sides = {4, 8, 16}; break;
+    case Scale::Full: sides = {4, 8, 16, 32}; break;
+  }
+  const auto cm = net::CostModel::gcel().withoutCompute();
+
+  std::printf("Figure 4 — matrix multiplication, block size 4096\n");
+  std::printf("ratios relative to the hand-optimized strategy; AT/FH = access tree's\n");
+  std::printf("share of the fixed home time (paper: 99%% / 61%% / 44%% / 28%%)\n\n");
+  support::Table table({"mesh", "strategy", "congestion ratio", "comm time ratio",
+                        "AT/FH time"});
+
+  for (const int side : sides) {
+    mm::Config cfg;
+    cfg.blockInts = 4096;
+
+    Machine mh(side, side, cm);
+    const auto ho = mm::runHandOptimized(mh, cfg);
+
+    Machine ma(side, side, cm);
+    Runtime rta(ma, accessTree(4).config);
+    const auto at = mm::runDiva(ma, rta, cfg);
+
+    Machine mf(side, side, cm);
+    Runtime rtf(mf, fixedHome().config);
+    const auto fh = mm::runDiva(mf, rtf, cfg);
+
+    const std::string mesh = std::to_string(side) + "x" + std::to_string(side);
+    table.addRow({mesh, "4-ary access tree",
+                  ratioCell(static_cast<double>(at.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(at.timeUs, ho.timeUs),
+                  support::fmtPercent(at.timeUs / fh.timeUs)});
+    table.addRow({mesh, "fixed home",
+                  ratioCell(static_cast<double>(fh.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(fh.timeUs, ho.timeUs), ""});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6: bitonic sorting on a 16×16 mesh — congestion and execution
+// time ratios vs keys per processor, for the fixed home and 2-4-ary
+// access tree strategies relative to the hand-optimized exchange. Paper:
+// access tree congestion ratio ≈ 2.7–3.0, fixed home ≈ 7–8; execution
+// time closely tracks congestion.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bs = diva::apps::bitonic;
+
+int main() {
+  const int side = 16;
+  std::vector<int> keyCounts;
+  switch (scale()) {
+    case Scale::Quick: keyCounts = {256, 1024}; break;
+    default: keyCounts = {256, 1024, 4096, 16384}; break;
+  }
+
+  std::printf("Figure 6 — bitonic sorting on a %dx%d mesh\n", side, side);
+  std::printf("ratios relative to the hand-optimized message passing strategy\n\n");
+  support::Table table({"keys/proc", "strategy", "congestion ratio", "exec time ratio",
+                        "congestion [KB]", "time [s]"});
+
+  for (const int keys : keyCounts) {
+    bs::Config cfg;
+    cfg.keysPerProc = keys;
+
+    Machine mh(side, side);
+    const auto ho = bs::runHandOptimized(mh, cfg);
+    table.addRow({std::to_string(keys), "hand-optimized", "1.00", "1.00",
+                  support::fmt(ho.congestionBytes / 1e3, 0),
+                  support::fmt(ho.timeUs / 1e6, 2)});
+
+    for (const auto& spec : {accessTree(2, 4), fixedHome()}) {
+      Machine m(side, side);
+      Runtime rt(m, spec.config);
+      const auto r = bs::runDiva(m, rt, cfg);
+      table.addRow({std::to_string(keys), spec.name,
+                    ratioCell(static_cast<double>(r.congestionBytes),
+                              static_cast<double>(ho.congestionBytes)),
+                    ratioCell(r.timeUs, ho.timeUs),
+                    support::fmt(r.congestionBytes / 1e3, 0),
+                    support::fmt(r.timeUs / 1e6, 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 7: bitonic sorting with 4096 keys per processor — congestion and
+// execution-time ratios vs network size. Paper: the access tree ratio
+// converges toward a constant ≈ 3 (its tree-competitive ratio!) while the
+// fixed home ratio grows ≈ log²P (2.8 → 10.5); AT/FH time share falls
+// 83% → 40%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bs = diva::apps::bitonic;
+
+int main() {
+  std::vector<int> sides;
+  switch (scale()) {
+    case Scale::Quick: sides = {4, 8}; break;
+    case Scale::Default: sides = {4, 8, 16}; break;
+    case Scale::Full: sides = {4, 8, 16, 32}; break;
+  }
+
+  std::printf("Figure 7 — bitonic sorting, 4096 keys per processor\n");
+  std::printf("ratios relative to the hand-optimized strategy (paper AT/FH time:\n");
+  std::printf("83%% / 60%% / 50%% / 40%%)\n\n");
+  support::Table table(
+      {"mesh", "strategy", "congestion ratio", "exec time ratio", "AT/FH time"});
+
+  for (const int side : sides) {
+    bs::Config cfg;
+    cfg.keysPerProc = 4096;
+
+    Machine mh(side, side);
+    const auto ho = bs::runHandOptimized(mh, cfg);
+
+    Machine ma(side, side);
+    Runtime rta(ma, accessTree(2, 4).config);
+    const auto at = bs::runDiva(ma, rta, cfg);
+
+    Machine mf(side, side);
+    Runtime rtf(mf, fixedHome().config);
+    const auto fh = bs::runDiva(mf, rtf, cfg);
+
+    const std::string mesh = std::to_string(side) + "x" + std::to_string(side);
+    table.addRow({mesh, "2-4-ary access tree",
+                  ratioCell(static_cast<double>(at.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(at.timeUs, ho.timeUs),
+                  support::fmtPercent(at.timeUs / fh.timeUs)});
+    table.addRow({mesh, "fixed home",
+                  ratioCell(static_cast<double>(fh.congestionBytes),
+                            static_cast<double>(ho.congestionBytes)),
+                  ratioCell(fh.timeUs, ho.timeUs), ""});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 8: Barnes–Hut N-body simulation on a 16×16 mesh — absolute
+// congestion (in 10000 messages) and execution time (minutes) vs number
+// of bodies, for the fixed home strategy and the 16-, 4-16-, 4- and
+// 2-ary access trees. Paper shape: congestion ordering fixed home ≫
+// 16-ary > 4-16-ary > 4-ary > 2-ary; the 4-ary tree gives the best
+// execution time (the 2-ary tree pays too many startups).
+
+#include <cstdio>
+
+#include "bh_sweep.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+
+int main() {
+  std::printf("Figure 8 — Barnes-Hut on a 16x16 mesh (measured steps only)\n\n");
+  const auto points = runBhSweep();
+
+  support::Table table({"bodies", "strategy", "congestion [10^4 msgs]", "time [min]",
+                        "total msgs [10^6]"});
+  for (const auto& p : points) {
+    table.addRow({std::to_string(p.bodies), p.strat.name,
+                  support::fmt(p.result.congestionMessages / 1e4, 2),
+                  support::fmt(p.result.timeUs / 60e6, 2),
+                  support::fmt(p.result.totalMessages / 1e6, 2)});
+  }
+  table.print();
+  return 0;
+}

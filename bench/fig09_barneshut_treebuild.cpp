@@ -1,0 +1,33 @@
+// Figure 9: congestion and execution time of the Barnes–Hut tree-building
+// phase on a 16×16 mesh. Paper shape: the fixed home strategy shows a
+// large congestion/time offset (the home of the root cell must deliver a
+// copy to each processor one by one, and the same bottleneck hits the
+// other top-level cells), while the access trees distribute the hot
+// cells via multicast trees.
+
+#include <cstdio>
+
+#include "bh_sweep.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bh = diva::apps::barneshut;
+
+int main() {
+  std::printf("Figure 9 — Barnes-Hut tree-building phase (16x16 mesh)\n\n");
+  const auto points = runBhSweep();
+
+  support::Table table({"bodies", "strategy", "congestion [10^4 msgs]", "time [min]",
+                        "share of total time"});
+  for (const auto& p : points) {
+    double wallSum = 0;
+    for (int ph = 0; ph < bh::kNumPhases; ++ph) wallSum += p.result.phaseWallUs[ph];
+    table.addRow(
+        {std::to_string(p.bodies), p.strat.name,
+         support::fmt(p.result.phaseCongestionMessages[bh::kTreeBuild] / 1e4, 2),
+         support::fmt(p.result.phaseWallUs[bh::kTreeBuild] / 60e6, 2),
+         support::fmtPercent(p.result.phaseWallUs[bh::kTreeBuild] / wallSum)});
+  }
+  table.print();
+  return 0;
+}

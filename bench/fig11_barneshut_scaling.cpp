@@ -1,0 +1,62 @@
+// Figure 11: Barnes–Hut scaling — the number of processors grows from 64
+// to 512 (8×8, 8×16, 16×16, 16×32 meshes) with N = 200·P bodies, fixed
+// home vs the 4-8-ary access tree. Paper: congestion is determined mainly
+// by the largest mesh side; the access tree's advantage grows with the
+// machine — its execution time falls to ≈49% of the fixed home's at 512
+// processors, its communication time (execution minus force-phase local
+// compute) to ≈33%.
+
+#include <cstdio>
+
+#include "bh_sweep.hpp"
+
+using namespace diva;
+using namespace diva::bench;
+namespace bh = diva::apps::barneshut;
+
+int main() {
+  struct Shape {
+    int rows, cols;
+  };
+  std::vector<Shape> shapes;
+  switch (scale()) {
+    case Scale::Quick: shapes = {{8, 8}, {8, 16}}; break;
+    case Scale::Default: shapes = {{8, 8}, {8, 16}, {16, 16}}; break;
+    case Scale::Full: shapes = {{8, 8}, {8, 16}, {16, 16}, {16, 32}}; break;
+  }
+
+  std::printf("Figure 11 — Barnes-Hut scaling, N = 200 * P\n");
+  std::printf("(paper AT/FH: execution 52%%/49%%..., communication down to 33%%)\n\n");
+  support::Table table({"mesh", "P", "bodies", "strategy", "congestion [10^3 msgs]",
+                        "time [s]", "force compute [s]", "AT/FH time", "AT/FH comm"});
+
+  for (const auto& s : shapes) {
+    const int P = s.rows * s.cols;
+    const int bodies = 200 * P;
+    auto cfg = bhConfig(bodies);
+
+    double fhTime = 0, fhComm = 0;
+    for (const auto& spec : {fixedHome(), accessTree(4, 8)}) {
+      Machine m(s.rows, s.cols);
+      Runtime rt(m, spec.config);
+      const auto r = apps::barneshut::run(m, rt, cfg);
+      const double compute = r.phaseComputeUs[bh::kForce] / P;
+      const double comm = r.timeUs - compute;
+      std::string atFh, atFhComm;
+      if (spec.config.kind == StrategyKind::FixedHome) {
+        fhTime = r.timeUs;
+        fhComm = comm;
+      } else {
+        atFh = support::fmtPercent(r.timeUs / fhTime);
+        atFhComm = support::fmtPercent(comm / fhComm);
+      }
+      table.addRow({std::to_string(s.rows) + "x" + std::to_string(s.cols),
+                    std::to_string(P), std::to_string(bodies), spec.name,
+                    support::fmt(r.congestionMessages / 1e3, 0),
+                    support::fmt(r.timeUs / 1e6, 0), support::fmt(compute / 1e6, 0),
+                    atFh, atFhComm});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro benchmarks (google-benchmark) for the simulator substrate itself:
+// event throughput, routing, and end-to-end DIVA operation cost in host
+// time. These guard against performance regressions that would make the
+// figure benches impractically slow.
+
+#include <benchmark/benchmark.h>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "mesh/route.hpp"
+
+namespace {
+
+using namespace diva;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 10000; ++i)
+      e.scheduleAt(static_cast<double>(i % 97), [] {});
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_DimensionOrderRouting(benchmark::State& state) {
+  mesh::Mesh m(32, 32);
+  std::vector<mesh::Hop> hops;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hops.clear();
+    const mesh::NodeId a = static_cast<mesh::NodeId>(i * 37 % 1024);
+    const mesh::NodeId b = static_cast<mesh::NodeId>(i * 101 % 1024);
+    mesh::routeDimensionOrder(m, a, b, hops);
+    benchmark::DoNotOptimize(hops.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_DimensionOrderRouting);
+
+void BM_LocalReadHit(benchmark::State& state) {
+  Machine m(8, 8);
+  Runtime rt(m, RuntimeConfig::accessTree(4, 1));
+  const VarId x = rt.createVarFree(0, makeRawValue(256));
+  for (auto _ : state) {
+    const Value* v = rt.tryReadLocal(0, x);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalReadHit);
+
+void BM_RemoteReadTransaction(benchmark::State& state) {
+  // Host-time cost of one full access-tree read transaction including
+  // all protocol events (fresh reader each iteration to avoid caching).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Machine m(8, 8);
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1));
+    const VarId x = rt.createVarFree(63, makeRawValue(256));
+    state.ResumeTiming();
+    Value out;
+    sim::spawn([](Runtime& r, VarId v, Value& o) -> sim::Task<> {
+      o = co_await r.read(0, v);
+    }(rt, x, out));
+    m.engine.run();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RemoteReadTransaction);
+
+void BM_BarrierEpisode(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Machine m(8, 8);
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1));
+    state.ResumeTiming();
+    for (NodeId p = 0; p < 64; ++p) {
+      sim::spawn([](Runtime& r, NodeId n) -> sim::Task<> {
+        co_await r.barrier(n);
+      }(rt, p));
+    }
+    m.engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BarrierEpisode);
+
+}  // namespace

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/barneshut/octree.hpp"
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+
+namespace diva::apps::barneshut {
+
+/// The six phases of one Barnes–Hut time step (paper §3.3), used as the
+/// stats phase ids for the per-phase congestion/time figures.
+enum Phase : int {
+  kTreeBuild = 0,
+  kCenterOfMass = 1,
+  kPartition = 2,
+  kForce = 3,
+  kAdvance = 4,
+  kBoundingBox = 5,
+  kNumPhases = 6,
+};
+
+const char* phaseName(int phase);
+
+/// Distributed Barnes–Hut N-body simulation on DIVA global variables,
+/// adapted from the SPLASH-II BARNES structure: every body and every tree
+/// cell is a global variable; cells are re-created each step; per-cell
+/// locks guard concurrent tree modification; costzones partitioning
+/// (driven by per-body interaction counts) rebalances bodies across
+/// processors in decomposition-leaf order every step.
+struct Config {
+  int numBodies = 4096;
+  int steps = 7;         ///< total time steps (paper: 7)
+  int warmupSteps = 2;   ///< steps excluded from measurement (paper: 2)
+  SimParams params;      ///< θ, dt, eps — shared with ReferenceSimulator
+  std::uint64_t seed = 1;
+};
+
+struct Result {
+  double timeUs = 0;  ///< simulated time of the measured steps
+  std::uint64_t congestionMessages = 0;
+  std::uint64_t congestionBytes = 0;
+  std::uint64_t totalMessages = 0;
+  std::uint64_t totalBytes = 0;
+  /// Per-phase measured values (indexed by Phase).
+  std::array<double, kNumPhases> phaseWallUs{};
+  std::array<std::uint64_t, kNumPhases> phaseCongestionMessages{};
+  std::array<std::uint64_t, kNumPhases> phaseCongestionBytes{};
+  std::array<double, kNumPhases> phaseComputeUs{};
+  /// Final body states, in body-id order (bit-identical to the
+  /// ReferenceSimulator run with the same inputs).
+  std::vector<BodyData> finalBodies;
+  std::uint64_t cellsCreated = 0;
+  std::uint64_t readHits = 0;
+  std::uint64_t reads = 0;
+};
+
+/// Run the simulation with whatever strategy `rt` was configured for.
+Result run(Machine& m, Runtime& rt, const Config& cfg);
+
+}  // namespace diva::apps::barneshut

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "apps/barneshut/vec3.hpp"
+#include "diva/types.hpp"
+
+namespace diva::apps::barneshut {
+
+/// Shared representation of one body (one global variable per body).
+struct BodyData {
+  Vec3 pos;
+  Vec3 vel;
+  double mass = 0;
+  /// Interactions computed for this body in the previous force phase —
+  /// the costzones work estimate.
+  double work = 1.0;
+};
+static_assert(sizeof(BodyData) == 64);
+
+/// Shared representation of one Barnes–Hut tree cell (one global variable
+/// per cell; rebuilt every time step). `child[i]` refers to either a body
+/// or a cell variable; `childWork[i]` caches the subtree work below that
+/// child (filled by the centre-of-mass pass, consumed by costzones).
+struct CellData {
+  Vec3 center;
+  double halfSize = 0;
+  Vec3 com;          ///< centre of mass (after the upward pass)
+  double mass = 0;   ///< total mass below
+  double workSum = 0;
+  VarId child[8] = {kInvalidVar, kInvalidVar, kInvalidVar, kInvalidVar,
+                    kInvalidVar, kInvalidVar, kInvalidVar, kInvalidVar};
+  double childWork[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(CellData) == 200);
+
+}  // namespace diva::apps::barneshut

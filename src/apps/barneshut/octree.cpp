@@ -1,0 +1,194 @@
+#include "apps/barneshut/octree.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace diva::apps::barneshut {
+
+Cube boundingCube(const std::vector<BodyData>& bodies) {
+  DIVA_CHECK(!bodies.empty());
+  Vec3 lo = bodies.front().pos, hi = bodies.front().pos;
+  for (const auto& b : bodies) {
+    lo.x = std::min(lo.x, b.pos.x);
+    lo.y = std::min(lo.y, b.pos.y);
+    lo.z = std::min(lo.z, b.pos.z);
+    hi.x = std::max(hi.x, b.pos.x);
+    hi.y = std::max(hi.y, b.pos.y);
+    hi.z = std::max(hi.z, b.pos.z);
+  }
+  return combineCubes(lo, hi);
+}
+
+Cube combineCubes(const Vec3& lo, const Vec3& hi) {
+  Cube c;
+  c.center = (lo + hi) * 0.5;
+  const double ext =
+      std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-9});
+  c.halfSize = ext * 0.5 * 1.05;  // 5% padding keeps boundary bodies inside
+  return c;
+}
+
+ReferenceSimulator::ReferenceSimulator(std::vector<BodyData> bodies, SimParams params)
+    : bodies_(std::move(bodies)), params_(params) {
+  acc_.assign(bodies_.size(), Vec3{});
+  work_.assign(bodies_.size(), 1.0);
+}
+
+void ReferenceSimulator::build() {
+  cells_.clear();
+  maxDepth_ = 0;
+  const Cube cube = boundingCube(bodies_);
+  Cell root;
+  root.center = cube.center;
+  root.half = cube.halfSize;
+  cells_.push_back(root);
+  for (int i = 0; i < static_cast<int>(bodies_.size()); ++i) insert(i);
+}
+
+void ReferenceSimulator::insert(int body) {
+  const Vec3 pos = bodies_[static_cast<std::size_t>(body)].pos;
+  int cur = 0;
+  for (int depth = 0; ; ++depth) {
+    DIVA_CHECK_MSG(depth < 128, "octree degenerated (coincident bodies?)");
+    maxDepth_ = std::max(maxDepth_, depth + 1);
+    Cell& c = cells_[static_cast<std::size_t>(cur)];
+    const int oct = octantOf(pos, c.center);
+    const int slot = c.child[oct];
+    if (slot == -1) {
+      c.child[oct] = encodeBody(body);
+      return;
+    }
+    if (!isBodySlot(slot)) {
+      cur = slot;
+      continue;
+    }
+    // Two bodies in one octant: grow a chain of cells until they split.
+    const int other = decodeBody(slot);
+    const Vec3 opos = bodies_[static_cast<std::size_t>(other)].pos;
+    Vec3 center = octantCenter(c.center, c.half, oct);
+    double half = c.half / 2;
+    int chainDepth = depth + 1;
+    const int top = static_cast<int>(cells_.size());
+    int attachCell = cur;
+    int attachOct = oct;
+    for (;;) {
+      DIVA_CHECK_MSG(chainDepth < 128, "octree degenerated (coincident bodies?)");
+      Cell nc;
+      nc.center = center;
+      nc.half = half;
+      nc.depth = chainDepth;
+      const int ncIdx = static_cast<int>(cells_.size());
+      cells_.push_back(nc);
+      // Note: `c` reference may dangle after push_back; re-index.
+      cells_[static_cast<std::size_t>(attachCell)].child[attachOct] = ncIdx;
+      const int o1 = octantOf(opos, center);
+      const int o2 = octantOf(pos, center);
+      if (o1 != o2) {
+        cells_[static_cast<std::size_t>(ncIdx)].child[o1] = encodeBody(other);
+        cells_[static_cast<std::size_t>(ncIdx)].child[o2] = encodeBody(body);
+        maxDepth_ = std::max(maxDepth_, chainDepth + 1);
+        (void)top;
+        return;
+      }
+      attachCell = ncIdx;
+      attachOct = o1;
+      center = octantCenter(center, half, o1);
+      half /= 2;
+      ++chainDepth;
+    }
+  }
+}
+
+void ReferenceSimulator::computeMass(int cell) {
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  Vec3 weighted{};
+  double mass = 0;
+  double work = 0;
+  for (int oct = 0; oct < 8; ++oct) {
+    const int slot = c.child[oct];
+    if (slot == -1) continue;
+    if (isBodySlot(slot)) {
+      const auto& b = bodies_[static_cast<std::size_t>(decodeBody(slot))];
+      weighted += b.pos * b.mass;
+      mass += b.mass;
+      c.childWork[oct] = work_[static_cast<std::size_t>(decodeBody(slot))];
+    } else {
+      computeMass(slot);
+      const Cell& ch = cells_[static_cast<std::size_t>(slot)];
+      weighted += ch.com * ch.mass;
+      mass += ch.mass;
+      c.childWork[oct] = ch.work;
+    }
+    work += c.childWork[oct];
+  }
+  DIVA_CHECK(mass > 0);
+  c.com = weighted * (1.0 / mass);
+  c.mass = mass;
+  c.work = work;
+}
+
+Vec3 ReferenceSimulator::force(int body, double& work) const {
+  const Vec3 pos = bodies_[static_cast<std::size_t>(body)].pos;
+  Vec3 acc{};
+  work = 0;
+  // Explicit stack, children pushed in reverse so they pop in octant
+  // order — identical accumulation order to the distributed walker.
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int slot = stack.back();
+    stack.pop_back();
+    if (isBodySlot(slot)) {
+      const int ob = decodeBody(slot);
+      if (ob == body) continue;
+      const auto& b = bodies_[static_cast<std::size_t>(ob)];
+      acc += gravity(pos, b.pos, b.mass, params_.eps);
+      work += 1;
+      continue;
+    }
+    const Cell& c = cells_[static_cast<std::size_t>(slot)];
+    const double dist = (c.com - pos).norm();
+    if (2.0 * c.half < params_.theta * dist) {
+      acc += gravity(pos, c.com, c.mass, params_.eps);
+      work += 1;
+      continue;
+    }
+    for (int oct = 7; oct >= 0; --oct)
+      if (c.child[oct] != -1) stack.push_back(c.child[oct]);
+  }
+  return acc;
+}
+
+void ReferenceSimulator::step() {
+  build();
+  computeMass(0);
+  for (int i = 0; i < static_cast<int>(bodies_.size()); ++i)
+    acc_[static_cast<std::size_t>(i)] = force(i, work_[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < static_cast<int>(bodies_.size()); ++i) {
+    auto& b = bodies_[static_cast<std::size_t>(i)];
+    b.vel += acc_[static_cast<std::size_t>(i)] * params_.dt;
+    b.pos += b.vel * params_.dt;
+    b.work = work_[static_cast<std::size_t>(i)];
+  }
+}
+
+double ReferenceSimulator::totalWork() const {
+  return cells_.empty() ? 0.0 : cells_[0].work;
+}
+
+std::vector<Vec3> ReferenceSimulator::directAccelerations() const {
+  std::vector<Vec3> acc(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    for (std::size_t j = 0; j < bodies_.size(); ++j) {
+      if (i == j) continue;
+      acc[i] += gravity(bodies_[i].pos, bodies_[j].pos, bodies_[j].mass, params_.eps);
+    }
+  return acc;
+}
+
+Vec3 ReferenceSimulator::treeAcceleration(int i) const {
+  double w;
+  return force(i, w);
+}
+
+}  // namespace diva::apps::barneshut

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/barneshut/body.hpp"
+
+namespace diva::apps::barneshut {
+
+/// Bounding cube of a body set: the smallest padded cube containing all
+/// positions. Shared by the serial reference and the distributed run so
+/// both build identical trees.
+struct Cube {
+  Vec3 center;
+  double halfSize = 1.0;
+};
+Cube boundingCube(const std::vector<BodyData>& bodies);
+Cube combineCubes(const Vec3& lo, const Vec3& hi);
+
+/// Simulation parameters shared by the reference and distributed runs.
+struct SimParams {
+  double theta = 1.0;   ///< opening criterion: open cell if 2·half/dist ≥ θ
+  double dt = 0.025;    ///< leapfrog step
+  double eps = 0.05;    ///< Plummer softening
+};
+
+/// Sequential Barnes–Hut simulator. Implements exactly the algorithm the
+/// distributed application runs — same tree shape (region subdivision is
+/// insertion-order independent), same child visit order, same floating
+/// point accumulation order — so a distributed run over any strategy must
+/// reproduce its positions bit for bit. Also provides a direct O(N²)
+/// summation for accuracy tests.
+class ReferenceSimulator {
+ public:
+  ReferenceSimulator(std::vector<BodyData> bodies, SimParams params);
+
+  /// Advance one full time step (build, centre of mass, force, advance).
+  void step();
+
+  const std::vector<BodyData>& bodies() const { return bodies_; }
+  const std::vector<Vec3>& lastAccelerations() const { return acc_; }
+
+  /// Tree statistics of the most recent step (tests).
+  int numCells() const { return static_cast<int>(cells_.size()); }
+  int maxDepth() const { return maxDepth_; }
+  double totalWork() const;
+
+  /// Direct-summation accelerations for the current positions.
+  std::vector<Vec3> directAccelerations() const;
+
+  /// Compute the acceleration on body `i` by walking the current tree
+  /// (valid after step(); used by tests to probe the approximation).
+  Vec3 treeAcceleration(int i) const;
+
+ private:
+  /// child slot encoding: -1 empty, >= 0 cell index, <= -2 body ~(idx).
+  static int encodeBody(int body) { return ~body - 1; }
+  static int decodeBody(int slot) { return ~(slot + 1); }
+  static bool isBodySlot(int slot) { return slot <= -2; }
+
+  struct Cell {
+    Vec3 center;
+    double half = 0;
+    Vec3 com;
+    double mass = 0;
+    double work = 0;
+    int child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    double childWork[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int depth = 0;
+  };
+
+  void build();
+  void insert(int body);
+  void computeMass(int cell);
+  Vec3 force(int body, double& work) const;
+
+  std::vector<BodyData> bodies_;
+  SimParams params_;
+  std::vector<Cell> cells_;
+  std::vector<Vec3> acc_;
+  std::vector<double> work_;
+  int maxDepth_ = 0;
+};
+
+}  // namespace diva::apps::barneshut

@@ -1,0 +1,67 @@
+#include "apps/barneshut/plummer.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace diva::apps::barneshut {
+
+namespace {
+/// Uniform point on a sphere of radius r.
+Vec3 onSphere(support::SplitMix64& rng, double r) {
+  // Marsaglia rejection in the unit ball, projected to the sphere.
+  for (;;) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const double z = rng.uniform(-1.0, 1.0);
+    const double n2 = x * x + y * y + z * z;
+    if (n2 > 1e-12 && n2 <= 1.0) {
+      const double s = r / std::sqrt(n2);
+      return Vec3{x * s, y * s, z * s};
+    }
+  }
+}
+}  // namespace
+
+std::vector<BodyData> plummerModel(int n, std::uint64_t seed) {
+  support::SplitMix64 rng(support::hashCombine(seed, 0x9b0d1e5ull));
+  const double rsc = 3.0 * 3.14159265358979323846 / 16.0;  // radius scale
+  const double vsc = std::sqrt(1.0 / rsc);                 // velocity scale
+
+  std::vector<BodyData> bodies(static_cast<std::size_t>(n));
+  for (auto& b : bodies) {
+    b.mass = 1.0 / n;
+    // Radius from the inverse cumulative mass distribution, clipped to
+    // the 99.9% mass radius to avoid extreme outliers (as SPLASH does).
+    double r;
+    do {
+      const double m = rng.uniform(1e-8, 0.999);
+      r = 1.0 / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+    } while (r > 9.0);
+    b.pos = onSphere(rng, rsc * r);
+
+    // Speed via von Neumann rejection: g(q) = q² (1-q²)^{7/2}.
+    double q, g;
+    do {
+      q = rng.uniform(0.0, 1.0);
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double v = q * std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    b.vel = onSphere(rng, vsc * v);
+    b.work = 1.0;
+  }
+
+  // Remove net momentum and re-centre.
+  Vec3 cmPos{}, cmVel{};
+  for (const auto& b : bodies) {
+    cmPos += b.pos * b.mass;
+    cmVel += b.vel * b.mass;
+  }
+  for (auto& b : bodies) {
+    b.pos -= cmPos;  // total mass is 1
+    b.vel -= cmVel;
+  }
+  return bodies;
+}
+
+}  // namespace diva::apps::barneshut

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/barneshut/body.hpp"
+
+namespace diva::apps::barneshut {
+
+/// Deterministic Plummer-model initial conditions (the distribution the
+/// SPLASH-II BARNES benchmark generates): N equal-mass bodies sampled
+/// from a Plummer sphere in virial units (G = M = 1, E = -1/4), with the
+/// standard Aarseth radius rescaling 3π/16 and von Neumann rejection
+/// sampling for velocities. Centre-of-mass position and momentum are
+/// removed.
+std::vector<BodyData> plummerModel(int n, std::uint64_t seed);
+
+}  // namespace diva::apps::barneshut

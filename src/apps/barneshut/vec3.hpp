@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cmath>
+
+namespace diva::apps::barneshut {
+
+/// Minimal 3-vector for the N-body computation.
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+  bool operator==(const Vec3&) const = default;
+};
+
+/// Octant index of `p` relative to `center` (bit 0: x, bit 1: y, bit 2: z).
+inline int octantOf(const Vec3& p, const Vec3& center) {
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) |
+         (p.z >= center.z ? 4 : 0);
+}
+
+/// Center of octant `oct` of a cell at `center` with half-size `half`.
+inline Vec3 octantCenter(const Vec3& center, double half, int oct) {
+  const double q = half / 2;
+  return Vec3{center.x + ((oct & 1) ? q : -q), center.y + ((oct & 2) ? q : -q),
+              center.z + ((oct & 4) ? q : -q)};
+}
+
+/// Softened gravitational acceleration exerted on a body at `at` by mass
+/// `mass` at `from` (G = 1; Plummer softening eps).
+inline Vec3 gravity(const Vec3& at, const Vec3& from, double mass, double eps) {
+  const Vec3 dr = from - at;
+  const double d2 = dr.norm2() + eps * eps;
+  const double inv = 1.0 / (d2 * std::sqrt(d2));
+  return dr * (mass * inv);
+}
+
+}  // namespace diva::apps::barneshut

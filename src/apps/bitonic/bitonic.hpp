@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+
+namespace diva::apps::bitonic {
+
+/// Batcher bitonic sorting on P wires with m keys per wire (paper §3.2):
+/// each processor simulates one wire; compare-exchange is replaced by a
+/// merge&split of the two processors' key blocks (low keys to the lower
+/// wire). Wires are assigned to processors in the left-to-right order of
+/// the 2-ary decomposition's leaves, giving the circuit the topological
+/// locality the access tree strategy exploits.
+struct Config {
+  int keysPerProc = 1024;  ///< m (paper sweeps 256..16384)
+  std::uint64_t seed = 1;
+};
+
+struct Result {
+  double timeUs = 0;
+  std::uint64_t congestionBytes = 0;
+  std::uint64_t congestionMessages = 0;
+  std::uint64_t totalBytes = 0;
+  std::uint64_t totalMessages = 0;
+  std::vector<std::uint32_t> keys;  ///< concatenated wire blocks (should be sorted)
+};
+
+/// Run on shared variables managed by `rt`'s strategy. Each step reads
+/// the partner's block, merges locally, and (barrier-separated) writes
+/// the own block back.
+Result runDiva(Machine& m, Runtime& rt, const Config& cfg);
+
+/// The paper's hand-optimized baseline: each merge&split step directly
+/// exchanges one message pair between the two processors.
+Result runHandOptimized(Machine& m, const Config& cfg);
+
+/// The deterministic unsorted input, wire-major (for verification).
+std::vector<std::uint32_t> inputKeys(int numProcs, const Config& cfg);
+
+}  // namespace diva::apps::bitonic

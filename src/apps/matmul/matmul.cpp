@@ -1,0 +1,251 @@
+#include "apps/matmul/matmul.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace diva::apps::matmul {
+
+namespace {
+
+int blockSide(int blockInts) {
+  const int s = static_cast<int>(std::lround(std::sqrt(blockInts)));
+  DIVA_CHECK_MSG(s * s == blockInts, "blockInts must be a perfect square");
+  return s;
+}
+
+/// H += A·B for s×s row-major blocks.
+void blockMultiplyAdd(std::vector<std::int32_t>& h, const std::vector<std::int32_t>& a,
+                      const std::vector<std::int32_t>& b, int s) {
+  for (int r = 0; r < s; ++r)
+    for (int k = 0; k < s; ++k) {
+      const std::int32_t av = a[r * s + k];
+      for (int c = 0; c < s; ++c) h[r * s + c] += av * b[k * s + c];
+    }
+}
+
+/// Simulated cost of one block multiply-add: s³ multiply-adds.
+double blockMultiplyCost(const net::CostModel& cm, int s) {
+  return static_cast<double>(s) * s * s * cm.flopUs;
+}
+
+std::vector<std::int32_t> blockOf(const std::vector<std::int32_t>& matrix, int n, int q,
+                                  int s, int bi, int bj) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(s) * s);
+  for (int r = 0; r < s; ++r)
+    for (int c = 0; c < s; ++c) out[r * s + c] = matrix[(bi * s + r) * n + (bj * s + c)];
+  (void)q;
+  return out;
+}
+
+}  // namespace
+
+int matrixSide(int meshSide, int blockInts) { return meshSide * blockSide(blockInts); }
+
+std::vector<std::int32_t> inputMatrix(int meshSide, const Config& cfg) {
+  const int n = matrixSide(meshSide, cfg.blockInts);
+  std::vector<std::int32_t> a(static_cast<std::size_t>(n) * n);
+  support::SplitMix64 rng(cfg.seed);
+  for (auto& v : a) v = static_cast<std::int32_t>(rng.below(64)) - 32;
+  return a;
+}
+
+std::vector<std::int32_t> serialSquare(const std::vector<std::int32_t>& a, int n) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k) {
+      const std::int32_t av = a[i * n + k];
+      for (int j = 0; j < n; ++j) c[i * n + j] += av * a[k * n + j];
+    }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// DIVA version
+// ---------------------------------------------------------------------------
+
+Result runDiva(Machine& m, Runtime& rt, const Config& cfg) {
+  DIVA_CHECK_MSG(m.mesh.rows() == m.mesh.cols(), "matmul needs a square mesh");
+  const int q = m.mesh.rows();
+  const int s = blockSide(cfg.blockInts);
+  const int n = q * s;
+
+  // Setup (unmeasured): block variables, initialized at their owners.
+  std::vector<std::int32_t> input;
+  if (cfg.realCompute) input = inputMatrix(q, cfg);
+  std::vector<VarId> vars(static_cast<std::size_t>(q) * q);
+  for (int i = 0; i < q; ++i)
+    for (int j = 0; j < q; ++j) {
+      Value init = cfg.realCompute
+                       ? makeVecValue(blockOf(input, n, q, s, i, j))
+                       : makeRawValue(static_cast<std::size_t>(cfg.blockInts) * 4);
+      vars[i * q + j] = rt.createVarFree(m.mesh.nodeAt(i, j), std::move(init));
+    }
+
+  auto program = [](Machine& mm, Runtime& r, const Config& c, int q_, int s_,
+                    std::vector<VarId>& av, int i, int j) -> sim::Task<> {
+    const NodeId p = mm.mesh.nodeAt(i, j);
+    std::vector<std::int32_t> h;
+    if (c.realCompute) h.assign(static_cast<std::size_t>(s_) * s_, 0);
+    // Read phase: √P staggered steps.
+    for (int k0 = 0; k0 < q_; ++k0) {
+      const int k = (k0 + i + j) % q_;
+      const Value va = co_await r.read(p, av[i * q_ + k]);
+      const Value vb = co_await r.read(p, av[k * q_ + j]);
+      if (c.realCompute)
+        blockMultiplyAdd(h, valueAsVec<std::int32_t>(va), valueAsVec<std::int32_t>(vb), s_);
+      r.chargeCompute(p, blockMultiplyCost(mm.net.cost(), s_));
+    }
+    co_await r.barrier(p);
+    // Write phase.
+    Value out = c.realCompute ? makeVecValue(h)
+                              : makeRawValue(static_cast<std::size_t>(s_) * s_ * 4);
+    co_await r.write(p, av[i * q_ + j], std::move(out));
+    co_await r.barrier(p);
+  };
+
+  for (int i = 0; i < q; ++i)
+    for (int j = 0; j < q; ++j) sim::spawn(program(m, rt, cfg, q, s, vars, i, j));
+
+  Result res;
+  res.timeUs = m.run();
+  res.congestionBytes = m.stats.links.congestionBytes();
+  res.congestionMessages = m.stats.links.congestionMessages();
+  res.totalBytes = m.stats.links.totalBytes();
+  res.totalMessages = m.stats.links.totalMessages();
+  if (cfg.realCompute) {
+    res.matrix.assign(static_cast<std::size_t>(n) * n, 0);
+    for (int i = 0; i < q; ++i)
+      for (int j = 0; j < q; ++j) {
+        const auto block = valueAsVec<std::int32_t>(rt.peek(vars[i * q + j]));
+        for (int r = 0; r < s; ++r)
+          for (int c2 = 0; c2 < s; ++c2)
+            res.matrix[(i * s + r) * n + (j * s + c2)] = block[r * s + c2];
+      }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Hand-optimized message passing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct HoBlock {
+  int origin = 0;  ///< row or column index of the block's owner
+  Value data;
+};
+
+constexpr net::Channel kEast = net::kFirstAppChannel + 0;
+constexpr net::Channel kWest = net::kFirstAppChannel + 1;
+constexpr net::Channel kSouth = net::kFirstAppChannel + 2;
+constexpr net::Channel kNorth = net::kFirstAppChannel + 3;
+
+/// One relay direction on one processor: inject the own block, then pass
+/// through every block arriving from behind, keeping a copy of each.
+sim::Task<> relay(Machine& m, NodeId p, net::Channel ch, bool hasNext, NodeId next,
+                  int expect, int ownOrigin, Value own, std::vector<Value>& slots,
+                  sim::WaitGroup& wg) {
+  if (hasNext) {
+    net::Message msg{p, next, ch, own->size(), HoBlock{ownOrigin, own}};
+    co_await m.net.send(std::move(msg));
+  }
+  for (int t = 0; t < expect; ++t) {
+    net::Message msg = co_await m.net.recv(p, ch);
+    HoBlock blk = msg.take<HoBlock>();
+    slots[static_cast<std::size_t>(blk.origin)] = blk.data;
+    if (hasNext) {
+      net::Message fwd{p, next, ch, blk.data->size(), HoBlock{blk.origin, blk.data}};
+      co_await m.net.send(std::move(fwd));
+    }
+  }
+  wg.done();
+}
+
+}  // namespace
+
+Result runHandOptimized(Machine& m, const Config& cfg) {
+  DIVA_CHECK_MSG(m.mesh.rows() == m.mesh.cols(), "matmul needs a square mesh");
+  const int q = m.mesh.rows();
+  const int s = blockSide(cfg.blockInts);
+  const int n = q * s;
+
+  std::vector<std::int32_t> input;
+  if (cfg.realCompute) input = inputMatrix(q, cfg);
+  // Own block of every processor.
+  std::vector<Value> own(static_cast<std::size_t>(q) * q);
+  for (int i = 0; i < q; ++i)
+    for (int j = 0; j < q; ++j)
+      own[i * q + j] = cfg.realCompute
+                           ? makeVecValue(blockOf(input, n, q, s, i, j))
+                           : makeRawValue(static_cast<std::size_t>(cfg.blockInts) * 4);
+
+  // Collected row/column blocks per processor, and final results.
+  struct PerProc {
+    std::vector<Value> row;  ///< A[i,*] indexed by column
+    std::vector<Value> col;  ///< A[*,j] indexed by row
+  };
+  std::vector<PerProc> procs(static_cast<std::size_t>(q) * q);
+  std::vector<std::vector<std::int32_t>> results(static_cast<std::size_t>(q) * q);
+
+  auto main = [](Machine& mm, const Config& c, int q_, int s_, int i, int j,
+                 std::vector<Value>& ownBlocks, PerProc& mine,
+                 std::vector<std::int32_t>& result) -> sim::Task<> {
+    const NodeId p = mm.mesh.nodeAt(i, j);
+    mine.row.assign(static_cast<std::size_t>(q_), Value{});
+    mine.col.assign(static_cast<std::size_t>(q_), Value{});
+    const Value own = ownBlocks[i * q_ + j];
+    mine.row[static_cast<std::size_t>(j)] = own;
+    mine.col[static_cast<std::size_t>(i)] = own;
+
+    sim::WaitGroup wg(mm.engine);
+    wg.add(4);
+    // East-bound blocks originate west of us: expect j of them.
+    sim::spawn(relay(mm, p, kEast, j + 1 < q_, j + 1 < q_ ? mm.mesh.nodeAt(i, j + 1) : p,
+                     j, j, own, mine.row, wg));
+    sim::spawn(relay(mm, p, kWest, j > 0, j > 0 ? mm.mesh.nodeAt(i, j - 1) : p,
+                     q_ - 1 - j, j, own, mine.row, wg));
+    sim::spawn(relay(mm, p, kSouth, i + 1 < q_, i + 1 < q_ ? mm.mesh.nodeAt(i + 1, j) : p,
+                     i, i, own, mine.col, wg));
+    sim::spawn(relay(mm, p, kNorth, i > 0, i > 0 ? mm.mesh.nodeAt(i - 1, j) : p,
+                     q_ - 1 - i, i, own, mine.col, wg));
+    co_await wg.wait();
+
+    // Local compute phase (same staggering and charges as the DIVA run).
+    std::vector<std::int32_t> h;
+    if (c.realCompute) h.assign(static_cast<std::size_t>(s_) * s_, 0);
+    for (int k0 = 0; k0 < q_; ++k0) {
+      const int k = (k0 + i + j) % q_;
+      if (c.realCompute)
+        blockMultiplyAdd(h, valueAsVec<std::int32_t>(mine.row[k]),
+                         valueAsVec<std::int32_t>(mine.col[k]), s_);
+      mm.net.reserveCpu(p, blockMultiplyCost(mm.net.cost(), s_));
+      mm.stats.addCompute(blockMultiplyCost(mm.net.cost(), s_));
+    }
+    if (c.realCompute) result = std::move(h);
+    co_await mm.net.compute(p, 0.0);  // drain charged work into the clock
+  };
+
+  for (int i = 0; i < q; ++i)
+    for (int j = 0; j < q; ++j)
+      sim::spawn(main(m, cfg, q, s, i, j, own, procs[i * q + j], results[i * q + j]));
+
+  Result res;
+  res.timeUs = m.run();
+  res.congestionBytes = m.stats.links.congestionBytes();
+  res.congestionMessages = m.stats.links.congestionMessages();
+  res.totalBytes = m.stats.links.totalBytes();
+  res.totalMessages = m.stats.links.totalMessages();
+  if (cfg.realCompute) {
+    res.matrix.assign(static_cast<std::size_t>(n) * n, 0);
+    for (int i = 0; i < q; ++i)
+      for (int j = 0; j < q; ++j)
+        for (int r = 0; r < s; ++r)
+          for (int c2 = 0; c2 < s; ++c2)
+            res.matrix[(i * s + r) * n + (j * s + c2)] = results[i * q + j][r * s + c2];
+  }
+  return res;
+}
+
+}  // namespace diva::apps::matmul

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+
+namespace diva::apps::matmul {
+
+/// Matrix squaring A := A·A (paper §3.1). The matrix is partitioned into
+/// P blocks of `blockInts` integers; processor p(i,j) owns block A[i,j]
+/// and computes A[i,j] := Σ_k A[i,k]·A[k,j] with the paper's staggered
+/// read schedule (k = (k' + i + j) mod √P, so at most two processors
+/// read any block in the same step), then a barrier, then one write.
+struct Config {
+  int blockInts = 1024;     ///< entries per block (paper sweeps 64..4096)
+  bool realCompute = false; ///< actually multiply (correctness tests) vs synthetic payloads
+  std::uint64_t seed = 1;
+};
+
+struct Result {
+  double timeUs = 0;
+  std::uint64_t congestionBytes = 0;
+  std::uint64_t congestionMessages = 0;
+  std::uint64_t totalBytes = 0;
+  std::uint64_t totalMessages = 0;
+  /// Final matrix in block row-major order (realCompute only).
+  std::vector<std::int32_t> matrix;
+};
+
+/// Run with dynamic data management (any strategy behind `rt`).
+Result runDiva(Machine& m, Runtime& rt, const Config& cfg);
+
+/// The paper's hand-optimized message passing strategy: every block is
+/// relayed hop-by-hop along its row and column (four directions), each
+/// visited processor keeping a copy. Minimal congestion (m·√P) and
+/// ≈2√P startups per node.
+Result runHandOptimized(Machine& m, const Config& cfg);
+
+/// Serial reference: returns A·A for an n×n row-major matrix.
+std::vector<std::int32_t> serialSquare(const std::vector<std::int32_t>& a, int n);
+
+/// The deterministic input matrix for (mesh, cfg), as used by both runs.
+std::vector<std::int32_t> inputMatrix(int meshSide, const Config& cfg);
+
+/// Matrix side length n for a √P×√P mesh with blockInts-entry blocks.
+int matrixSide(int meshSide, int blockInts);
+
+}  // namespace diva::apps::matmul

@@ -1,0 +1,744 @@
+#include "diva/access_tree_strategy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace diva {
+
+namespace {
+/// Strategy display names follow the paper's nomenclature: "2-ary",
+/// "4-ary", "16-ary" for pure decompositions and "2-4-ary", "4-16-ary",
+/// ... for k-terminated ones.
+std::string variantName(int arity, int leafSize) {
+  std::ostringstream os;
+  os << arity;
+  if (leafSize > 1) os << '-' << leafSize;
+  os << "-ary access tree";
+  return os.str();
+}
+}  // namespace
+
+AccessTreeStrategy::AccessTreeStrategy(net::Network& net, Stats& stats,
+                                       std::vector<NodeCache>& caches, Params params)
+    : net_(net),
+      stats_(stats),
+      caches_(caches),
+      params_(params),
+      decomp_(net.mesh(), mesh::Decomposition::Params{params.arity, params.leafSize}),
+      embed_(decomp_, params.embedding, params.seed) {}
+
+std::string AccessTreeStrategy::name() const {
+  return variantName(params_.arity, params_.leafSize);
+}
+
+const AccessTreeStrategy::TreeState* AccessTreeStrategy::findState(
+    VarId x, std::int32_t node) const {
+  const auto vit = states_.find(x);
+  if (vit == states_.end()) return nullptr;
+  const auto nit = vit->second.nodes.find(node);
+  return nit == vit->second.nodes.end() ? nullptr : &nit->second;
+}
+
+bool AccessTreeStrategy::isParentOf(std::int32_t parent, std::int32_t child) const {
+  return decomp_.node(child).parent == parent;
+}
+
+std::uint32_t AccessTreeStrategy::childBit(std::int32_t child) const {
+  const int idx = decomp_.node(child).indexInParent;
+  DIVA_CHECK(idx >= 0 && idx < 32);
+  return 1u << idx;
+}
+
+int AccessTreeStrategy::copyNeighborCount(VarId x, std::int32_t node) const {
+  const TreeState* st = findState(x, node);
+  if (!st) return 0;
+  return std::popcount(st->childCopyMask) + (st->parentCopy ? 1 : 0);
+}
+
+void AccessTreeStrategy::clearCopy(VarId x, std::int32_t node) {
+  const NodeId host = hostOf(node, x);
+  NodeCache::Entry* e = caches_[host].peek(x);
+  DIVA_CHECK_MSG(e && e->copyCount >= 1, "clearCopy without a cached copy");
+  if (--e->copyCount == 0) caches_[host].erase(x);
+}
+
+void AccessTreeStrategy::eraseIfDefault(VarId x, std::int32_t node) {
+  auto vit = states_.find(x);
+  if (vit == states_.end()) return;
+  auto nit = vit->second.nodes.find(node);
+  if (nit == vit->second.nodes.end()) return;
+  const TreeState& st = nit->second;
+  if (st.kind == TreeState::Kind::Up && st.childCopyMask == 0 && !st.parentCopy)
+    vit->second.nodes.erase(nit);
+}
+
+// ---------------------------------------------------------------------------
+// Application-facing operations
+// ---------------------------------------------------------------------------
+
+sim::Task<Value> AccessTreeStrategy::read(NodeId p, VarId x) {
+  // Fast path: the runtime normally filters cache hits, but stay safe.
+  if (NodeCache::Entry* e = caches_[p].touch(x)) co_return e->value;
+
+  const std::uint64_t txn = nextTxn_++;
+  sim::OneShot<Value> done(net_.engine());
+  pending_[txn] = PendingOp{&done};
+  ++states_.at(x).activeOps;
+
+  AtBody b;
+  b.k = AtBody::K::Climb;
+  b.var = x;
+  b.txn = txn;
+  b.requester = p;
+  b.atNode = decomp_.leafOf(p);
+  net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
+
+  Value v = co_await done.wait();
+  pending_.erase(txn);
+  --states_.at(x).activeOps;
+  co_return v;
+}
+
+sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
+  const std::uint64_t txn = nextTxn_++;
+  sim::OneShot<Value> done(net_.engine());
+  pending_[txn] = PendingOp{&done};
+  ++states_.at(x).activeOps;
+
+  AtBody b;
+  b.k = AtBody::K::Climb;
+  b.var = x;
+  b.txn = txn;
+  b.requester = p;
+  b.atNode = decomp_.leafOf(p);
+  b.isWrite = true;
+  b.value = std::move(v);
+  net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
+
+  (void)co_await done.wait();
+  pending_.erase(txn);
+  --states_.at(x).activeOps;
+  co_return;
+}
+
+void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
+  DIVA_CHECK_MSG(!states_.contains(x), "variable registered twice");
+  VarState& vs = states_[x];
+  const std::int32_t leaf = decomp_.leafOf(owner);
+  TreeState& st = vs.nodes[leaf];
+  st.kind = TreeState::Kind::Copy;
+  NodeCache::Entry& e = caches_[owner].put(x, std::move(init));
+  e.copyCount = 1;
+  // Mark the path from the root to the component (data tracking invariant).
+  std::int32_t child = leaf;
+  for (std::int32_t a = decomp_.parent(leaf); a >= 0; a = decomp_.parent(a)) {
+    TreeState& as = vs.nodes[a];
+    as.kind = TreeState::Kind::Down;
+    as.downChild = child;
+    child = a;
+  }
+}
+
+sim::Task<void> AccessTreeStrategy::registerVar(VarId x, NodeId owner, Value init) {
+  // The directory state becomes consistent immediately (so racing readers
+  // can already track the data), while the root-path marking messages are
+  // charged as real traffic hop-by-hop. The creator only pays its local
+  // bookkeeping plus the first startup — creation does not block on a
+  // root round trip.
+  registerVarFree(x, owner, std::move(init));
+  const std::int32_t leaf = decomp_.leafOf(owner);
+  if (decomp_.parent(leaf) < 0) co_return;  // 1×1 mesh
+
+  AtBody b;
+  b.k = AtBody::K::Mark;
+  b.var = x;
+  b.requester = owner;
+  b.atNode = decomp_.parent(leaf);
+  b.fromNode = leaf;
+  net_.post(net::Message{owner, hostOf(b.atNode, x), net::kProtocolChannel, 0, std::move(b)});
+  co_return;
+}
+
+void AccessTreeStrategy::destroyVarFree(VarId x) {
+  auto it = states_.find(x);
+  if (it == states_.end()) return;
+  DIVA_CHECK_MSG(!it->second.coord && it->second.relays.empty(),
+                 "destroying a variable with a write in flight");
+  for (const auto& [node, st] : it->second.nodes) {
+    if (st.kind == TreeState::Kind::Copy) {
+      const NodeId host = hostOf(node, x);
+      NodeCache::Entry* e = caches_[host].peek(x);
+      if (e && --e->copyCount == 0) caches_[host].erase(x);
+    }
+  }
+  states_.erase(it);
+}
+
+Value AccessTreeStrategy::peek(VarId x) const {
+  const auto it = states_.find(x);
+  DIVA_CHECK_MSG(it != states_.end(), "peek of unregistered variable");
+  // The topmost copy holder carries the committed value.
+  std::int32_t top = -1;
+  for (const auto& [node, st] : it->second.nodes)
+    if (st.kind == TreeState::Kind::Copy &&
+        (top < 0 || decomp_.depthOf(node) < decomp_.depthOf(top)))
+      top = node;
+  DIVA_CHECK_MSG(top >= 0, "variable has no copies");
+  const NodeCache::Entry* e = caches_[hostOf(top, x)].peek(x);
+  DIVA_CHECK(e && e->value);
+  return e->value;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol engine
+// ---------------------------------------------------------------------------
+
+void AccessTreeStrategy::handleMessage(net::Message&& msg) {
+  AtBody b = msg.take<AtBody>();
+  switch (b.k) {
+    case AtBody::K::Climb: onClimb(std::move(b)); break;
+    case AtBody::K::Data: onData(std::move(b)); break;
+    case AtBody::K::Inval: onInval(std::move(b)); break;
+    case AtBody::K::InvalAck: onInvalAck(std::move(b)); break;
+    case AtBody::K::Mark: onMark(std::move(b)); break;
+    case AtBody::K::MarkAck: {
+      auto it = pending_.find(b.txn);
+      DIVA_CHECK(it != pending_.end());
+      it->second.done->resolve(Value{});
+      break;
+    }
+    case AtBody::K::CopyDrop: onCopyDrop(std::move(b)); break;
+  }
+}
+
+void AccessTreeStrategy::forward(AtBody&& b, std::int32_t fromTreeNode,
+                                 std::int32_t toTreeNode, std::uint64_t payloadBytes) {
+  const VarId x = b.var;
+  const NodeId src = hostOf(fromTreeNode, x);
+  const NodeId dst = hostOf(toTreeNode, x);
+  b.atNode = toTreeNode;
+  net_.post(net::Message{src, dst, net::kProtocolChannel, payloadBytes, std::move(b)});
+}
+
+void AccessTreeStrategy::onClimb(AtBody&& b) {
+  const std::int32_t node = b.atNode;
+  const TreeState* st = findState(b.var, node);
+  const TreeState::Kind kind = st ? st->kind : TreeState::Kind::Up;
+
+  if (kind == TreeState::Kind::Copy) {
+    serveAt(node, std::move(b));
+    return;
+  }
+  if (kind == TreeState::Kind::Down) {
+    const std::int32_t next = st->downChild;
+    b.descending = true;
+    b.path.push_back(node);
+    const std::uint64_t payload = b.isWrite ? b.value->size() : 0;
+    forward(std::move(b), node, next, payload);
+    return;
+  }
+  // Kind::Up — no information here.
+  if (b.descending) {
+    // A pointer went stale under a concurrent transaction: resume climbing
+    // from this node. Bounded by kMaxRetries (races are transient).
+    b.descending = false;
+    ++b.retries;
+    ++stats_.ops.protocolRetries;
+    DIVA_CHECK_MSG(b.retries < kMaxRetries, "access tree climb livelock");
+  }
+  const std::int32_t parent = decomp_.parent(node);
+  DIVA_CHECK_MSG(parent >= 0, "climb reached the root without finding data "
+                                  << "(unregistered variable " << b.var << "?)");
+  b.path.push_back(node);
+  const std::uint64_t payload = b.isWrite ? b.value->size() : 0;
+  forward(std::move(b), node, parent, payload);
+}
+
+void AccessTreeStrategy::serveAt(std::int32_t node, AtBody&& b) {
+  b.path.push_back(node);
+  if (!b.isWrite) {
+    const NodeId host = hostOf(node, b.var);
+    NodeCache::Entry* e = caches_[host].touch(b.var);
+    DIVA_CHECK_MSG(e && e->value, "copy holder without cached value");
+    sendData(b.var, b.txn, b.requester, false, e->value, std::move(b.path));
+    return;
+  }
+  startInvalidation(node, std::move(b));
+}
+
+void AccessTreeStrategy::sendData(VarId x, std::uint64_t txn, NodeId requester,
+                                  bool isWrite, Value v,
+                                  std::vector<std::int32_t> path) {
+  DIVA_CHECK(path.size() >= 2);
+  const std::int32_t server = path.back();
+  const std::int32_t next = path[path.size() - 2];
+  VarState& vs = states_.at(x);
+  // The server learns that its path neighbour is about to hold a copy —
+  // unless a write is in flight, in which case the deposits downstream
+  // will be skipped anyway (versioning) and no mark must be left.
+  if (!vs.coord) {
+    TreeState& st = stateOf(x, server);
+    if (isParentOf(next, server)) {
+      st.parentCopy = true;
+    } else {
+      st.childCopyMask |= childBit(next);
+    }
+  }
+
+  AtBody d;
+  d.k = AtBody::K::Data;
+  d.var = x;
+  d.txn = txn;
+  d.requester = requester;
+  d.isWrite = isWrite;
+  d.version = vs.committedVersion;
+  d.value = std::move(v);
+  d.idx = static_cast<std::int32_t>(path.size()) - 2;
+  d.path = std::move(path);
+  const std::uint64_t payload = d.value->size();
+  forward(std::move(d), server, next, payload);
+}
+
+void AccessTreeStrategy::depositCopy(VarId x, std::int32_t node, const Value& v,
+                                     std::int32_t towardServer,
+                                     std::int32_t towardRequester) {
+  TreeState& st = stateOf(x, node);
+  const NodeId host = hostOf(node, x);
+  if (st.kind != TreeState::Kind::Copy) {
+    st.kind = TreeState::Kind::Copy;
+    st.downChild = -1;
+    NodeCache::Entry* e = caches_[host].peek(x);
+    if (e) {
+      e->value = v;
+      ++e->copyCount;
+    } else {
+      caches_[host].put(x, v).copyCount = 1;
+    }
+  } else {
+    NodeCache::Entry* e = caches_[host].peek(x);
+    DIVA_CHECK(e);
+    e->value = v;
+  }
+  auto mark = [&](std::int32_t nb) {
+    if (nb < 0) return;
+    if (isParentOf(nb, node)) {
+      st.parentCopy = true;
+    } else {
+      st.childCopyMask |= childBit(nb);
+    }
+  };
+  mark(towardServer);
+  mark(towardRequester);
+  maybeEvictAt(host);
+}
+
+void AccessTreeStrategy::onData(AtBody&& b) {
+  const std::int32_t node = b.path[b.idx];
+  DIVA_CHECK(node == b.atNode);
+  const VarState& vs = states_.at(b.var);
+  // A read response that raced a write delivers its (old) value but must
+  // not leave copies behind: the read linearizes before the write.
+  const bool depositsEnabled = b.version == vs.committedVersion && !vs.coord;
+  if (depositsEnabled) {
+    const std::int32_t towardServer = b.path[b.idx + 1];
+    const std::int32_t towardRequester = b.idx > 0 ? b.path[b.idx - 1] : -1;
+    depositCopy(b.var, node, b.value, towardServer, towardRequester);
+  }
+
+  if (b.idx == 0) {
+    auto it = pending_.find(b.txn);
+    DIVA_CHECK_MSG(it != pending_.end(), "data response for unknown transaction");
+    it->second.done->resolve(std::move(b.value));
+    return;
+  }
+  --b.idx;
+  const std::int32_t next = b.path[b.idx];
+  const std::uint64_t payload = b.value->size();
+  forward(std::move(b), node, next, payload);
+}
+
+void AccessTreeStrategy::startInvalidation(std::int32_t uNode, AtBody&& b) {
+  VarState& vs = states_[b.var];
+  DIVA_CHECK_MSG(!vs.coord, "concurrent writes to one variable are not allowed "
+                                << "(variable " << b.var << ")");
+  TreeState& st = stateOf(b.var, uNode);
+
+  InvalCoord c;
+  c.var = b.var;
+  c.txn = b.txn;
+  c.requester = b.requester;
+  c.value = std::move(b.value);
+  c.path = std::move(b.path);
+
+  const Decomp::Node& nd = decomp_.node(uNode);
+  auto flood = [&](std::int32_t nb) {
+    AtBody iv;
+    iv.k = AtBody::K::Inval;
+    iv.var = b.var;
+    iv.fromNode = uNode;
+    forward(std::move(iv), uNode, nb, 0);
+    ++c.pendingAcks;
+  };
+  if (st.parentCopy) flood(nd.parent);
+  std::uint32_t mask = st.childCopyMask;
+  while (mask) {
+    const int bit = std::countr_zero(mask);
+    mask &= mask - 1;
+    DIVA_CHECK(bit < static_cast<int>(nd.children.size()));
+    flood(nd.children[bit]);
+  }
+  st.parentCopy = false;
+  st.childCopyMask = 0;
+
+  if (c.pendingAcks == 0) {
+    finishWrite(vs, std::move(c));
+  } else {
+    vs.coord.emplace(std::move(c));
+  }
+}
+
+void AccessTreeStrategy::onInval(AtBody&& b) {
+  const std::int32_t node = b.atNode;
+  const std::int32_t from = b.fromNode;
+  VarState& vs = states_[b.var];
+  TreeState& st = vs.nodes[node];
+  if (st.kind != TreeState::Kind::Copy) {
+    // The copy is already gone (eviction or skipped deposit raced the
+    // flood): acknowledge without forwarding, flagging the stale mask so
+    // the sender can heal it.
+    AtBody ack;
+    ack.k = AtBody::K::InvalAck;
+    ack.var = b.var;
+    ack.fromNode = node;
+    ack.ackHadCopy = false;
+    forward(std::move(ack), node, from, 0);
+    return;
+  }
+  ++stats_.ops.invalidations;
+
+  const Decomp::Node& nd = decomp_.node(node);
+  RelayState rs;
+  rs.ackTo = from;
+  auto flood = [&](std::int32_t nb) {
+    if (nb == from) return;
+    AtBody iv;
+    iv.k = AtBody::K::Inval;
+    iv.var = b.var;
+    iv.fromNode = node;
+    forward(std::move(iv), node, nb, 0);
+    ++rs.pendingAcks;
+  };
+  if (st.parentCopy) flood(nd.parent);
+  std::uint32_t mask = st.childCopyMask;
+  while (mask) {
+    const int bit = std::countr_zero(mask);
+    mask &= mask - 1;
+    flood(nd.children[bit]);
+  }
+
+  // Drop the copy and point toward the writer (restores the root-path
+  // marking invariant; see DESIGN.md §5).
+  clearCopy(b.var, node);
+  if (from == nd.parent) {
+    st.kind = TreeState::Kind::Up;
+    st.downChild = -1;
+  } else {
+    st.kind = TreeState::Kind::Down;
+    st.downChild = from;
+  }
+  st.parentCopy = false;
+  st.childCopyMask = 0;
+
+  if (rs.pendingAcks == 0) {
+    AtBody ack;
+    ack.k = AtBody::K::InvalAck;
+    ack.var = b.var;
+    ack.fromNode = node;
+    forward(std::move(ack), node, from, 0);
+    eraseIfDefault(b.var, node);
+  } else {
+    vs.relays[node] = rs;
+  }
+}
+
+void AccessTreeStrategy::onInvalAck(AtBody&& b) {
+  const std::int32_t node = b.atNode;
+  VarState& vs = states_[b.var];
+  if (!b.ackHadCopy) {
+    // The flood edge pointed at a node without a copy (a read deposit
+    // was skipped after the mark was set): heal the stale mask bit.
+    TreeState& st = vs.nodes[node];
+    if (isParentOf(b.fromNode, node)) {
+      st.parentCopy = false;
+    } else {
+      st.childCopyMask &= ~childBit(b.fromNode);
+    }
+  }
+  auto rit = vs.relays.find(node);
+  if (rit != vs.relays.end()) {
+    if (--rit->second.pendingAcks == 0) {
+      AtBody ack;
+      ack.k = AtBody::K::InvalAck;
+      ack.var = b.var;
+      ack.fromNode = node;
+      const std::int32_t to = rit->second.ackTo;
+      vs.relays.erase(rit);
+      forward(std::move(ack), node, to, 0);
+      eraseIfDefault(b.var, node);
+    }
+    return;
+  }
+  DIVA_CHECK_MSG(vs.coord && vs.coord->path.back() == node,
+                 "stray invalidation acknowledgement");
+  if (--vs.coord->pendingAcks == 0) {
+    InvalCoord c = std::move(*vs.coord);
+    vs.coord.reset();
+    finishWrite(vs, std::move(c));
+  }
+}
+
+void AccessTreeStrategy::finishWrite(VarState& vs, InvalCoord&& c) {
+  DIVA_CHECK(c.var != kInvalidVar);
+  ++vs.committedVersion;
+  const std::int32_t u = c.path.back();
+  const NodeId host = hostOf(u, c.var);
+  NodeCache::Entry* e = caches_[host].peek(c.var);
+  DIVA_CHECK_MSG(e && e->copyCount >= 1, "writer target lost its copy");
+  e->value = c.value;
+  caches_[host].touch(c.var);
+
+  if (c.path.size() == 1) {
+    auto it = pending_.find(c.txn);
+    DIVA_CHECK(it != pending_.end());
+    it->second.done->resolve(std::move(c.value));
+    return;
+  }
+  sendData(c.var, c.txn, c.requester, true, std::move(c.value), std::move(c.path));
+}
+
+void AccessTreeStrategy::onMark(AtBody&& b) {
+  // Cost-only: the directory was updated at registration; this message
+  // stream just accounts for the marking traffic up the root path.
+  const std::int32_t node = b.atNode;
+  const std::int32_t parent = decomp_.parent(node);
+  if (parent < 0) return;
+  b.fromNode = node;
+  forward(std::move(b), node, parent, 0);
+}
+
+void AccessTreeStrategy::onCopyDrop(AtBody&& b) {
+  // Cost-only: the survivor's mask was healed at eviction time (see
+  // tryEvict). Kept idempotent for robustness.
+  TreeState& st = stateOf(b.var, b.atNode);
+  if (isParentOf(b.fromNode, b.atNode)) {
+    st.parentCopy = false;
+  } else {
+    st.childCopyMask &= ~childBit(b.fromNode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LRU replacement
+// ---------------------------------------------------------------------------
+
+bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
+  NodeCache::Entry* e = caches_[p].peek(x);
+  if (!e || e->pinned) return false;
+  auto vit = states_.find(x);
+  if (vit == states_.end()) return false;
+  if (vit->second.coord || !vit->second.relays.empty()) return false;  // write in flight
+  if (vit->second.activeOps > 0) return false;  // transaction path references copies
+
+  // S = the tree nodes of x's component hosted at p. Dropping the cache
+  // entry removes all of them at once, which is safe exactly when
+  //  (a) S is connected within the tree (unique node whose parent ∉ S), and
+  //  (b) exactly one copy-edge leaves S — the rest of the component stays
+  //      connected, attached at that edge.
+  std::vector<std::int32_t> hosted;
+  for (const auto& [n, st] : vit->second.nodes)
+    if (st.kind == TreeState::Kind::Copy && hostOf(n, x) == p) hosted.push_back(n);
+  if (hosted.empty() || static_cast<int>(hosted.size()) != e->copyCount) return false;
+
+  auto inS = [&](std::int32_t n) {
+    return std::find(hosted.begin(), hosted.end(), n) != hosted.end();
+  };
+
+  int topsInS = 0;
+  int boundaryEdges = 0;
+  std::int32_t boundaryInside = -1, boundaryOutside = -1;
+  for (std::int32_t s : hosted) {
+    const TreeState& st = vit->second.nodes.at(s);
+    const Decomp::Node& nd = decomp_.node(s);
+    if (nd.parent < 0 || !inS(nd.parent)) ++topsInS;
+    if (st.parentCopy && !inS(nd.parent)) {
+      ++boundaryEdges;
+      boundaryInside = s;
+      boundaryOutside = nd.parent;
+    }
+    std::uint32_t mask = st.childCopyMask;
+    while (mask) {
+      const int bit = std::countr_zero(mask);
+      mask &= mask - 1;
+      const std::int32_t ch = nd.children[bit];
+      if (!inS(ch)) {
+        ++boundaryEdges;
+        boundaryInside = s;
+        boundaryOutside = ch;
+      }
+    }
+  }
+  if (topsInS != 1 || boundaryEdges != 1) return false;  // last copies / interior
+
+  // Masks are may-have-copy over-approximations (racing deposits can be
+  // skipped after a mark was set), so verify the surviving neighbour
+  // actually holds a copy — otherwise we would evict the last real copy.
+  {
+    const TreeState* bst = findState(x, boundaryOutside);
+    if (!bst || bst->kind != TreeState::Kind::Copy) return false;
+  }
+
+  // Is a tree node `a` an ancestor of `b`?
+  auto isAncestor = [&](std::int32_t a, std::int32_t b) {
+    for (std::int32_t w = decomp_.parent(b); w >= 0; w = decomp_.parent(w))
+      if (w == a) return true;
+    return false;
+  };
+
+  // Re-point every dropped node toward the surviving component.
+  for (std::int32_t s : hosted) {
+    TreeState& st = vit->second.nodes.at(s);
+    if (boundaryOutside == s || isAncestor(s, boundaryOutside)) {
+      // Survivors hang below: mark Down toward them.
+      std::int32_t towards = boundaryOutside;
+      for (std::int32_t w = boundaryOutside; w != s; w = decomp_.parent(w)) towards = w;
+      st.kind = TreeState::Kind::Down;
+      st.downChild = towards;
+    } else {
+      st.kind = TreeState::Kind::Up;
+      st.downChild = -1;
+    }
+    st.parentCopy = false;
+    st.childCopyMask = 0;
+  }
+
+  caches_[p].erase(x);
+  ++stats_.ops.evictions;
+
+  // Heal the survivor's mask immediately in simulator state (avoiding a
+  // window in which another eviction could trust the stale bit); the
+  // notification message still travels for its cost.
+  {
+    TreeState& bst = vit->second.nodes.at(boundaryOutside);
+    if (isParentOf(boundaryInside, boundaryOutside)) {
+      bst.parentCopy = false;
+    } else {
+      bst.childCopyMask &= ~childBit(boundaryInside);
+    }
+  }
+  AtBody drop;
+  drop.k = AtBody::K::CopyDrop;
+  drop.var = x;
+  drop.fromNode = boundaryInside;
+  forward(std::move(drop), boundaryInside, boundaryOutside, 0);
+  for (std::int32_t s : hosted) eraseIfDefault(x, s);
+  return true;
+}
+
+void AccessTreeStrategy::maybeEvictAt(NodeId p) {
+  NodeCache& cache = caches_[p];
+  while (cache.overCapacity()) {
+    const bool evicted = cache.scanLru([&](VarId v, NodeCache::Entry&) {
+      return tryEvict(p, v);
+    });
+    if (!evicted) {
+      ++stats_.ops.evictionFailures;
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (tests / debugging)
+// ---------------------------------------------------------------------------
+
+void AccessTreeStrategy::checkInvariants(VarId x) const {
+  const auto vit = states_.find(x);
+  DIVA_CHECK_MSG(vit != states_.end(), "unregistered variable " << x);
+  const VarState& vs = vit->second;
+  DIVA_CHECK_MSG(!vs.coord, "write still in flight");
+  DIVA_CHECK_MSG(vs.relays.empty(), "invalidation relays still in flight");
+  DIVA_CHECK_MSG(vs.activeOps == 0, "operations still in flight");
+
+  // Collect the copy component.
+  std::vector<std::int32_t> copies;
+  for (const auto& [n, st] : vs.nodes)
+    if (st.kind == TreeState::Kind::Copy) copies.push_back(n);
+  DIVA_CHECK_MSG(!copies.empty(), "variable " << x << " lost all copies");
+
+  // Unique topmost node; every other copy's parent is also a copy
+  // (equivalent to connectivity of a subgraph of a tree).
+  auto isCopy = [&](std::int32_t n) {
+    const TreeState* st = findState(x, n);
+    return st && st->kind == TreeState::Kind::Copy;
+  };
+  std::int32_t top = copies.front();
+  for (std::int32_t n : copies)
+    if (decomp_.depthOf(n) < decomp_.depthOf(top)) top = n;
+  for (std::int32_t n : copies) {
+    if (n == top) continue;
+    DIVA_CHECK_MSG(decomp_.parent(n) >= 0 && isCopy(decomp_.parent(n)),
+                   "copy component disconnected at tree node " << n);
+  }
+
+  // Root-path marking: every strict ancestor of `top` points Down along
+  // the path toward `top`; no other node may be in Down state.
+  std::vector<std::int32_t> rootPath;
+  {
+    std::int32_t child = top;
+    for (std::int32_t a = decomp_.parent(top); a >= 0; a = decomp_.parent(a)) {
+      const TreeState* st = findState(x, a);
+      DIVA_CHECK_MSG(st && st->kind == TreeState::Kind::Down && st->downChild == child,
+                     "root-path marking broken at tree node " << a);
+      rootPath.push_back(a);
+      child = a;
+    }
+  }
+  for (const auto& [n, st] : vs.nodes) {
+    if (st.kind != TreeState::Kind::Down) continue;
+    const bool onRootPath =
+        std::find(rootPath.begin(), rootPath.end(), n) != rootPath.end();
+    DIVA_CHECK_MSG(onRootPath, "stale Down pointer at tree node " << n);
+  }
+
+  // Neighbour masks match the component; caches match the copy counts;
+  // all copies agree on one value (coherence at quiescence).
+  const NodeCache::Entry* ref = caches_[hostOf(top, x)].peek(x);
+  DIVA_CHECK(ref && ref->value);
+  std::unordered_map<NodeId, int> hostCounts;
+  for (std::int32_t n : copies) {
+    const TreeState& st = vs.nodes.at(n);
+    const auto& nd = decomp_.node(n);
+    // Masks are "may have a copy": they must cover every actual copy
+    // neighbour (or invalidation floods would miss copies); stray extra
+    // bits from skipped racing deposits are permitted (healed by the
+    // next flood) — but only toward nodes that once saw this variable.
+    if (nd.parent >= 0 && isCopy(nd.parent))
+      DIVA_CHECK_MSG(st.parentCopy, "parentCopy mask missing at " << n);
+    std::uint32_t expect = 0;
+    for (std::int32_t ch : nd.children)
+      if (isCopy(ch)) expect |= childBit(ch);
+    DIVA_CHECK_MSG((st.childCopyMask & expect) == expect,
+                   "childCopyMask incomplete at " << n);
+    ++hostCounts[hostOf(n, x)];
+  }
+  for (const auto& [host, count] : hostCounts) {
+    const NodeCache::Entry* e = caches_[host].peek(x);
+    DIVA_CHECK_MSG(e, "copy holder " << host << " missing cache entry");
+    DIVA_CHECK_MSG(e->copyCount == count, "copyCount mismatch at host " << host);
+    DIVA_CHECK_MSG(e->value == ref->value || *e->value == *ref->value,
+                   "incoherent copies of variable " << x);
+  }
+}
+
+}  // namespace diva

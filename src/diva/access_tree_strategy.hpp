@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "diva/cache.hpp"
+#include "diva/stats.hpp"
+#include "diva/strategy.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/embedding.hpp"
+#include "net/network.hpp"
+#include "sim/sync.hpp"
+
+namespace diva {
+
+/// The access tree strategy (paper §2, based on Maggs et al., FOCS'97).
+///
+/// Every variable owns an *access tree* — a copy of the hierarchical mesh
+/// decomposition tree, embedded into the mesh (each tree node is hosted by
+/// a processor of its submesh). The processors holding a copy of the
+/// variable always form a connected component of the access tree:
+///
+///  * READ: the requesting leaf climbs the tree to the nearest node
+///    holding a copy; the value returns along the same tree path and a
+///    copy is deposited on every tree node of the path.
+///  * WRITE: the new value travels to the nearest copy; an invalidation
+///    multicast (acknowledged) destroys every other copy; the updated
+///    value returns along the path, again depositing copies.
+///
+/// Data tracking uses one state per (variable, tree node):
+///   Copy          — this tree node holds a copy;
+///   Down(child)   — no copy here, the copy component lies in `child`'s
+///                   subtree (maintained on the whole path from the root
+///                   to the component's topmost node);
+///   Up (default)  — no information, ask the parent.
+/// The component's topmost node is an ancestor of all copy holders, so
+/// "climb while Up, then descend along Down to the first Copy" always
+/// finds the nearest copy in the tree metric.
+///
+/// All tree-edge messages travel along dimension-order mesh paths between
+/// the host processors; tree nodes co-hosted on one processor communicate
+/// by (cheap) local calls, so flatter trees trade congestion for fewer
+/// startups — the arity/leaf-size parameters below are the paper's
+/// ℓ-k-ary variants.
+class AccessTreeStrategy final : public Strategy {
+ public:
+  using Decomp = mesh::Decomposition;
+
+  struct Params {
+    int arity = 4;                        ///< ℓ ∈ {2, 4, 16}
+    int leafSize = 1;                     ///< k (1 = pure ℓ-ary)
+    mesh::EmbeddingKind embedding = mesh::EmbeddingKind::Regular;
+    std::uint64_t seed = 1;
+  };
+
+  AccessTreeStrategy(net::Network& net, Stats& stats, std::vector<NodeCache>& caches,
+                     Params params);
+
+  std::string name() const override;
+  sim::Task<Value> read(NodeId p, VarId x) override;
+  sim::Task<void> write(NodeId p, VarId x, Value v) override;
+  void registerVarFree(VarId x, NodeId owner, Value init) override;
+  sim::Task<void> registerVar(VarId x, NodeId owner, Value init) override;
+  void destroyVarFree(VarId x) override;
+  Value peek(VarId x) const override;
+  void checkInvariants(VarId x) const override;
+  void handleMessage(net::Message&& msg) override;
+
+  const mesh::Decomposition& decomposition() const { return decomp_; }
+  const mesh::Embedding& embedding() const { return embed_; }
+
+  /// Try to evict `x` from processor `p`'s cache if the tree invariants
+  /// allow it (the copy is a fringe node of its component and not the
+  /// last copy). Returns true if evicted.
+  bool tryEvict(NodeId p, VarId x) override;
+
+ private:
+  /// Per-(variable, tree-node) protocol state.
+  struct TreeState {
+    enum class Kind : std::uint8_t { Up, Down, Copy };
+    Kind kind = Kind::Up;
+    std::int32_t downChild = -1;     ///< tree node toward the component (Kind::Down)
+    std::uint32_t childCopyMask = 0; ///< children (by indexInParent) holding copies
+    bool parentCopy = false;         ///< parent holds a copy
+  };
+
+  struct RelayState {
+    int pendingAcks = 0;
+    std::int32_t ackTo = -1;  ///< tree node to ack once our flood subtree is done
+  };
+
+  /// Coordinator state of an in-flight write's invalidation multicast.
+  struct InvalCoord {
+    int pendingAcks = 0;
+    VarId var = kInvalidVar;
+    std::uint64_t txn = 0;
+    NodeId requester = -1;
+    Value value;
+    std::vector<std::int32_t> path;
+  };
+
+  struct VarState {
+    std::unordered_map<std::int32_t, TreeState> nodes;
+    std::optional<InvalCoord> coord;  ///< at most one write in flight per variable
+    std::unordered_map<std::int32_t, RelayState> relays;
+    /// Reads/writes currently in flight anywhere in the system. While
+    /// non-zero the variable's copies are not eligible for replacement
+    /// (a transaction's path deposits reference them).
+    int activeOps = 0;
+    /// Version of the last committed write. Read responses carry the
+    /// version of the value they serve; a deposit whose version is no
+    /// longer current is skipped (the reader still gets the value, it
+    /// just leaves no copy behind) — this is what makes reads racing a
+    /// concurrent write safe: the read linearizes before the write and
+    /// cannot leave a stale copy that survives the write's invalidation.
+    std::uint32_t committedVersion = 0;
+  };
+
+  /// Protocol message (one fat struct keeps dispatch trivial).
+  struct AtBody {
+    enum class K : std::uint8_t {
+      Climb,     ///< read/write request walking the tree
+      Data,      ///< value travelling back along `path`, depositing copies
+      Inval,     ///< invalidation flood edge
+      InvalAck,  ///< flood acknowledgement edge
+      Mark,      ///< creation: mark Down pointers on the root path
+      MarkAck,   ///< creation complete
+      CopyDrop,  ///< eviction: neighbour lost its copy
+    };
+    K k = K::Climb;
+    VarId var = kInvalidVar;
+    std::uint64_t txn = 0;
+    NodeId requester = -1;
+    std::int32_t atNode = -1;    ///< tree node this message is addressed to
+    std::int32_t fromNode = -1;  ///< tree-edge origin (Inval/InvalAck/Mark/CopyDrop)
+    bool isWrite = false;
+    bool descending = false;
+    Value value;
+    std::vector<std::int32_t> path;  ///< visited tree nodes, requester leaf first
+    std::int32_t idx = 0;            ///< Data: current position in path
+    int retries = 0;
+    std::uint32_t version = 0;       ///< Data: committed version of `value`
+    bool ackHadCopy = true;          ///< InvalAck: sender actually held a copy
+  };
+
+  struct PendingOp {
+    sim::OneShot<Value>* done = nullptr;
+  };
+
+  // --- protocol engine ---
+  void onClimb(AtBody&& b);
+  void onData(AtBody&& b);
+  void onInval(AtBody&& b);
+  void onInvalAck(AtBody&& b);
+  void onMark(AtBody&& b);
+  void onCopyDrop(AtBody&& b);
+
+  void serveAt(std::int32_t node, AtBody&& b);
+  void startInvalidation(std::int32_t uNode, AtBody&& b);
+  void finishWrite(VarState& vs, InvalCoord&& c);
+  void sendData(VarId x, std::uint64_t txn, NodeId requester, bool isWrite, Value v,
+                std::vector<std::int32_t> path);
+  void depositCopy(VarId x, std::int32_t node, const Value& v,
+                   std::int32_t towardServer, std::int32_t towardRequester);
+  void forward(AtBody&& b, std::int32_t fromTreeNode, std::int32_t toTreeNode,
+               std::uint64_t payloadBytes);
+  void maybeEvictAt(NodeId p);
+
+  // --- state helpers ---
+  TreeState& stateOf(VarId x, std::int32_t node) { return states_[x].nodes[node]; }
+  const TreeState* findState(VarId x, std::int32_t node) const;
+  NodeId hostOf(std::int32_t node, VarId x) const { return embed_.hostOf(node, x); }
+  bool isParentOf(std::int32_t parent, std::int32_t child) const;
+  std::uint32_t childBit(std::int32_t child) const;
+  int copyNeighborCount(VarId x, std::int32_t node) const;
+  void clearCopy(VarId x, std::int32_t node);
+  void eraseIfDefault(VarId x, std::int32_t node);
+
+  net::Network& net_;
+  Stats& stats_;
+  std::vector<NodeCache>& caches_;
+  Params params_;
+  mesh::Decomposition decomp_;
+  mesh::Embedding embed_;
+  std::unordered_map<VarId, VarState> states_;
+  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::uint64_t nextTxn_ = 1;
+
+  static constexpr int kMaxRetries = 64;
+};
+
+}  // namespace diva

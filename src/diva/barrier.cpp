@@ -1,0 +1,97 @@
+#include "diva/barrier.hpp"
+
+namespace diva {
+
+namespace {
+std::uint64_t roundKey(std::int32_t node, std::uint64_t round) {
+  return (static_cast<std::uint64_t>(node) << 40) ^ round;
+}
+}  // namespace
+
+BarrierService::BarrierService(net::Network& net, Stats& stats, std::uint64_t seed)
+    : net_(net),
+      stats_(stats),
+      decomp_(net.mesh(), mesh::Decomposition::Params{4, 1}),
+      embed_(decomp_, mesh::EmbeddingKind::Regular, seed),
+      waiting_(net.mesh().numNodes(), nullptr),
+      nextRound_(net.mesh().numNodes(), 0) {}
+
+sim::Task<void> BarrierService::arrive(NodeId p) {
+  ++stats_.ops.barriers;
+  const std::uint64_t round = nextRound_[p]++;
+
+  if (net_.mesh().numNodes() == 1) co_return;
+
+  sim::OneShot<bool> released(net_.engine());
+  DIVA_CHECK_MSG(waiting_[p] == nullptr, "processor re-entered a barrier");
+  waiting_[p] = &released;
+
+  const std::int32_t leaf = decomp_.leafOf(p);
+  Body b;
+  b.k = Body::K::Complete;
+  b.atNode = decomp_.parent(leaf);
+  b.round = round;
+  net_.post(net::Message{p, hostOf(b.atNode), net::kSyncChannel, 0, b});
+
+  (void)co_await released.wait();
+  waiting_[p] = nullptr;
+  co_return;
+}
+
+void BarrierService::handleMessage(net::Message&& msg) {
+  Body b = msg.take<Body>();
+  if (b.k == Body::K::Complete) {
+    onComplete(b.atNode, b.round);
+    return;
+  }
+  // Release wave.
+  const mesh::Decomposition::Node& nd = decomp_.node(b.atNode);
+  if (nd.isLeaf()) {
+    const NodeId p = decomp_.procOfLeaf(b.atNode);
+    DIVA_CHECK_MSG(waiting_[p] != nullptr, "barrier release without a waiter");
+    waiting_[p]->resolve(true);
+    return;
+  }
+  releaseSubtree(b.atNode, b.round);
+}
+
+void BarrierService::onComplete(std::int32_t node, std::uint64_t round) {
+  const mesh::Decomposition::Node& nd = decomp_.node(node);
+  const std::uint64_t key = roundKey(node, round);
+  const int have = ++counts_[key];
+  if (have < static_cast<int>(nd.children.size())) return;
+  counts_.erase(key);
+  if (nd.parent < 0) {
+    releaseSubtree(node, round);
+    return;
+  }
+  Body b;
+  b.k = Body::K::Complete;
+  b.atNode = nd.parent;
+  b.round = round;
+  net_.post(net::Message{hostOf(node), hostOf(nd.parent), net::kSyncChannel, 0, b});
+}
+
+void BarrierService::releaseSubtree(std::int32_t node, std::uint64_t round) {
+  const mesh::Decomposition::Node& nd = decomp_.node(node);
+  const NodeId src = hostOf(node);
+  for (std::int32_t child : nd.children) {
+    const mesh::Decomposition::Node& cd = decomp_.node(child);
+    if (cd.isLeaf()) {
+      const NodeId p = decomp_.procOfLeaf(child);
+      Body b;
+      b.k = Body::K::Release;
+      b.atNode = child;
+      b.round = round;
+      net_.post(net::Message{src, p, net::kSyncChannel, 0, b});
+    } else {
+      Body b;
+      b.k = Body::K::Release;
+      b.atNode = child;
+      b.round = round;
+      net_.post(net::Message{src, hostOf(child), net::kSyncChannel, 0, b});
+    }
+  }
+}
+
+}  // namespace diva

@@ -1,0 +1,393 @@
+#include "diva/fixed_home_strategy.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace diva {
+
+FixedHomeStrategy::FixedHomeStrategy(net::Network& net, Stats& stats,
+                                     std::vector<NodeCache>& caches, Params params)
+    : net_(net), stats_(stats), caches_(caches), params_(params) {}
+
+NodeId FixedHomeStrategy::homeOf(VarId x) const {
+  return static_cast<NodeId>(support::hashBelow(
+      support::hashCombine(params_.seed, x, 0xf1bedull),
+      static_cast<std::uint64_t>(net_.mesh().numNodes())));
+}
+
+void FixedHomeStrategy::sendBody(NodeId src, NodeId dst, FhBody&& b,
+                                 std::uint64_t payloadBytes) {
+  net_.post(net::Message{src, dst, net::kProtocolChannel, payloadBytes, std::move(b)});
+}
+
+void FixedHomeStrategy::addCopyHolder(HomeEntry& he, NodeId p) {
+  if (std::find(he.copyHolders.begin(), he.copyHolders.end(), p) == he.copyHolders.end())
+    he.copyHolders.push_back(p);
+}
+
+void FixedHomeStrategy::dropCopyHolder(HomeEntry& he, NodeId p) {
+  he.copyHolders.erase(std::remove(he.copyHolders.begin(), he.copyHolders.end(), p),
+                       he.copyHolders.end());
+}
+
+// ---------------------------------------------------------------------------
+// Application-facing operations
+// ---------------------------------------------------------------------------
+
+sim::Task<Value> FixedHomeStrategy::read(NodeId p, VarId x) {
+  if (NodeCache::Entry* e = caches_[p].touch(x)) co_return e->value;
+
+  const std::uint64_t txn = nextTxn_++;
+  sim::OneShot<Value> done(net_.engine());
+  pending_[txn] = PendingOp{&done};
+
+  FhBody b;
+  b.k = FhBody::K::ReadReq;
+  b.var = x;
+  b.txn = txn;
+  b.requester = p;
+  sendBody(p, homeOf(x), std::move(b), 0);
+
+  Value v = co_await done.wait();
+  pending_.erase(txn);
+  co_return v;
+}
+
+sim::Task<void> FixedHomeStrategy::write(NodeId p, VarId x, Value v) {
+  NodeCache::Entry* e = caches_[p].touch(x);
+  if (e && e->owned) {
+    // Owner writes are local (the ownership scheme's whole point).
+    e->value = std::move(v);
+    co_return;
+  }
+
+  const std::uint64_t txn = nextTxn_++;
+  sim::OneShot<Value> done(net_.engine());
+  pending_[txn] = PendingOp{&done};
+
+  FhBody b;
+  b.k = FhBody::K::WriteReq;
+  b.var = x;
+  b.txn = txn;
+  b.requester = p;
+  sendBody(p, homeOf(x), std::move(b), 0);
+
+  (void)co_await done.wait();
+  pending_.erase(txn);
+
+  // Ownership granted: install the new value locally.
+  NodeCache::Entry& mine = caches_[p].put(x, std::move(v));
+  mine.copyCount = 1;
+  mine.owned = true;
+  maybeEvictAt(p);
+  co_return;
+}
+
+void FixedHomeStrategy::maybeEvictAt(NodeId p) {
+  NodeCache& cache = caches_[p];
+  while (cache.overCapacity()) {
+    const bool evicted =
+        cache.scanLru([&](VarId v, NodeCache::Entry&) { return tryEvict(p, v); });
+    if (!evicted) {
+      ++stats_.ops.evictionFailures;
+      return;
+    }
+  }
+}
+
+void FixedHomeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
+  DIVA_CHECK_MSG(!homes_.contains(x), "variable registered twice");
+  HomeEntry& he = homes_[x];
+  he.owner = owner;
+  he.copyHolders = {owner};
+  NodeCache::Entry& e = caches_[owner].put(x, std::move(init));
+  e.copyCount = 1;
+  e.owned = true;
+}
+
+sim::Task<void> FixedHomeStrategy::registerVar(VarId x, NodeId owner, Value init) {
+  // Directory becomes consistent immediately; the registration message to
+  // the home is charged as cost-only traffic (mirrors the access tree's
+  // fire-and-forget root-path marking).
+  registerVarFree(x, owner, std::move(init));
+  FhBody b;
+  b.k = FhBody::K::Reg;
+  b.var = x;
+  b.requester = owner;
+  sendBody(owner, homeOf(x), std::move(b), 0);
+  co_return;
+}
+
+void FixedHomeStrategy::destroyVarFree(VarId x) {
+  auto it = homes_.find(x);
+  if (it == homes_.end()) return;
+  HomeEntry& he = it->second;
+  DIVA_CHECK_MSG(!he.busy && he.queue.empty() && he.pendingInvalAcks == 0,
+                 "destroying a variable with a transaction in flight");
+  for (NodeId p : he.copyHolders) caches_[p].erase(x);
+  if (he.owner == kHomeOwner) caches_[homeOf(x)].erase(x);
+  homes_.erase(it);
+}
+
+Value FixedHomeStrategy::peek(VarId x) const {
+  const auto it = homes_.find(x);
+  DIVA_CHECK_MSG(it != homes_.end(), "peek of unregistered variable");
+  const NodeId at = it->second.owner == kHomeOwner ? homeOf(x) : it->second.owner;
+  const NodeCache::Entry* e = caches_[at].peek(x);
+  DIVA_CHECK(e && e->value);
+  return e->value;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol engine
+// ---------------------------------------------------------------------------
+
+void FixedHomeStrategy::handleMessage(net::Message&& msg) {
+  const FhBody& peeked = msg.as<FhBody>();
+  switch (peeked.k) {
+    // Home-side entry points that start a transaction (serialized per var):
+    case FhBody::K::ReadReq:
+    case FhBody::K::WriteReq:
+      serveAtHome(std::move(msg));
+      return;
+    default:
+      break;
+  }
+  FhBody b = msg.take<FhBody>();
+  const NodeId self = msg.dst;
+  switch (b.k) {
+    case FhBody::K::Fetch: {
+      // Owner returns the value to the home and cedes ownership (keeps a
+      // valid copy, per the ownership scheme's read rule).
+      NodeCache::Entry* e = caches_[self].peek(b.var);
+      DIVA_CHECK_MSG(e && e->owned, "fetch at a non-owner");
+      e->owned = false;
+      FhBody r;
+      r.k = FhBody::K::FetchData;
+      r.var = b.var;
+      r.value = e->value;
+      const std::uint64_t bytes = e->value->size();
+      sendBody(self, homeOf(b.var), std::move(r), bytes);
+      return;
+    }
+    case FhBody::K::FetchData: {
+      HomeEntry& he = homes_.at(b.var);
+      DIVA_CHECK(he.busy);
+      addCopyHolder(he, he.owner);  // the old owner keeps a copy
+      he.owner = kHomeOwner;
+      caches_[self].put(b.var, b.value).copyCount = 1;  // home's copy
+      maybeEvictAt(self);
+      // Resume the read that triggered the fetch.
+      DIVA_CHECK(!he.queue.empty());
+      net::Message original = std::move(he.queue.front());
+      he.queue.pop_front();
+      he.busy = false;
+      processTransaction(he, std::move(original));
+      return;
+    }
+    case FhBody::K::Data: {
+      caches_[self].put(b.var, b.value).copyCount = 1;
+      maybeEvictAt(self);
+      auto it = pending_.find(b.txn);
+      DIVA_CHECK(it != pending_.end());
+      it->second.done->resolve(std::move(b.value));
+      return;
+    }
+    case FhBody::K::Inval: {
+      // Copies may already be gone if an eviction notice is in flight.
+      NodeCache::Entry* e = caches_[self].peek(b.var);
+      if (e) {
+        DIVA_CHECK_MSG(!e->owned, "invalidating the owner");
+        caches_[self].erase(b.var);
+      }
+      ++stats_.ops.invalidations;
+      FhBody ack;
+      ack.k = FhBody::K::InvalAck;
+      ack.var = b.var;
+      sendBody(self, homeOf(b.var), std::move(ack), 0);
+      return;
+    }
+    case FhBody::K::InvalAck: {
+      HomeEntry& he = homes_.at(b.var);
+      DIVA_CHECK(he.busy && he.pendingInvalAcks > 0);
+      if (--he.pendingInvalAcks == 0) {
+        he.owner = he.writer;
+        he.copyHolders = {he.writer};
+        FhBody ack;
+        ack.k = FhBody::K::WriteAck;
+        ack.var = b.var;
+        ack.txn = he.writeTxn;
+        sendBody(self, he.writer, std::move(ack), 0);
+        finishTransaction(b.var);
+      }
+      return;
+    }
+    case FhBody::K::WriteAck: {
+      auto it = pending_.find(b.txn);
+      DIVA_CHECK(it != pending_.end());
+      it->second.done->resolve(Value{});
+      return;
+    }
+    case FhBody::K::Reg:
+      // Cost-only: the directory entry was installed at registration.
+      return;
+    case FhBody::K::RegAck: {
+      auto it = pending_.find(b.txn);
+      DIVA_CHECK(it != pending_.end());
+      it->second.done->resolve(Value{});
+      return;
+    }
+    case FhBody::K::Drop:
+      // Directory already updated at eviction time (see tryEvict); the
+      // message only accounts for the notification traffic.
+      return;
+    default:
+      DIVA_CHECK_MSG(false, "unhandled fixed-home message kind");
+  }
+}
+
+void FixedHomeStrategy::serveAtHome(net::Message&& msg) {
+  const FhBody& b = msg.as<FhBody>();
+  HomeEntry& he = homes_.at(b.var);
+  if (he.busy) {
+    he.queue.push_back(std::move(msg));
+    return;
+  }
+  processTransaction(he, std::move(msg));
+}
+
+void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
+  FhBody b = msg.take<FhBody>();
+  const NodeId home = msg.dst;
+  he.busy = true;
+
+  if (b.k == FhBody::K::ReadReq) {
+    if (he.owner != kHomeOwner && he.owner != b.requester) {
+      // Must first fetch the value from the owner; park this request at
+      // the queue front so FetchData can resume it.
+      FhBody f;
+      f.k = FhBody::K::Fetch;
+      f.var = b.var;
+      const NodeId owner = he.owner;
+      net::Message parked;
+      parked.src = msg.src;
+      parked.dst = msg.dst;
+      parked.channel = msg.channel;
+      parked.body = std::move(b);
+      he.queue.push_front(std::move(parked));
+      sendBody(home, owner, std::move(f), 0);
+      return;
+    }
+    // Home (or the requester itself — cannot happen on the miss path)
+    // holds a current copy: serve directly.
+    NodeCache::Entry* e = caches_[home].touch(b.var);
+    DIVA_CHECK_MSG(e && e->value, "home lost its copy");
+    FhBody d;
+    d.k = FhBody::K::Data;
+    d.var = b.var;
+    d.txn = b.txn;
+    d.value = e->value;
+    const std::uint64_t bytes = e->value->size();
+    addCopyHolder(he, b.requester);
+    sendBody(home, b.requester, std::move(d), bytes);
+    finishTransaction(b.var);
+    return;
+  }
+
+  DIVA_CHECK(b.k == FhBody::K::WriteReq);
+  he.writeTxn = b.txn;
+  he.writer = b.requester;
+  he.pendingInvalAcks = 0;
+  for (NodeId q : he.copyHolders) {
+    if (q == b.requester) continue;
+    FhBody iv;
+    iv.k = FhBody::K::Inval;
+    iv.var = b.var;
+    sendBody(home, q, std::move(iv), 0);
+    ++he.pendingInvalAcks;
+  }
+  if (he.owner == kHomeOwner) {
+    // The home's own copy becomes stale; drop it locally.
+    caches_[home].erase(b.var);
+  }
+  if (he.pendingInvalAcks == 0) {
+    he.owner = b.requester;
+    he.copyHolders = {b.requester};
+    FhBody ack;
+    ack.k = FhBody::K::WriteAck;
+    ack.var = b.var;
+    ack.txn = b.txn;
+    sendBody(home, b.requester, std::move(ack), 0);
+    finishTransaction(b.var);
+  }
+}
+
+void FixedHomeStrategy::finishTransaction(VarId x) {
+  HomeEntry& he = homes_.at(x);
+  he.busy = false;
+  if (he.queue.empty()) return;
+  net::Message next = std::move(he.queue.front());
+  he.queue.pop_front();
+  processTransaction(he, std::move(next));
+}
+
+// ---------------------------------------------------------------------------
+// LRU replacement
+// ---------------------------------------------------------------------------
+
+bool FixedHomeStrategy::tryEvict(NodeId p, VarId x) {
+  NodeCache::Entry* e = caches_[p].peek(x);
+  if (!e || e->pinned || e->owned) return false;
+  const auto it = homes_.find(x);
+  if (it == homes_.end()) return false;
+  if (it->second.busy) return false;  // don't race an active transaction
+  if (p == homeOf(x) && it->second.owner == kHomeOwner) {
+    // The home's copy is the authoritative one while the home owns the
+    // data; dropping it would orphan the value. Keep it resident.
+    return false;
+  }
+  caches_[p].erase(x);
+  // The home's directory is updated by the simulator state directly and
+  // the (asynchronous) notification message cost is still charged — this
+  // sidesteps transient directory/ack races without losing the traffic.
+  dropCopyHolder(it->second, p);
+  ++stats_.ops.evictions;
+  FhBody drop;
+  drop.k = FhBody::K::Drop;
+  drop.var = x;
+  drop.requester = p;
+  sendBody(p, homeOf(x), std::move(drop), 0);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+void FixedHomeStrategy::checkInvariants(VarId x) const {
+  const auto it = homes_.find(x);
+  DIVA_CHECK_MSG(it != homes_.end(), "unregistered variable " << x);
+  const HomeEntry& he = it->second;
+  DIVA_CHECK_MSG(!he.busy && he.queue.empty() && he.pendingInvalAcks == 0,
+                 "transaction still in flight for variable " << x);
+
+  const NodeId home = homeOf(x);
+  const Value ref = peek(x);
+  for (NodeId p : he.copyHolders) {
+    const NodeCache::Entry* e = caches_[p].peek(x);
+    DIVA_CHECK_MSG(e && e->value, "copy holder " << p << " missing entry");
+    DIVA_CHECK_MSG(e->value == ref || *e->value == *ref, "incoherent copy at " << p);
+    DIVA_CHECK_MSG(e->owned == (he.owner == p), "owned flag wrong at " << p);
+  }
+  if (he.owner == kHomeOwner) {
+    const NodeCache::Entry* e = caches_[home].peek(x);
+    DIVA_CHECK_MSG(e && e->value, "home owner without home copy");
+  } else {
+    DIVA_CHECK_MSG(std::find(he.copyHolders.begin(), he.copyHolders.end(), he.owner) !=
+                       he.copyHolders.end(),
+                   "owner not registered as a copy holder");
+  }
+}
+
+}  // namespace diva

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "diva/cache.hpp"
+#include "diva/stats.hpp"
+#include "diva/strategy.hpp"
+#include "net/network.hpp"
+#include "sim/sync.hpp"
+
+namespace diva {
+
+/// The fixed home strategy (paper §2): the CC-NUMA-style baseline.
+///
+/// Every variable is assigned a uniformly random *home* processor which
+/// keeps track of the variable's copies and runs the classic ownership
+/// scheme (originally for bus-based machines; on a network the home takes
+/// the role of the main memory module and invalidates by point-to-point
+/// messages instead of bus snooping):
+///
+///  * the owner of a variable is either a processor or the home;
+///  * a write by a non-owner invalidates all copies (home-driven,
+///    acknowledged) and transfers ownership to the writer;
+///  * a read by a processor without a copy moves a copy from the owner to
+///    the home (ownership returns to the home) and a copy to the reader.
+///
+/// With read-before-write access patterns (true for all three paper
+/// applications) this equals a P-ary access tree strategy, which is what
+/// makes it the natural comparison point.
+class FixedHomeStrategy final : public Strategy {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+  };
+
+  FixedHomeStrategy(net::Network& net, Stats& stats, std::vector<NodeCache>& caches,
+                    Params params);
+
+  std::string name() const override { return "fixed home"; }
+  sim::Task<Value> read(NodeId p, VarId x) override;
+  sim::Task<void> write(NodeId p, VarId x, Value v) override;
+  void registerVarFree(VarId x, NodeId owner, Value init) override;
+  sim::Task<void> registerVar(VarId x, NodeId owner, Value init) override;
+  void destroyVarFree(VarId x) override;
+  Value peek(VarId x) const override;
+  void checkInvariants(VarId x) const override;
+  void handleMessage(net::Message&& msg) override;
+  bool tryEvict(NodeId p, VarId x) override;
+
+  /// The home processor of a variable (uniform hash of the id).
+  NodeId homeOf(VarId x) const;
+
+ private:
+  static constexpr NodeId kHomeOwner = -1;  ///< sentinel: home owns the data
+
+  struct HomeEntry {
+    NodeId owner = kHomeOwner;
+    std::vector<NodeId> copyHolders;  ///< processors with a valid copy (home excluded)
+    bool busy = false;                ///< a transaction is being served
+    std::deque<net::Message> queue;   ///< deferred transactions
+    // In-flight write coordination:
+    int pendingInvalAcks = 0;
+    std::uint64_t writeTxn = 0;
+    NodeId writer = -1;
+  };
+
+  struct FhBody {
+    enum class K : std::uint8_t {
+      ReadReq,    ///< requester → home
+      Fetch,      ///< home → owner
+      FetchData,  ///< owner → home (carries the value)
+      Data,       ///< home → requester (carries the value)
+      WriteReq,   ///< requester → home
+      Inval,      ///< home → copy holder
+      InvalAck,   ///< copy holder → home
+      WriteAck,   ///< home → requester (ownership granted)
+      Reg,        ///< creator → home (measured variable creation)
+      RegAck,     ///< home → creator
+      Drop,       ///< holder → home: copy evicted (LRU replacement)
+    };
+    K k = K::ReadReq;
+    VarId var = kInvalidVar;
+    std::uint64_t txn = 0;
+    NodeId requester = -1;
+    Value value;
+  };
+
+  struct PendingOp {
+    sim::OneShot<Value>* done = nullptr;
+  };
+
+  void serveAtHome(net::Message&& msg);
+  void processTransaction(HomeEntry& he, net::Message&& msg);
+  void finishTransaction(VarId x);
+  void maybeEvictAt(NodeId p);
+  void sendBody(NodeId src, NodeId dst, FhBody&& b, std::uint64_t payloadBytes);
+  void addCopyHolder(HomeEntry& he, NodeId p);
+  void dropCopyHolder(HomeEntry& he, NodeId p);
+
+  net::Network& net_;
+  Stats& stats_;
+  std::vector<NodeCache>& caches_;
+  Params params_;
+  std::unordered_map<VarId, HomeEntry> homes_;
+  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::uint64_t nextTxn_ = 1;
+};
+
+}  // namespace diva

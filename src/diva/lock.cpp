@@ -1,0 +1,273 @@
+#include "diva/lock.hpp"
+
+#include "support/rng.hpp"
+
+namespace diva {
+
+namespace {
+/// Injective (lock, processor) key. A hash here is not good enough:
+/// XOR-combining dense lock ids with small processor ids collides, and a
+/// collision silently cross-wires two acquisitions.
+std::uint64_t waitKey(VarId lock, NodeId p) {
+  constexpr std::uint64_t kMaxProcs = 1u << 16;
+  DIVA_CHECK(static_cast<std::uint64_t>(p) < kMaxProcs);
+  return lock * kMaxProcs + static_cast<std::uint64_t>(p);
+}
+}  // namespace
+
+// ===========================================================================
+// TreeLockService (Raymond's algorithm)
+// ===========================================================================
+
+TreeLockService::TreeLockService(net::Network& net, Stats& stats,
+                                 const mesh::Decomposition& decomp,
+                                 const mesh::Embedding& embed)
+    : net_(net), stats_(stats), decomp_(decomp), embed_(embed) {}
+
+NodeId TreeLockService::hostOf(std::int32_t node, VarId lock) const {
+  return embed_.hostOf(node, lock);
+}
+
+void TreeLockService::registerLockFree(VarId lock, NodeId creator) {
+  creatorLeaf_[lock] = decomp_.leafOf(creator);
+}
+
+std::int32_t TreeLockService::defaultHolderDir(VarId lock, std::int32_t node) const {
+  const auto it = creatorLeaf_.find(lock);
+  DIVA_CHECK_MSG(it != creatorLeaf_.end(), "lock " << lock << " never registered");
+  const std::int32_t leaf = it->second;
+  if (leaf == node) return kSelf;
+  // Token starts at the creator's leaf: point into the subtree containing
+  // it, or to the parent when it lies outside ours.
+  const mesh::Decomposition::Node& nd = decomp_.node(node);
+  const mesh::Coord c = decomp_.mesh().coordOf(decomp_.procOfLeaf(leaf));
+  if (!nd.box.contains(c)) return nd.parent;
+  for (std::int32_t ch : nd.children)
+    if (decomp_.node(ch).box.contains(c)) return ch;
+  DIVA_CHECK_MSG(false, "defaultHolderDir: inconsistent decomposition");
+  return -3;
+}
+
+TreeLockService::NodeState& TreeLockService::stateOf(VarId lock, std::int32_t node) {
+  NodeState& st = states_[lock][node];
+  if (st.holderDir == -3) st.holderDir = defaultHolderDir(lock, node);
+  return st;
+}
+
+sim::Task<void> TreeLockService::acquire(NodeId p, VarId lock) {
+  ++stats_.ops.locks;
+  sim::OneShot<bool> granted(net_.engine());
+  const std::uint64_t key = waitKey(lock, p);
+  DIVA_CHECK_MSG(!waiting_.contains(key), "processor already acquiring this lock");
+  waiting_[key] = &granted;
+
+  Body b;
+  b.k = Body::K::Request;
+  b.lock = lock;
+  b.atNode = decomp_.leafOf(p);
+  b.fromNode = kSelf;
+  net_.post(net::Message{p, p, net::kLockChannel, 0, b});
+
+  (void)co_await granted.wait();
+  waiting_.erase(key);
+  co_return;
+}
+
+sim::Task<void> TreeLockService::release(NodeId p, VarId lock) {
+  Body b;
+  b.k = Body::K::Release;
+  b.lock = lock;
+  b.atNode = decomp_.leafOf(p);
+  // Named local rather than a temporary in the co_await expression:
+  // GCC 12 double-destroys such temporaries (PR 104031).
+  net::Message m{p, p, net::kLockChannel, 0, b};
+  co_await net_.send(std::move(m));
+  co_return;
+}
+
+void TreeLockService::handleMessage(net::Message&& msg) {
+  Body b = msg.take<Body>();
+  switch (b.k) {
+    case Body::K::Request:
+      onRequest(b.lock, b.atNode, b.fromNode);
+      return;
+    case Body::K::Token:
+      onToken(b.lock, b.atNode);
+      return;
+    case Body::K::Release: {
+      NodeState& st = stateOf(b.lock, b.atNode);
+      DIVA_CHECK_MSG(st.holderDir == kSelf && st.inUse, "release without holding");
+      st.inUse = false;
+      grantNext(b.lock, b.atNode);
+      return;
+    }
+  }
+}
+
+void TreeLockService::send(VarId lock, std::int32_t fromNode, std::int32_t toNode,
+                           Body&& b) {
+  b.atNode = toNode;
+  net_.post(net::Message{hostOf(fromNode, lock), hostOf(toNode, lock),
+                         net::kLockChannel, 0, std::move(b)});
+}
+
+void TreeLockService::onRequest(VarId lock, std::int32_t node, std::int32_t from) {
+  NodeState& st = stateOf(lock, node);
+  st.reqQ.push_back(from);
+  if (st.holderDir == kSelf) {
+    if (!st.inUse) grantNext(lock, node);
+    return;
+  }
+  if (!st.asked) {
+    st.asked = true;
+    Body b;
+    b.k = Body::K::Request;
+    b.lock = lock;
+    b.fromNode = node;
+    send(lock, node, st.holderDir, std::move(b));
+  }
+}
+
+void TreeLockService::onToken(VarId lock, std::int32_t node) {
+  NodeState& st = stateOf(lock, node);
+  st.asked = false;
+  st.holderDir = kSelf;
+  grantNext(lock, node);
+}
+
+void TreeLockService::grantNext(VarId lock, std::int32_t node) {
+  NodeState& st = stateOf(lock, node);
+  DIVA_CHECK(st.holderDir == kSelf && !st.inUse);
+  if (st.reqQ.empty()) return;
+  const std::int32_t next = st.reqQ.front();
+  st.reqQ.pop_front();
+
+  if (next == kSelf) {
+    // Local grant: `node` must be the requester's leaf.
+    st.inUse = true;
+    const NodeId p = decomp_.procOfLeaf(node);
+    auto it = waiting_.find(waitKey(lock, p));
+    DIVA_CHECK_MSG(it != waiting_.end(), "token granted but nobody waits");
+    it->second->resolve(true);
+    return;
+  }
+
+  st.holderDir = next;
+  Body tok;
+  tok.k = Body::K::Token;
+  tok.lock = lock;
+  send(lock, node, next, std::move(tok));
+  if (!st.reqQ.empty()) {
+    st.asked = true;
+    Body req;
+    req.k = Body::K::Request;
+    req.lock = lock;
+    req.fromNode = node;
+    send(lock, node, next, std::move(req));
+  }
+}
+
+void TreeLockService::checkIdle(VarId lock) const {
+  const auto it = states_.find(lock);
+  if (it == states_.end()) return;  // never contended: trivially idle
+  for (const auto& [node, st] : it->second) {
+    DIVA_CHECK_MSG(st.reqQ.empty(), "pending lock request at tree node " << node);
+    DIVA_CHECK_MSG(!st.inUse, "lock still held at tree node " << node);
+    DIVA_CHECK_MSG(!st.asked, "dangling lock request at tree node " << node);
+  }
+}
+
+// ===========================================================================
+// CentralLockService
+// ===========================================================================
+
+CentralLockService::CentralLockService(net::Network& net, Stats& stats,
+                                       std::uint64_t seed)
+    : net_(net), stats_(stats), seed_(seed) {}
+
+NodeId CentralLockService::homeOf(VarId lock) const {
+  return static_cast<NodeId>(
+      support::hashBelow(support::hashCombine(seed_, lock, 0x10c4ull),
+                         static_cast<std::uint64_t>(net_.mesh().numNodes())));
+}
+
+void CentralLockService::registerLockFree(VarId lock, NodeId /*creator*/) {
+  locks_.try_emplace(lock);
+}
+
+sim::Task<void> CentralLockService::acquire(NodeId p, VarId lock) {
+  ++stats_.ops.locks;
+  sim::OneShot<bool> granted(net_.engine());
+  const std::uint64_t key = waitKey(lock, p);
+  DIVA_CHECK_MSG(!waiting_.contains(key), "processor already acquiring this lock");
+  waiting_[key] = &granted;
+
+  Body b;
+  b.k = Body::K::Request;
+  b.lock = lock;
+  b.requester = p;
+  net_.post(net::Message{p, homeOf(lock), net::kLockChannel, 0, b});
+
+  (void)co_await granted.wait();
+  waiting_.erase(key);
+  co_return;
+}
+
+sim::Task<void> CentralLockService::release(NodeId p, VarId lock) {
+  Body b;
+  b.k = Body::K::Release;
+  b.lock = lock;
+  b.requester = p;
+  net::Message m{p, homeOf(lock), net::kLockChannel, 0, b};  // see TreeLockService
+  co_await net_.send(std::move(m));
+  co_return;
+}
+
+void CentralLockService::handleMessage(net::Message&& msg) {
+  Body b = msg.take<Body>();
+  switch (b.k) {
+    case Body::K::Request: {
+      LockState& st = locks_.at(b.lock);
+      if (st.held) {
+        st.queue.push_back(b.requester);
+        return;
+      }
+      st.held = true;
+      Body g;
+      g.k = Body::K::Grant;
+      g.lock = b.lock;
+      net_.post(net::Message{msg.dst, b.requester, net::kLockChannel, 0, g});
+      return;
+    }
+    case Body::K::Grant: {
+      auto it = waiting_.find(waitKey(b.lock, msg.dst));
+      DIVA_CHECK_MSG(it != waiting_.end(), "grant without a waiter");
+      it->second->resolve(true);
+      return;
+    }
+    case Body::K::Release: {
+      LockState& st = locks_.at(b.lock);
+      DIVA_CHECK_MSG(st.held, "release of a free lock");
+      if (st.queue.empty()) {
+        st.held = false;
+        return;
+      }
+      const NodeId next = st.queue.front();
+      st.queue.pop_front();
+      Body g;
+      g.k = Body::K::Grant;
+      g.lock = b.lock;
+      net_.post(net::Message{msg.dst, next, net::kLockChannel, 0, g});
+      return;
+    }
+  }
+}
+
+void CentralLockService::checkIdle(VarId lock) const {
+  const auto it = locks_.find(lock);
+  if (it == locks_.end()) return;
+  DIVA_CHECK_MSG(!it->second.held, "lock " << lock << " still held");
+  DIVA_CHECK_MSG(it->second.queue.empty(), "lock " << lock << " has waiters");
+}
+
+}  // namespace diva

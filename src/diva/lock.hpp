@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "diva/stats.hpp"
+#include "diva/types.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/embedding.hpp"
+#include "net/network.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace diva {
+
+using mesh::NodeId;
+
+/// Mutual exclusion on global variables. Two implementations mirror the
+/// two data strategies: token passing on the variable's access tree
+/// (Raymond's algorithm — requests and the token travel tree edges, so
+/// lock traffic has the same topological locality as the data), and a
+/// centralized manager at the variable's home.
+class LockService {
+ public:
+  virtual ~LockService() = default;
+  virtual sim::Task<void> acquire(NodeId p, VarId lock) = 0;
+  virtual sim::Task<void> release(NodeId p, VarId lock) = 0;
+  virtual void registerLockFree(VarId lock, NodeId creator) = 0;
+  virtual void handleMessage(net::Message&& msg) = 0;
+  /// Quiescence check: no holder, no queued requests (tests).
+  virtual void checkIdle(VarId lock) const = 0;
+};
+
+/// Raymond's token-based algorithm on the access tree of the lock's
+/// variable. Every tree node keeps a pointer toward the token and a FIFO
+/// of pending requests; requests climb toward the token, the token flips
+/// pointers as it travels back. O(tree depth) messages per acquisition,
+/// with locality: contenders in one submesh resolve within it.
+class TreeLockService final : public LockService {
+ public:
+  TreeLockService(net::Network& net, Stats& stats, const mesh::Decomposition& decomp,
+                  const mesh::Embedding& embed);
+
+  sim::Task<void> acquire(NodeId p, VarId lock) override;
+  sim::Task<void> release(NodeId p, VarId lock) override;
+  void registerLockFree(VarId lock, NodeId creator) override;
+  void handleMessage(net::Message&& msg) override;
+  void checkIdle(VarId lock) const override;
+
+ private:
+  static constexpr std::int32_t kSelf = -2;  ///< holderDir: token is here / request is local
+
+  struct NodeState {
+    std::int32_t holderDir = -3;      ///< tree node toward token; kSelf if here; -3 unset
+    bool asked = false;               ///< a request toward the token is outstanding
+    bool inUse = false;               ///< leaf only: the local app holds the token
+    std::deque<std::int32_t> reqQ;    ///< pending requests (neighbor node or kSelf)
+  };
+  struct Body {
+    enum class K : std::uint8_t { Request, Token, Release } k = K::Request;
+    VarId lock = kInvalidVar;
+    std::int32_t atNode = -1;
+    std::int32_t fromNode = kSelf;
+  };
+
+  NodeState& stateOf(VarId lock, std::int32_t node);
+  std::int32_t defaultHolderDir(VarId lock, std::int32_t node) const;
+  void onRequest(VarId lock, std::int32_t node, std::int32_t from);
+  void onToken(VarId lock, std::int32_t node);
+  void grantNext(VarId lock, std::int32_t node);
+  void send(VarId lock, std::int32_t fromNode, std::int32_t toNode, Body&& b);
+  NodeId hostOf(std::int32_t node, VarId lock) const;
+
+  net::Network& net_;
+  Stats& stats_;
+  const mesh::Decomposition& decomp_;
+  const mesh::Embedding& embed_;
+  std::unordered_map<VarId, std::unordered_map<std::int32_t, NodeState>> states_;
+  std::unordered_map<VarId, std::int32_t> creatorLeaf_;
+  std::unordered_map<std::uint64_t, sim::OneShot<bool>*> waiting_;  ///< (lock,proc) → acquire
+};
+
+/// Centralized lock manager at the variable's (random) home processor —
+/// the natural companion of the fixed home strategy.
+class CentralLockService final : public LockService {
+ public:
+  CentralLockService(net::Network& net, Stats& stats, std::uint64_t seed);
+
+  sim::Task<void> acquire(NodeId p, VarId lock) override;
+  sim::Task<void> release(NodeId p, VarId lock) override;
+  void registerLockFree(VarId lock, NodeId creator) override;
+  void handleMessage(net::Message&& msg) override;
+  void checkIdle(VarId lock) const override;
+
+ private:
+  struct Body {
+    enum class K : std::uint8_t { Request, Grant, Release } k = K::Request;
+    VarId lock = kInvalidVar;
+    NodeId requester = -1;
+  };
+  struct LockState {
+    bool held = false;
+    std::deque<NodeId> queue;
+  };
+
+  NodeId homeOf(VarId lock) const;
+
+  net::Network& net_;
+  Stats& stats_;
+  std::uint64_t seed_;
+  std::unordered_map<VarId, LockState> locks_;
+  std::unordered_map<std::uint64_t, sim::OneShot<bool>*> waiting_;
+};
+
+}  // namespace diva

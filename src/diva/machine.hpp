@@ -1,0 +1,34 @@
+#pragma once
+
+#include "diva/stats.hpp"
+#include "mesh/mesh.hpp"
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace diva {
+
+/// One simulated machine: event engine, mesh, measurement state and the
+/// message-passing network. Applications and the DIVA runtime are built
+/// on top of a Machine; hand-optimized message-passing baselines use the
+/// Machine directly.
+struct Machine {
+  Machine(int rows, int cols, net::CostModel cost = net::CostModel::gcel())
+      : mesh(rows, cols), stats(mesh), net(engine, mesh, cost, stats.links) {}
+
+  sim::Engine engine;
+  mesh::Mesh mesh;
+  Stats stats;
+  net::Network net;
+
+  int numProcs() const { return mesh.numNodes(); }
+
+  /// Run the simulation to quiescence and close phase accounting.
+  sim::Time run() {
+    const sim::Time t = engine.run();
+    stats.closePhases(t);
+    return t;
+  }
+};
+
+}  // namespace diva

@@ -1,0 +1,98 @@
+#include "diva/runtime.hpp"
+
+#include "diva/access_tree_strategy.hpp"
+#include "diva/fixed_home_strategy.hpp"
+
+namespace diva {
+
+Runtime::Runtime(Machine& machine, RuntimeConfig config)
+    : machine_(machine), config_(config) {
+  caches_.reserve(static_cast<std::size_t>(machine.numProcs()));
+  for (int i = 0; i < machine.numProcs(); ++i)
+    caches_.emplace_back(config.cacheCapacityBytes);
+
+  if (config.kind == StrategyKind::AccessTree) {
+    auto at = std::make_unique<AccessTreeStrategy>(
+        machine.net, machine.stats, caches_,
+        AccessTreeStrategy::Params{config.arity, config.leafSize, config.embedding,
+                                   config.seed});
+    // Locks travel the same access trees as the data.
+    locks_ = std::make_unique<TreeLockService>(machine.net, machine.stats,
+                                               at->decomposition(), at->embedding());
+    strategy_ = std::move(at);
+  } else {
+    strategy_ = std::make_unique<FixedHomeStrategy>(
+        machine.net, machine.stats, caches_, FixedHomeStrategy::Params{config.seed});
+    locks_ = std::make_unique<CentralLockService>(machine.net, machine.stats,
+                                                  config.seed);
+  }
+  barrier_ = std::make_unique<BarrierService>(machine.net, machine.stats, config.seed);
+
+  for (NodeId n = 0; n < machine.numProcs(); ++n) {
+    machine.net.setHandler(n, net::kProtocolChannel,
+                           [this](net::Message&& m) { strategy_->handleMessage(std::move(m)); });
+    machine.net.setHandler(n, net::kSyncChannel,
+                           [this](net::Message&& m) { barrier_->handleMessage(std::move(m)); });
+    machine.net.setHandler(n, net::kLockChannel,
+                           [this](net::Message&& m) { locks_->handleMessage(std::move(m)); });
+  }
+}
+
+Runtime::~Runtime() = default;
+
+sim::Task<Value> Runtime::read(NodeId p, VarId x) {
+  ++machine_.stats.ops.reads;
+  machine_.net.reserveCpu(p, machine_.net.cost().cacheHitUs);
+  if (NodeCache::Entry* e = caches_[p].touch(x)) {
+    ++machine_.stats.ops.readHits;
+    co_return e->value;
+  }
+  ++machine_.stats.ops.readRemote;
+  co_return co_await strategy_->read(p, x);
+}
+
+sim::Task<void> Runtime::write(NodeId p, VarId x, Value v) {
+  ++machine_.stats.ops.writes;
+  machine_.net.reserveCpu(p, machine_.net.cost().cacheHitUs);
+  const NodeCache::Entry* e = caches_[p].peek(x);
+  if (e && (e->owned || e->copyCount > 0)) {
+    ++machine_.stats.ops.writeLocal;  // nearest copy is local (may still multicast)
+  } else {
+    ++machine_.stats.ops.writeRemote;
+  }
+  co_await strategy_->write(p, x, std::move(v));
+  co_return;
+}
+
+VarId Runtime::createVarFree(NodeId owner, Value init, bool withLock) {
+  const VarId x = nextVar_++;
+  strategy_->registerVarFree(x, owner, std::move(init));
+  if (withLock) locks_->registerLockFree(x, owner);
+  liveVars_.insert(x);
+  return x;
+}
+
+sim::Task<VarId> Runtime::createVar(NodeId owner, Value init, bool withLock) {
+  const VarId x = nextVar_++;
+  liveVars_.insert(x);
+  if (withLock) locks_->registerLockFree(x, owner);
+  co_await strategy_->registerVar(x, owner, std::move(init));
+  co_return x;
+}
+
+void Runtime::destroyVarFree(VarId x) {
+  strategy_->destroyVarFree(x);
+  liveVars_.erase(x);
+}
+
+sim::Task<void> Runtime::barrier(NodeId p) { return barrier_->arrive(p); }
+
+sim::Task<void> Runtime::lock(NodeId p, VarId x) { return locks_->acquire(p, x); }
+
+sim::Task<void> Runtime::unlock(NodeId p, VarId x) { return locks_->release(p, x); }
+
+void Runtime::checkAllInvariants() const {
+  for (VarId x : liveVars_) strategy_->checkInvariants(x);
+}
+
+}  // namespace diva

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "diva/barrier.hpp"
+#include "diva/cache.hpp"
+#include "diva/lock.hpp"
+#include "diva/machine.hpp"
+#include "diva/strategy.hpp"
+#include "mesh/embedding.hpp"
+
+namespace diva {
+
+enum class StrategyKind { AccessTree, FixedHome };
+
+/// Everything needed to instantiate one data-management configuration.
+struct RuntimeConfig {
+  StrategyKind kind = StrategyKind::AccessTree;
+  int arity = 4;      ///< access tree: ℓ
+  int leafSize = 1;   ///< access tree: k (ℓ-k-ary variants)
+  mesh::EmbeddingKind embedding = mesh::EmbeddingKind::Regular;
+  std::uint64_t seed = 1;
+  std::uint64_t cacheCapacityBytes = ~0ull;  ///< per-processor memory module
+
+  static RuntimeConfig accessTree(int arity = 4, int leafSize = 1,
+                                  std::uint64_t seed = 1) {
+    RuntimeConfig c;
+    c.kind = StrategyKind::AccessTree;
+    c.arity = arity;
+    c.leafSize = leafSize;
+    c.seed = seed;
+    return c;
+  }
+  static RuntimeConfig fixedHome(std::uint64_t seed = 1) {
+    RuntimeConfig c;
+    c.kind = StrategyKind::FixedHome;
+    c.seed = seed;
+    return c;
+  }
+};
+
+/// The DIVA library facade: fully transparent access to global variables
+/// from node programs, plus barriers and locks. One Runtime serves one
+/// Machine; node programs are coroutines that co_await its operations.
+class Runtime {
+ public:
+  Runtime(Machine& machine, RuntimeConfig config);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- data management -----------------------------------------------------
+  /// Read variable `x` from processor `p` (transparent caching).
+  sim::Task<Value> read(NodeId p, VarId x);
+
+  /// Non-suspending read fast path: returns the cached value (charging
+  /// the local lookup) or nullptr on a miss — in which case the caller
+  /// must fall back to `read`. Lets hot loops (e.g. the Barnes–Hut force
+  /// walk, 99% cache hits) avoid a coroutine frame per access.
+  const Value* tryReadLocal(NodeId p, VarId x) {
+    NodeCache::Entry* e = caches_[p].touch(x);
+    if (!e) return nullptr;
+    ++machine_.stats.ops.reads;
+    ++machine_.stats.ops.readHits;
+    machine_.net.reserveCpu(p, machine_.net.cost().cacheHitUs);
+    return &e->value;
+  }
+  /// Write variable `x` from processor `p`; completes after all other
+  /// copies are invalidated and the new value is installed at `p`.
+  sim::Task<void> write(NodeId p, VarId x, Value v);
+
+  // --- variable lifetime ---------------------------------------------------
+  /// Create a variable during (unmeasured) setup: zero simulated cost.
+  VarId createVarFree(NodeId owner, Value init, bool withLock = false);
+  /// Create a variable during measured execution (costs the registration
+  /// protocol, e.g. root-path marking for access trees).
+  sim::Task<VarId> createVar(NodeId owner, Value init, bool withLock = false);
+  /// Remove a dead variable (simulator memory hygiene; zero cost).
+  void destroyVarFree(VarId x);
+
+  // --- synchronization -----------------------------------------------------
+  sim::Task<void> barrier(NodeId p);
+  sim::Task<void> lock(NodeId p, VarId x);
+  sim::Task<void> unlock(NodeId p, VarId x);
+
+  // --- local compute accounting -------------------------------------------
+  /// Charge `us` µs of application compute on `p`'s CPU without
+  /// suspending (the reservation delays p's subsequent operations).
+  void chargeCompute(NodeId p, double us) {
+    if (us <= 0) return;
+    machine_.net.reserveCpu(p, us);
+    machine_.stats.addCompute(us);
+  }
+  /// Suspend until `p`'s CPU has drained all charged work.
+  auto syncCpu(NodeId p) { return machine_.net.compute(p, 0.0); }
+
+  // --- introspection ---------------------------------------------------
+  Value peek(VarId x) const { return strategy_->peek(x); }
+  void checkInvariants(VarId x) const { strategy_->checkInvariants(x); }
+  void checkAllInvariants() const;
+  Strategy& strategy() { return *strategy_; }
+  const Strategy& strategy() const { return *strategy_; }
+  std::string strategyName() const { return strategy_->name(); }
+  Machine& machine() { return machine_; }
+  Stats& stats() { return machine_.stats; }
+  const RuntimeConfig& config() const { return config_; }
+  NodeCache& cacheOf(NodeId p) { return caches_[p]; }
+  std::size_t numLiveVars() const { return liveVars_.size(); }
+
+ private:
+  Machine& machine_;
+  RuntimeConfig config_;
+  std::vector<NodeCache> caches_;
+  std::unique_ptr<Strategy> strategy_;
+  std::unique_ptr<BarrierService> barrier_;
+  std::unique_ptr<LockService> locks_;
+  std::unordered_set<VarId> liveVars_;
+  VarId nextVar_ = 1;
+};
+
+}  // namespace diva

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mesh/link_stats.hpp"
+#include "mesh/mesh.hpp"
+#include "sim/time.hpp"
+
+namespace diva {
+
+/// Measurement state for one simulated run: per-link traffic (with phase
+/// scoping), operation counters, and per-phase simulated wall/compute
+/// time. Everything here is an observer — it never influences the run.
+class Stats {
+ public:
+  static constexpr int kMaxPhases = 8;
+
+  explicit Stats(const mesh::Mesh& mesh) : links(mesh.numLinkSlots(), kMaxPhases) {}
+
+  mesh::LinkStats links;
+
+  struct Counters {
+    std::uint64_t reads = 0;
+    std::uint64_t readHits = 0;     ///< served from the local cache
+    std::uint64_t readRemote = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t writeLocal = 0;   ///< owner/home-free local writes
+    std::uint64_t writeRemote = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t locks = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t evictionFailures = 0;
+    std::uint64_t protocolRetries = 0;
+  } ops;
+
+  void setPhase(int p, sim::Time now) {
+    wallUs_[phase_] += now - phaseStart_;
+    phase_ = p;
+    phaseStart_ = now;
+    links.setPhase(p);
+  }
+  int currentPhase() const { return phase_; }
+
+  /// Charge `us` of application compute to the current phase.
+  void addCompute(double us) { computeUs_[phase_] += us; }
+
+  double computeUs(int phase) const { return computeUs_[phase]; }
+  double totalComputeUs() const {
+    double s = 0;
+    for (double v : computeUs_) s += v;
+    return s;
+  }
+  /// Simulated wall time spent while `phase` was current (closed via
+  /// setPhase / closePhases).
+  double wallUs(int phase) const { return wallUs_[phase]; }
+
+  void closePhases(sim::Time now) {
+    wallUs_[phase_] += now - phaseStart_;
+    phaseStart_ = now;
+  }
+
+  /// Reset all measurements (e.g. after warm-up rounds); keeps the
+  /// current phase.
+  void reset(sim::Time now) {
+    links.reset();
+    ops = Counters{};
+    computeUs_.fill(0.0);
+    wallUs_.fill(0.0);
+    phaseStart_ = now;
+  }
+
+ private:
+  int phase_ = 0;
+  sim::Time phaseStart_ = 0;
+  std::array<double, kMaxPhases> computeUs_{};
+  std::array<double, kMaxPhases> wallUs_{};
+};
+
+}  // namespace diva

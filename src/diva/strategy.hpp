@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "diva/types.hpp"
+#include "mesh/mesh.hpp"
+#include "net/message.hpp"
+#include "sim/task.hpp"
+
+namespace diva {
+
+using mesh::NodeId;
+
+/// A dynamic data management strategy: decides how many copies of each
+/// global variable exist, where they are placed, and how consistency is
+/// maintained. The two implementations are the paper's subject (access
+/// tree strategy) and its baseline (fixed home strategy).
+///
+/// The contract seen by the runtime:
+///  * `read` returns the variable's value at the issuing processor,
+///    producing whatever protocol traffic the strategy requires;
+///  * `write` installs a new value and invalidates all other copies
+///    before completing (single-writer coherence);
+///  * local cache hits are resolved by the runtime before the strategy
+///    is consulted — `read`/`write` here implement the miss paths.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Miss-path read issued by processor `p`.
+  virtual sim::Task<Value> read(NodeId p, VarId x) = 0;
+
+  /// Write issued by processor `p` (p may or may not hold a copy).
+  virtual sim::Task<void> write(NodeId p, VarId x, Value v) = 0;
+
+  /// Zero-cost registration used during (unmeasured) setup: the variable
+  /// exists with a single copy in `owner`'s memory module.
+  virtual void registerVarFree(VarId x, NodeId owner, Value init) = 0;
+
+  /// Registration with full protocol cost, for variables created during
+  /// the measured computation (e.g. Barnes–Hut cells).
+  virtual sim::Task<void> registerVar(VarId x, NodeId owner, Value init) = 0;
+
+  /// Zero-cost teardown (simulator memory management; not measured).
+  virtual void destroyVarFree(VarId x) = 0;
+
+  /// The current globally committed value (verification/debug only).
+  virtual Value peek(VarId x) const = 0;
+
+  /// Validate every internal invariant for `x`; throws CheckError on
+  /// violation. Call only at quiescence (no transactions in flight).
+  virtual void checkInvariants(VarId x) const = 0;
+
+  /// Protocol message entry point; the runtime registers this as the
+  /// handler for `net::kProtocolChannel` on every node.
+  virtual void handleMessage(net::Message&& msg) = 0;
+
+  /// LRU replacement hook: attempt to evict `x` from `p`'s memory module
+  /// if the strategy's invariants allow it. Returns true on success.
+  virtual bool tryEvict(NodeId p, VarId x) = 0;
+};
+
+}  // namespace diva

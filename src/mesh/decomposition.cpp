@@ -1,0 +1,92 @@
+#include "mesh/decomposition.hpp"
+
+namespace diva::mesh {
+
+namespace {
+bool validArity(int a) { return a == 2 || a == 4 || a == 16; }
+int levelsOf(int arity) { return arity == 2 ? 1 : arity == 4 ? 2 : 4; }
+}  // namespace
+
+Decomposition::Decomposition(const Mesh& mesh, Params params)
+    : mesh_(&mesh), params_(params) {
+  DIVA_CHECK_MSG(validArity(params.arity), "arity must be 2, 4 or 16");
+  DIVA_CHECK_MSG(params.leafSize >= 1, "leafSize must be >= 1");
+  leafOfProc_.assign(mesh.numNodes(), -1);
+  rankOfProc_.assign(mesh.numNodes(), -1);
+  nodes_.reserve(static_cast<std::size_t>(2 * mesh.numNodes()));
+  build(Submesh{0, 0, mesh.rows(), mesh.cols()}, -1, -1, 0);
+  for (NodeId p = 0; p < mesh.numNodes(); ++p)
+    DIVA_CHECK_MSG(leafOfProc_[p] >= 0, "processor " << p << " missing a leaf");
+  for (int w = 0; w < static_cast<int>(leafOrder_.size()); ++w)
+    rankOfProc_[procOfLeaf(leafOrder_[w])] = w;
+}
+
+// Paper: "we partition M into two non-overlapping submeshes of size
+// ⌈m1/2⌉×m2 and ⌊m1/2⌋×m2" where m1 is the longer side. Ties split rows.
+void Decomposition::splitTwoWay(const Submesh& box, Submesh& a, Submesh& b) {
+  if (box.rows >= box.cols) {
+    const int top = (box.rows + 1) / 2;
+    a = Submesh{box.row0, box.col0, top, box.cols};
+    b = Submesh{box.row0 + top, box.col0, box.rows - top, box.cols};
+  } else {
+    const int left = (box.cols + 1) / 2;
+    a = Submesh{box.row0, box.col0, box.rows, left};
+    b = Submesh{box.row0, box.col0 + left, box.rows, box.cols - left};
+  }
+}
+
+// Children of an ℓ-ary node: apply `levels` consecutive 2-ary splits and
+// collect the fringe (submeshes of size 1 stop splitting early, so a node
+// can have fewer than ℓ children near the bottom).
+void Decomposition::expandChildren(const Submesh& box, int levels, std::vector<Submesh>& out) {
+  if (levels == 0 || box.size() == 1) {
+    out.push_back(box);
+    return;
+  }
+  Submesh a, b;
+  splitTwoWay(box, a, b);
+  expandChildren(a, levels - 1, out);
+  expandChildren(b, levels - 1, out);
+}
+
+int Decomposition::build(const Submesh& box, int parent, int indexInParent, int depth) {
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{box, parent, indexInParent, {}, depth});
+  maxDepth_ = std::max(maxDepth_, depth);
+
+  if (box.size() == 1) {
+    const NodeId p = mesh_->nodeAt(box.row0, box.col0);
+    leafOfProc_[p] = self;
+    leafOrder_.push_back(self);
+    return self;
+  }
+
+  std::vector<Submesh> childBoxes;
+  if (box.size() <= params_.leafSize) {
+    // ℓ-k-ary termination: one child per processor, in row-major order of
+    // the submesh (a canonical left-to-right order for these leaves).
+    childBoxes.reserve(static_cast<std::size_t>(box.size()));
+    for (int r = box.row0; r < box.row0 + box.rows; ++r)
+      for (int c = box.col0; c < box.col0 + box.cols; ++c)
+        childBoxes.push_back(Submesh{r, c, 1, 1});
+  } else {
+    expandChildren(box, levelsOf(params_.arity), childBoxes);
+  }
+
+  int idx = 0;
+  for (const Submesh& cb : childBoxes) {
+    const int child = build(cb, self, idx++, depth + 1);
+    nodes_[self].children.push_back(child);
+  }
+  return self;
+}
+
+std::vector<NodeId> canonicalLeafOrder(const Mesh& mesh) {
+  Decomposition d(mesh, Decomposition::Params{2, 1});
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(mesh.numNodes()));
+  for (int leaf : d.leafOrder()) order.push_back(d.procOfLeaf(leaf));
+  return order;
+}
+
+}  // namespace diva::mesh

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace diva::mesh {
+
+/// Axis-aligned submesh (a rectangle of processors).
+struct Submesh {
+  int row0 = 0;
+  int col0 = 0;
+  int rows = 0;
+  int cols = 0;
+
+  int size() const { return rows * cols; }
+  bool contains(Coord c) const {
+    return c.row >= row0 && c.row < row0 + rows && c.col >= col0 && c.col < col0 + cols;
+  }
+  bool operator==(const Submesh&) const = default;
+};
+
+/// Hierarchical mesh decomposition and its decomposition tree (paper §2).
+///
+/// The 2-ary decomposition recursively halves the longer side
+/// (⌈m1/2⌉×m2 and ⌊m1/2⌋×m2). The ℓ-ary decomposition for ℓ ∈ {4, 16}
+/// skips intermediate levels: each node's children are the submeshes
+/// obtained by log2(ℓ) consecutive 2-ary splits. The ℓ-k-ary variant
+/// terminates the decomposition at submeshes of size ≤ k; such a node gets
+/// one child per processor of its submesh (so k = P reproduces the P-ary
+/// tree the paper identifies with the fixed home strategy).
+///
+/// Leaves correspond 1:1 to processors. `leafOrder()` enumerates them in
+/// the tree's left-to-right order — the "numbering of the leaves of the
+/// mesh-decomposition tree" that the paper uses to assign logical
+/// processor identities for bitonic sorting and the Barnes–Hut costzones.
+class Decomposition {
+ public:
+  struct Params {
+    int arity = 4;    ///< ℓ ∈ {2, 4, 16}
+    int leafSize = 1; ///< k: terminate at submeshes of ≤ k processors (1 = pure ℓ-ary)
+  };
+
+  struct Node {
+    Submesh box;
+    int parent = -1;            ///< -1 at the root
+    int indexInParent = -1;     ///< which child of the parent this node is
+    std::vector<int> children;  ///< empty at leaves
+    int depth = 0;
+    bool isLeaf() const { return children.empty(); }
+  };
+
+  Decomposition(const Mesh& mesh, Params params);
+
+  const Mesh& mesh() const { return *mesh_; }
+  const Params& params() const { return params_; }
+
+  int root() const { return 0; }
+  int numNodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int i) const { return nodes_[i]; }
+  int parent(int i) const { return nodes_[i].parent; }
+  int depthOf(int i) const { return nodes_[i].depth; }
+  int maxDepth() const { return maxDepth_; }
+
+  /// Tree leaf whose submesh is exactly {processor p}.
+  int leafOf(NodeId p) const { return leafOfProc_[p]; }
+
+  /// Leaves in left-to-right tree order (size = number of processors).
+  /// Entry w is the tree-node index of the w-th leaf.
+  const std::vector<int>& leafOrder() const { return leafOrder_; }
+
+  /// The single processor of a leaf node.
+  NodeId procOfLeaf(int leaf) const {
+    const Submesh& b = nodes_[leaf].box;
+    DIVA_CHECK(b.size() == 1);
+    return mesh_->nodeAt(b.row0, b.col0);
+  }
+
+  /// Logical rank of processor p in leaf order (inverse of leafOrder).
+  int rankOf(NodeId p) const { return rankOfProc_[p]; }
+
+  /// Processor with logical rank w in leaf order.
+  NodeId procOfRank(int w) const { return procOfLeaf(leafOrder_[w]); }
+
+ private:
+  int build(const Submesh& box, int parent, int indexInParent, int depth);
+  static void splitTwoWay(const Submesh& box, Submesh& a, Submesh& b);
+  static void expandChildren(const Submesh& box, int levels, std::vector<Submesh>& out);
+
+  const Mesh* mesh_;
+  Params params_;
+  std::vector<Node> nodes_;
+  std::vector<int> leafOfProc_;
+  std::vector<int> rankOfProc_;
+  std::vector<int> leafOrder_;
+  int maxDepth_ = 0;
+};
+
+/// The canonical 2-ary leaf order of a mesh, used to assign logical
+/// processor numbers consistently across all strategies (so that every
+/// strategy runs the *same* workload and only data management differs).
+std::vector<NodeId> canonicalLeafOrder(const Mesh& mesh);
+
+}  // namespace diva::mesh

@@ -1,0 +1,43 @@
+#include "mesh/embedding.hpp"
+
+#include "support/rng.hpp"
+
+namespace diva::mesh {
+
+using support::hashBelow;
+using support::hashCombine;
+
+Coord Embedding::coordOf(int treeNode, std::uint64_t varKey) const {
+  const Decomposition::Node& n = decomp_->node(treeNode);
+  const Submesh& box = n.box;
+  if (box.size() == 1) return Coord{box.row0, box.col0};
+
+  if (kind_ == EmbeddingKind::Random) {
+    const std::uint64_t key = hashCombine(seed_, varKey, static_cast<std::uint64_t>(treeNode));
+    const int r = static_cast<int>(hashBelow(key, static_cast<std::uint64_t>(box.rows)));
+    const int c = static_cast<int>(hashBelow(hashCombine(key, 0x5eedull),
+                                             static_cast<std::uint64_t>(box.cols)));
+    return Coord{box.row0 + r, box.col0 + c};
+  }
+
+  // Regular embedding.
+  if (n.parent < 0) {
+    const std::uint64_t key = hashCombine(seed_, varKey);
+    const int r = static_cast<int>(hashBelow(key, static_cast<std::uint64_t>(box.rows)));
+    const int c = static_cast<int>(hashBelow(hashCombine(key, 0x5eedull),
+                                             static_cast<std::uint64_t>(box.cols)));
+    return Coord{box.row0 + r, box.col0 + c};
+  }
+  const Coord parentPos = coordOf(n.parent, varKey);
+  const Submesh& parentBox = decomp_->node(n.parent).box;
+  const int i = parentPos.row - parentBox.row0;
+  const int j = parentPos.col - parentBox.col0;
+  return Coord{box.row0 + i % box.rows, box.col0 + j % box.cols};
+}
+
+NodeId Embedding::hostOf(int treeNode, std::uint64_t varKey) const {
+  const Coord c = coordOf(treeNode, varKey);
+  return decomp_->mesh().nodeAt(c.row, c.col);
+}
+
+}  // namespace diva::mesh

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/decomposition.hpp"
+
+namespace diva::mesh {
+
+enum class EmbeddingKind {
+  /// Theoretical embedding from the competitive analysis: every access
+  /// tree node is mapped independently and uniformly at random to one of
+  /// the processors of its submesh.
+  Random,
+  /// Practical embedding from the paper: the root is mapped uniformly at
+  /// random; a node whose parent sits at relative position (i, j) of the
+  /// parent's submesh is mapped to relative position (i mod m1, j mod m2)
+  /// of its own m1×m2 submesh. This shortens expected tree-edge routes.
+  Regular,
+};
+
+/// Maps access-tree nodes to host processors, one embedding per variable.
+///
+/// The embedding is a pure function of (seed, variable key, tree node), so
+/// no per-variable state is stored — essential when an application creates
+/// hundreds of thousands of variables (Barnes–Hut cells and bodies).
+class Embedding {
+ public:
+  Embedding(const Decomposition& decomposition, EmbeddingKind kind, std::uint64_t seed)
+      : decomp_(&decomposition), kind_(kind), seed_(seed) {}
+
+  EmbeddingKind kind() const { return kind_; }
+  const Decomposition& decomposition() const { return *decomp_; }
+
+  /// Host processor of access-tree node `treeNode` in the access tree of
+  /// the variable identified by `varKey`.
+  NodeId hostOf(int treeNode, std::uint64_t varKey) const;
+
+ private:
+  Coord coordOf(int treeNode, std::uint64_t varKey) const;
+
+  const Decomposition* decomp_;
+  EmbeddingKind kind_;
+  std::uint64_t seed_;
+};
+
+}  // namespace diva::mesh

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace diva::mesh {
+
+/// Per-directed-link traffic accounting, with optional phase scoping.
+///
+/// Congestion — the paper's central metric — is the maximum, over all
+/// directed links, of the traffic carried by that link. We track both
+/// message counts (used for the Barnes–Hut figures, which report
+/// "congestion in 10000 messages") and bytes (the natural unit for the
+/// matrix-multiplication and sorting ratios). Phases let the Barnes–Hut
+/// benches report per-phase congestion (Figures 9 and 10).
+class LinkStats {
+ public:
+  static constexpr int kAllPhases = -1;
+
+  LinkStats(int numLinkSlots, int numPhases)
+      : slots_(numLinkSlots), phases_(std::max(1, numPhases)) {
+    msgs_.assign(static_cast<std::size_t>(phases_) * slots_, 0);
+    bytes_.assign(static_cast<std::size_t>(phases_) * slots_, 0);
+  }
+
+  int numPhases() const { return phases_; }
+  int currentPhase() const { return phase_; }
+
+  void setPhase(int p) {
+    DIVA_CHECK(p >= 0 && p < phases_);
+    phase_ = p;
+  }
+
+  void record(int link, std::uint64_t wireBytes) {
+    const std::size_t i = static_cast<std::size_t>(phase_) * slots_ + link;
+    ++msgs_[i];
+    bytes_[i] += wireBytes;
+  }
+
+  /// Max over links of per-link message count (within one phase, or overall).
+  std::uint64_t congestionMessages(int phase = kAllPhases) const {
+    return maxOver(msgs_, phase);
+  }
+  std::uint64_t congestionBytes(int phase = kAllPhases) const {
+    return maxOver(bytes_, phase);
+  }
+  /// Total communication load: sum over links.
+  std::uint64_t totalMessages(int phase = kAllPhases) const { return sumOver(msgs_, phase); }
+  std::uint64_t totalBytes(int phase = kAllPhases) const { return sumOver(bytes_, phase); }
+
+  std::uint64_t linkMessages(int link, int phase = kAllPhases) const {
+    return cellOver(msgs_, link, phase);
+  }
+  std::uint64_t linkBytes(int link, int phase = kAllPhases) const {
+    return cellOver(bytes_, link, phase);
+  }
+
+  void reset() {
+    std::fill(msgs_.begin(), msgs_.end(), 0);
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+  }
+
+ private:
+  std::uint64_t cellOver(const std::vector<std::uint64_t>& v, int link, int phase) const {
+    if (phase != kAllPhases)
+      return v[static_cast<std::size_t>(phase) * slots_ + link];
+    std::uint64_t s = 0;
+    for (int p = 0; p < phases_; ++p) s += v[static_cast<std::size_t>(p) * slots_ + link];
+    return s;
+  }
+  std::uint64_t maxOver(const std::vector<std::uint64_t>& v, int phase) const {
+    std::uint64_t best = 0;
+    for (int l = 0; l < slots_; ++l) best = std::max(best, cellOver(v, l, phase));
+    return best;
+  }
+  std::uint64_t sumOver(const std::vector<std::uint64_t>& v, int phase) const {
+    std::uint64_t s = 0;
+    for (int l = 0; l < slots_; ++l) s += cellOver(v, l, phase);
+    return s;
+  }
+
+  int slots_;
+  int phases_;
+  int phase_ = 0;
+  std::vector<std::uint64_t> msgs_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+}  // namespace diva::mesh

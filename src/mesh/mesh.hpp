@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace diva::mesh {
+
+/// Processor identifier: row-major index into the mesh, matching the
+/// paper's "processors numbered from 0 to P-1 in row major order".
+using NodeId = std::int32_t;
+
+struct Coord {
+  int row = 0;
+  int col = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+/// 2-D mesh topology (the Parsytec GCel network shape). Nodes are
+/// connected to their 4-neighbourhood; every physical wire is modelled as
+/// two directed links (the GCel reaches full bandwidth in both directions
+/// simultaneously, which the paper measured explicitly).
+class Mesh {
+ public:
+  enum Dir : int { East = 0, West = 1, South = 2, North = 3 };
+  static constexpr int kDirs = 4;
+
+  Mesh(int rows, int cols) : rows_(rows), cols_(cols) {
+    DIVA_CHECK_MSG(rows >= 1 && cols >= 1, "mesh sides must be positive");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int numNodes() const { return rows_ * cols_; }
+
+  NodeId nodeAt(int row, int col) const {
+    DIVA_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return static_cast<NodeId>(row * cols_ + col);
+  }
+
+  Coord coordOf(NodeId n) const {
+    DIVA_CHECK(n >= 0 && n < numNodes());
+    return Coord{n / cols_, n % cols_};
+  }
+
+  bool hasNeighbor(NodeId n, Dir d) const {
+    const Coord c = coordOf(n);
+    switch (d) {
+      case East: return c.col + 1 < cols_;
+      case West: return c.col > 0;
+      case South: return c.row + 1 < rows_;
+      case North: return c.row > 0;
+    }
+    return false;
+  }
+
+  NodeId neighbor(NodeId n, Dir d) const {
+    DIVA_CHECK(hasNeighbor(n, d));
+    switch (d) {
+      case East: return n + 1;
+      case West: return n - 1;
+      case South: return n + cols_;
+      default: return n - cols_;
+    }
+  }
+
+  /// Directed link identifier: (source node, direction). Slots for
+  /// non-existent boundary links exist but are never used; this keeps
+  /// link lookup a single multiply-add.
+  int linkIndex(NodeId from, Dir d) const { return from * kDirs + static_cast<int>(d); }
+  int numLinkSlots() const { return numNodes() * kDirs; }
+
+  /// Manhattan distance between two nodes (length of any shortest path).
+  int distance(NodeId a, NodeId b) const {
+    const Coord ca = coordOf(a), cb = coordOf(b);
+    const int dr = ca.row > cb.row ? ca.row - cb.row : cb.row - ca.row;
+    const int dc = ca.col > cb.col ? ca.col - cb.col : cb.col - ca.col;
+    return dr + dc;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace diva::mesh

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace diva::mesh {
+
+/// One hop of a route: the directed link taken and the node it leads to.
+struct Hop {
+  int link;
+  NodeId to;
+};
+
+/// Dimension-by-dimension order routing, exactly as assumed by the paper's
+/// analysis and implemented by the GCel's wormhole router: the unique
+/// shortest path that first uses edges of dimension 1 (columns, East/West)
+/// and then edges of dimension 2 (rows, South/North).
+///
+/// Appends the hops from `from` to `to` onto `out` (empty when from == to).
+void routeDimensionOrder(const Mesh& mesh, NodeId from, NodeId to, std::vector<Hop>& out);
+
+/// Convenience wrapper returning a fresh hop vector.
+std::vector<Hop> routeOf(const Mesh& mesh, NodeId from, NodeId to);
+
+}  // namespace diva::mesh

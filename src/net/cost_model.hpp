@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+namespace diva::net {
+
+/// Timing parameters of the simulated machine, calibrated to the paper's
+/// measurements of the Parsytec GCel (§3, "The hardware platform"):
+///
+///  * link bandwidth ≈ 1 Mbyte/s in each direction  → 1 byte/µs
+///  * full bandwidth requires ≈1 Kbyte messages     → startup ≈ hundreds µs
+///  * processor speed ≈ 0.29 integer adds per µs    → 3.45 µs per add
+///  * link/processor speed ratio ≈ 0.86             (4 B transfer / 1 add)
+///
+/// Congestion results are independent of these values (the paper makes the
+/// same point); they shape only the time axis.
+struct CostModel {
+  // --- network ---
+  double bytesPerUs = 1.0;       ///< link bandwidth (both directions independent)
+  double hopLatencyUs = 5.0;     ///< cut-through router latency per hop
+  /// Startup costs: the paper reports that ≈1 Kbyte messages are needed
+  /// to reach full bandwidth, i.e. per-message software overhead is on
+  /// the order of the 1 ms it takes to stream 1 KB. We split that
+  /// between sender and receiver.
+  double sendOverheadUs = 500.0; ///< CPU cost of a startup at the sender
+  double recvOverheadUs = 250.0; ///< CPU cost of accepting a message at the receiver
+  std::uint64_t headerBytes = 32; ///< wire overhead per message; control msgs = header only
+
+  // --- local data management machinery ---
+  /// Library overhead of one shared-variable access served locally: the
+  /// DIVA access path (function call, address hash, state checks) is on
+  /// the order of 100 instructions — ≈350 µs on the GCel's 0.29-adds/µs
+  /// processors. This constant dominates the Barnes–Hut force phase and
+  /// is what makes it ≈75% local computation, as the paper reports.
+  double cacheHitUs = 350.0;
+  double stateLookupUs = 10.0;   ///< one protocol state-machine step on a host
+
+  // --- application compute (charged as simulated local work) ---
+  double intAddUs = 3.45;        ///< one integer add incl. loop overhead (paper's 0.29/µs)
+  double keyOpUs = 3.45;         ///< one compare+move in merge/sort
+  double flopUs = 3.45;          ///< one floating-point multiply-add
+  double bodyForceUs = 120.0;    ///< softened interaction: ~35 flops on the T805 FPU
+  double cellVisitUs = 30.0;     ///< opening test while walking the Barnes–Hut tree
+
+  static CostModel gcel() { return CostModel{}; }
+
+  /// A cost model with zero local compute, used to measure pure
+  /// "communication time" as in the paper's matrix multiplication study.
+  CostModel withoutCompute() const {
+    CostModel m = *this;
+    m.intAddUs = m.keyOpUs = m.flopUs = m.bodyForceUs = m.cellVisitUs = 0.0;
+    return m;
+  }
+};
+
+}  // namespace diva::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <utility>
+
+#include "mesh/mesh.hpp"
+
+namespace diva::net {
+
+using mesh::NodeId;
+
+/// Mailbox/handler channel. Low values are reserved by the library;
+/// applications may use any value ≥ kFirstAppChannel.
+using Channel = std::uint32_t;
+inline constexpr Channel kProtocolChannel = 0;  ///< DIVA data-management traffic
+inline constexpr Channel kSyncChannel = 1;      ///< barrier synchronization
+inline constexpr Channel kLockChannel = 2;      ///< distributed locks
+inline constexpr Channel kFirstAppChannel = 16;
+
+/// A simulated network message. `body` carries the model-level payload
+/// (shared, zero-copy); `payloadBytes` is the *simulated* wire size that
+/// drives bandwidth and congestion accounting — the two are deliberately
+/// decoupled so a 16 KB matrix block costs 16 KB on the wire while being
+/// a shared_ptr in host memory.
+struct Message {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Channel channel = kProtocolChannel;
+  std::uint64_t payloadBytes = 0;
+  std::any body;
+
+  template <typename T>
+  const T& as() const {
+    const T* p = std::any_cast<T>(&body);
+    DIVA_CHECK_MSG(p != nullptr, "message body type mismatch");
+    return *p;
+  }
+
+  template <typename T>
+  T take() {
+    T* p = std::any_cast<T>(&body);
+    DIVA_CHECK_MSG(p != nullptr, "message body type mismatch");
+    return std::move(*p);
+  }
+};
+
+}  // namespace diva::net

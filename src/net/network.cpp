@@ -1,0 +1,121 @@
+#include "net/network.hpp"
+
+namespace diva::net {
+
+namespace {
+std::uint64_t handlerKey(NodeId node, Channel channel) {
+  return (static_cast<std::uint64_t>(node) << 32) | channel;
+}
+}  // namespace
+
+struct Network::Flight {
+  Message msg;
+  std::vector<mesh::Hop> path;
+  std::size_t idx = 0;
+  sim::Time headReady = 0;  ///< when the head is ready to enter path[idx]
+};
+
+Network::Network(sim::Engine& engine, const mesh::Mesh& mesh, CostModel cost,
+                 mesh::LinkStats& stats)
+    : engine_(&engine), mesh_(&mesh), cost_(cost), stats_(&stats) {
+  cpuFreeAt_.assign(static_cast<std::size_t>(mesh.numNodes()), sim::kTimeZero);
+  linkFreeAt_.assign(static_cast<std::size_t>(mesh.numLinkSlots()), sim::kTimeZero);
+}
+
+void Network::setHandler(NodeId node, Channel channel, Handler handler) {
+  handlers_[handlerKey(node, channel)] = std::move(handler);
+}
+
+sim::Time Network::postInternal(Message&& msg) {
+  DIVA_CHECK(msg.src >= 0 && msg.src < mesh_->numNodes());
+  DIVA_CHECK(msg.dst >= 0 && msg.dst < mesh_->numNodes());
+  ++messagesSent_;
+
+  if (msg.src == msg.dst) {
+    // Local "message": a function call on the host processor. No startup,
+    // no link traffic; costs one state-machine step.
+    const sim::Time done = reserveCpu(msg.src, cost_.stateLookupUs);
+    auto* boxed = new Message(std::move(msg));
+    engine_->scheduleAt(done, [this, boxed] {
+      Message m = std::move(*boxed);
+      delete boxed;
+      dispatchOrEnqueue(std::move(m));
+    });
+    return done;
+  }
+
+  const sim::Time injected = reserveCpu(msg.src, cost_.sendOverheadUs);
+  auto* f = new Flight{std::move(msg), {}, 0, injected};
+  mesh::routeDimensionOrder(*mesh_, f->msg.src, f->msg.dst, f->path);
+  engine_->scheduleAt(injected, [this, f] { hop(f); });
+  return injected;
+}
+
+void Network::hop(Flight* f) {
+  const mesh::Hop& h = f->path[f->idx];
+  sim::Time& linkFree = linkFreeAt_[h.link];
+  const sim::Time start = std::max(f->headReady, linkFree);
+  const std::uint64_t wire = f->msg.payloadBytes + cost_.headerBytes;
+  const double streamTime = static_cast<double>(wire) / cost_.bytesPerUs;
+  linkFree = start + streamTime;
+  stats_->record(h.link, wire);
+
+  if (f->idx + 1 == f->path.size()) {
+    // Last link: the message is fully delivered when its tail arrives.
+    const sim::Time arrival = start + streamTime;
+    engine_->scheduleAt(arrival, [this, f] {
+      Message m = std::move(f->msg);
+      const sim::Time t = engine_->now();
+      delete f;
+      deliver(std::move(m), t);
+    });
+  } else {
+    ++f->idx;
+    f->headReady = start + cost_.hopLatencyUs;
+    engine_->scheduleAt(f->headReady, [this, f] { hop(f); });
+  }
+}
+
+void Network::deliver(Message&& msg, sim::Time /*arrival*/) {
+  // Accepting the message costs receive overhead on the destination CPU.
+  const sim::Time handleAt = reserveCpu(msg.dst, cost_.recvOverheadUs);
+  auto* boxed = new Message(std::move(msg));
+  engine_->scheduleAt(handleAt, [this, boxed] {
+    Message m = std::move(*boxed);
+    delete boxed;
+    dispatchOrEnqueue(std::move(m));
+  });
+}
+
+void Network::dispatchOrEnqueue(Message&& msg) {
+  const auto it = handlers_.find(handlerKey(msg.dst, msg.channel));
+  if (it != handlers_.end()) {
+    it->second(std::move(msg));
+    return;
+  }
+  Mailbox& box = mailboxes_[MailKey{msg.dst, msg.channel}];
+  box.queue.push_back(std::move(msg));
+  if (!box.waiters.empty()) {
+    auto h = box.waiters.front();
+    box.waiters.pop_front();
+    engine_->resumeAt(engine_->now(), h);
+  }
+}
+
+sim::Task<Message> Network::recv(NodeId node, Channel channel) {
+  Mailbox& box = mailboxes_[MailKey{node, channel}];
+  while (box.queue.empty()) {
+    struct WaitAwaiter {
+      Mailbox* box;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { box->waiters.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    co_await WaitAwaiter{&box};
+  }
+  Message msg = std::move(box.queue.front());
+  box.queue.pop_front();
+  co_return msg;
+}
+
+}  // namespace diva::net

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/link_stats.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/route.hpp"
+#include "net/cost_model.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace diva::net {
+
+/// The message-passing machine: a 2-D mesh of single-CPU nodes joined by
+/// directed links, simulated at message granularity.
+///
+/// Time model (three cost terms, matching the paper's observations):
+///  1. *Startups*: each send charges `sendOverheadUs` on the sender's CPU,
+///     each accepted message charges `recvOverheadUs` on the receiver's.
+///     Every node has one CPU; application compute, send startups and
+///     message handling serialize on it (`cpuFreeAt_`).
+///  2. *Bandwidth & contention*: a message occupies every directed link of
+///     its dimension-order path for wireBytes/bandwidth µs; links are FIFO
+///     resources, so contended links queue messages — this is where
+///     congestion turns into time.
+///  3. *Per-hop latency*: the cut-through router forwards the head after
+///     `hopLatencyUs`, letting the payload pipeline across hops (the GCel
+///     uses wormhole routing; we model virtual cut-through, i.e. infinite
+///     router buffers instead of backpressure).
+///
+/// Delivery: protocol channels dispatch to registered handlers (event
+/// driven); application channels feed per-node mailboxes awaited by node
+/// coroutines. Congestion statistics are recorded per link crossing and
+/// are completely independent of the time model.
+class Network {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  Network(sim::Engine& engine, const mesh::Mesh& mesh, CostModel cost,
+          mesh::LinkStats& stats);
+
+  sim::Engine& engine() { return *engine_; }
+  const mesh::Mesh& mesh() const { return *mesh_; }
+  const CostModel& cost() const { return cost_; }
+  mesh::LinkStats& stats() { return *stats_; }
+
+  /// Register the protocol handler for (node, channel). Handlers run as
+  /// events on the node's CPU after the receive overhead has been charged.
+  void setHandler(NodeId node, Channel channel, Handler handler);
+
+  /// Fire-and-forget send from a protocol handler or setup code: charges
+  /// the startup on the source CPU and injects the message. Local
+  /// messages (src == dst) skip the network and the startup overheads —
+  /// they model a plain function call on the host.
+  ///
+  /// Note: rvalue-reference parameters (rather than by-value) keep
+  /// non-trivial temporaries out of coroutine frames, sidestepping a
+  /// GCC 12 double-destruction bug with by-value arguments in co_await
+  /// full-expressions.
+  void post(Message&& msg) { postInternal(std::move(msg)); }
+
+  /// Awaitable send for application coroutines: the caller's coroutine
+  /// resumes once the sender CPU has finished the startup (the message
+  /// itself continues through the network asynchronously).
+  auto send(Message&& msg) {
+    const sim::Time resumeAt = postInternal(std::move(msg));
+    return engine_->delayUntil(resumeAt);
+  }
+
+  /// Receive the next message queued on (node, channel); suspends until
+  /// one arrives, then charges the receive overhead on the node's CPU.
+  sim::Task<Message> recv(NodeId node, Channel channel);
+
+  /// Charge `dur` µs of local computation on a node's CPU (awaitable).
+  auto compute(NodeId node, double dur) {
+    return engine_->delayUntil(reserveCpu(node, dur));
+  }
+
+  /// Non-blocking CPU charge, for event-driven protocol code.
+  sim::Time reserveCpu(NodeId node, double dur) {
+    sim::Time& free = cpuFreeAt_[node];
+    const sim::Time start = std::max(free, engine_->now());
+    free = start + dur;
+    return free;
+  }
+
+  sim::Time cpuFreeAt(NodeId node) const { return cpuFreeAt_[node]; }
+
+  /// Total messages injected (diagnostics).
+  std::uint64_t messagesSent() const { return messagesSent_; }
+
+ private:
+  struct Flight;  // in-flight message state
+
+  sim::Time postInternal(Message&& msg);
+  void hop(Flight* f);
+  void deliver(Message&& msg, sim::Time arrival);
+  void dispatchOrEnqueue(Message&& msg);
+
+  struct MailKey {
+    NodeId node;
+    Channel channel;
+    bool operator==(const MailKey&) const = default;
+  };
+  struct MailKeyHash {
+    std::size_t operator()(const MailKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.node) << 32) | k.channel);
+    }
+  };
+  struct Mailbox {
+    std::deque<Message> queue;
+    std::deque<std::coroutine_handle<>> waiters;
+  };
+
+  sim::Engine* engine_;
+  const mesh::Mesh* mesh_;
+  CostModel cost_;
+  mesh::LinkStats* stats_;
+  std::vector<sim::Time> cpuFreeAt_;
+  std::vector<sim::Time> linkFreeAt_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+  std::unordered_map<MailKey, Mailbox, MailKeyHash> mailboxes_;
+  std::uint64_t messagesSent_ = 0;
+};
+
+}  // namespace diva::net

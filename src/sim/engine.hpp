@@ -1,0 +1,95 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace diva::sim {
+
+/// Single-threaded discrete-event simulation engine.
+///
+/// Events are (time, sequence, closure) triples processed in strict
+/// (time, sequence) order; the sequence number makes simultaneous events
+/// deterministic (FIFO among equals). All model code — network transits,
+/// protocol handlers, coroutine resumptions — runs inside events, so a
+/// run is a pure function of its inputs and seeds.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Valid inside event callbacks and after run().
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
+  void scheduleAt(Time t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, nextSeq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` `dt` microseconds from now.
+  void scheduleAfter(Time dt, std::function<void()> fn) {
+    scheduleAt(now_ + dt, std::move(fn));
+  }
+
+  /// Resume a suspended coroutine at absolute time `t`.
+  void resumeAt(Time t, std::coroutine_handle<> h) {
+    scheduleAt(t, [h] { h.resume(); });
+  }
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  Time run() {
+    while (!queue_.empty()) {
+      // Moving out of a priority_queue top requires a const_cast; the
+      // element is popped immediately after, so this is safe.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ++processed_;
+      ev.fn();
+    }
+    return now_;
+  }
+
+  /// Total number of events processed so far (diagnostics / micro-bench).
+  std::uint64_t eventsProcessed() const { return processed_; }
+
+  bool idle() const { return queue_.empty(); }
+
+  /// Awaitable that suspends the current task until `now() + dt`.
+  auto delay(Time dt) { return DelayAwaiter{this, now_ + dt}; }
+
+  /// Awaitable that suspends the current task until absolute time `t`.
+  auto delayUntil(Time t) { return DelayAwaiter{this, t}; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  struct DelayAwaiter {
+    Engine* engine;
+    Time when;
+    bool await_ready() const noexcept { return when <= engine->now(); }
+    void await_suspend(std::coroutine_handle<> h) const { engine->resumeAt(when, h); }
+    void await_resume() const noexcept {}
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace diva::sim

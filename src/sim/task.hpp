@@ -1,0 +1,155 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace diva::sim {
+
+/// Lazy coroutine task. `Task<T>` is the return type of every simulated
+/// activity that can suspend (node programs, DIVA operations). Tasks are
+/// cold-start: nothing runs until the task is awaited (or detached via
+/// `spawn`). On completion the awaiting coroutine is resumed symmetrically.
+///
+/// Error model: the simulator is deterministic and single-threaded; an
+/// exception escaping a coroutine indicates a bug in the library or the
+/// application program, so we fail fast instead of propagating.
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  [[noreturn]] void unhandled_exception() noexcept {
+    std::fputs("diva::sim: unhandled exception escaped a simulated task\n", stderr);
+    std::terminate();
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  friend struct promise_type;
+  template <typename>
+  friend struct TaskAccess;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() noexcept {}
+
+ private:
+  friend struct promise_type;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// Self-destroying wrapper used by `spawn`: runs eagerly, frame frees
+/// itself at completion.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() noexcept {
+      std::fputs("diva::sim: unhandled exception escaped a detached task\n", stderr);
+      std::terminate();
+    }
+  };
+};
+
+inline Detached spawnImpl(Task<void> task) { co_await std::move(task); }
+
+}  // namespace detail
+
+/// Launch a task as an independent simulated activity ("process"). The
+/// task starts running immediately (until its first suspension point);
+/// its frame is reclaimed automatically when it finishes.
+inline void spawn(Task<void> task) { detail::spawnImpl(std::move(task)); }
+
+}  // namespace diva::sim

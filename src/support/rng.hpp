@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+namespace diva::support {
+
+/// Finalizing 64-bit mixer (the SplitMix64 output function). Bijective,
+/// avalanche-complete; used both for seeded streams and as a stateless hash
+/// so that per-variable randomness (embeddings, homes) is reproducible
+/// without storing any per-variable state.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit values into one hash. Order-sensitive.
+constexpr std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2) + b));
+}
+
+constexpr std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return hashCombine(hashCombine(a, b), c);
+}
+
+/// SplitMix64 sequential generator. Small state, passes BigCrush when used
+/// as intended (one stream per purpose); all simulator randomness flows
+/// through explicitly seeded instances for reproducibility.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [0, n). Unbiased enough for simulation purposes
+  /// (Lemire-style multiply-shift without the rejection loop would bias by
+  /// < 2^-32 for the small n we use; we keep the rejection loop anyway).
+  std::uint64_t below(std::uint64_t n) {
+    if (n <= 1) return 0;
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % n;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless uniform draw in [0, n) from a hashed key tuple.
+inline std::uint64_t hashBelow(std::uint64_t key, std::uint64_t n) {
+  if (n <= 1) return 0;
+  // 128-bit multiply-shift maps the hash uniformly onto [0, n).
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(mix64(key)) * n) >> 64);
+}
+
+}  // namespace diva::support

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diva::support {
+
+/// Fixed-precision number formatting for bench output.
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline std::string fmtPercent(double ratio, int precision = 0) {
+  return fmt(ratio * 100.0, precision) + "%";
+}
+
+/// Minimal ASCII table printer used by the figure-reproduction benches so
+/// every binary emits the paper's rows in a uniform, diffable format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& addRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+      os << '+';
+      for (std::size_t c = 0; c < width.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '+';
+      os << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << ' ' << s << std::string(width[c] - s.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace diva::support

@@ -1,0 +1,222 @@
+// Barnes–Hut tests: physics correctness of the reference simulator
+// (octree invariants, force accuracy vs direct summation) and bit-exact
+// agreement of the distributed DIVA runs with the reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/barneshut/barneshut.hpp"
+#include "apps/barneshut/octree.hpp"
+#include "apps/barneshut/plummer.hpp"
+
+namespace diva::apps::barneshut {
+namespace {
+
+TEST(Plummer, GeneratesCentredEqualMassBodies) {
+  const auto bodies = plummerModel(2000, 7);
+  ASSERT_EQ(bodies.size(), 2000u);
+  Vec3 cm{}, mom{};
+  double mass = 0;
+  for (const auto& b : bodies) {
+    EXPECT_DOUBLE_EQ(b.mass, 1.0 / 2000);
+    cm += b.pos * b.mass;
+    mom += b.vel * b.mass;
+    mass += b.mass;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_NEAR(cm.norm(), 0.0, 1e-12);
+  EXPECT_NEAR(mom.norm(), 0.0, 1e-12);
+  // Half-mass radius of a Plummer sphere ≈ 0.77 in virial units.
+  std::vector<double> radii;
+  for (const auto& b : bodies) radii.push_back(b.pos.norm());
+  std::nth_element(radii.begin(), radii.begin() + 1000, radii.end());
+  EXPECT_NEAR(radii[1000], 0.77, 0.15);
+}
+
+TEST(Plummer, DeterministicPerSeed) {
+  const auto a = plummerModel(100, 3);
+  const auto b = plummerModel(100, 3);
+  const auto c = plummerModel(100, 4);
+  EXPECT_EQ(a[50].pos, b[50].pos);
+  EXPECT_NE(a[50].pos, c[50].pos);
+}
+
+TEST(BoundingCube, ContainsAllBodies) {
+  const auto bodies = plummerModel(500, 1);
+  const Cube c = boundingCube(bodies);
+  for (const auto& b : bodies) {
+    EXPECT_LE(std::abs(b.pos.x - c.center.x), c.halfSize);
+    EXPECT_LE(std::abs(b.pos.y - c.center.y), c.halfSize);
+    EXPECT_LE(std::abs(b.pos.z - c.center.z), c.halfSize);
+  }
+}
+
+TEST(ReferenceSimulator, TreeMassEqualsTotalMass) {
+  ReferenceSimulator sim(plummerModel(1000, 2), SimParams{});
+  sim.step();
+  EXPECT_GT(sim.numCells(), 100);
+  EXPECT_GT(sim.maxDepth(), 3);
+  // Work accounting: total work is the sum of per-body interaction
+  // counts, each at least 1.
+  EXPECT_GE(sim.totalWork(), 1000.0);
+}
+
+TEST(ReferenceSimulator, ForcesApproximateDirectSummation) {
+  SimParams prm;
+  prm.theta = 0.5;  // tighter opening → better accuracy
+  ReferenceSimulator sim(plummerModel(800, 5), prm);
+  sim.step();
+  const auto direct = sim.directAccelerations();
+  const auto& tree = sim.lastAccelerations();
+  double relErrSum = 0;
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    const double d = direct[i].norm();
+    if (d < 1e-9) continue;
+    relErrSum += (tree[i] - direct[i]).norm() / d;
+  }
+  const double meanRelErr = relErrSum / static_cast<double>(direct.size());
+  EXPECT_LT(meanRelErr, 0.08) << "monopole Barnes-Hut at θ=0.5 stays below ~8%";
+}
+
+TEST(ReferenceSimulator, TighterThetaIsMoreAccurate) {
+  auto meanErr = [](double theta) {
+    SimParams prm;
+    prm.theta = theta;
+    ReferenceSimulator sim(plummerModel(500, 5), prm);
+    sim.step();
+    const auto direct = sim.directAccelerations();
+    const auto& tree = sim.lastAccelerations();
+    double s = 0;
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      s += (tree[i] - direct[i]).norm() / std::max(direct[i].norm(), 1e-9);
+    return s / static_cast<double>(direct.size());
+  };
+  EXPECT_LT(meanErr(0.3), meanErr(0.9));
+}
+
+TEST(ReferenceSimulator, LooserThetaIsLessAccurateButFaster) {
+  // totalWork() lags one step (costzones uses the previous step's
+  // interaction counts), so run two steps before comparing.
+  auto run = [](double theta) {
+    SimParams prm;
+    prm.theta = theta;
+    ReferenceSimulator sim(plummerModel(600, 9), prm);
+    sim.step();
+    sim.step();
+    return sim.totalWork();
+  };
+  EXPECT_GT(run(0.3), run(1.0)) << "tighter θ must do more interactions";
+}
+
+TEST(ReferenceSimulator, EnergyDriftIsSmall) {
+  // Leapfrog on a softened Plummer sphere: total energy should drift
+  // only slightly over a few steps.
+  SimParams prm;
+  prm.theta = 0.7;
+  auto bodies = plummerModel(400, 11);
+  ReferenceSimulator sim(bodies, prm);
+  auto energy = [&](const std::vector<BodyData>& bs) {
+    double kin = 0, pot = 0;
+    for (const auto& b : bs) kin += 0.5 * b.mass * b.vel.norm2();
+    for (std::size_t i = 0; i < bs.size(); ++i)
+      for (std::size_t j = i + 1; j < bs.size(); ++j) {
+        const double d = std::sqrt((bs[i].pos - bs[j].pos).norm2() +
+                                   prm.eps * prm.eps);
+        pot -= bs[i].mass * bs[j].mass / d;
+      }
+    return kin + pot;
+  };
+  const double e0 = energy(sim.bodies());
+  for (int s = 0; s < 5; ++s) sim.step();
+  const double e1 = energy(sim.bodies());
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed vs reference
+// ---------------------------------------------------------------------------
+
+struct Case {
+  RuntimeConfig rc;
+  const char* label;
+};
+
+class DistributedBarnesHut : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistributedBarnesHut, BitExactAgainstReference) {
+  Config cfg;
+  cfg.numBodies = 600;
+  cfg.steps = 3;
+  cfg.warmupSteps = 1;
+  cfg.seed = 13;
+
+  Machine m(4, 4);
+  Runtime rt(m, GetParam().rc);
+  const Result r = run(m, rt, cfg);
+  rt.checkAllInvariants();
+
+  ReferenceSimulator ref(plummerModel(cfg.numBodies, cfg.seed), cfg.params);
+  for (int s = 0; s < cfg.steps; ++s) ref.step();
+
+  ASSERT_EQ(r.finalBodies.size(), ref.bodies().size());
+  for (std::size_t i = 0; i < ref.bodies().size(); ++i) {
+    EXPECT_EQ(r.finalBodies[i].pos, ref.bodies()[i].pos) << "body " << i;
+    EXPECT_EQ(r.finalBodies[i].vel, ref.bodies()[i].vel) << "body " << i;
+    EXPECT_EQ(r.finalBodies[i].work, ref.bodies()[i].work) << "body " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DistributedBarnesHut,
+    ::testing::Values(Case{RuntimeConfig::accessTree(4, 1), "at4"},
+                      Case{RuntimeConfig::accessTree(2, 1), "at2"},
+                      Case{RuntimeConfig::accessTree(16, 1), "at16"},
+                      Case{RuntimeConfig::accessTree(4, 16), "at4_16"},
+                      Case{RuntimeConfig::fixedHome(), "fh"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(DistributedBarnesHutStats, HighCacheHitRateAndPhaseAccounting) {
+  Config cfg;
+  cfg.numBodies = 800;
+  cfg.steps = 3;
+  cfg.warmupSteps = 1;
+
+  Machine m(4, 4);
+  Runtime rt(m, RuntimeConfig::accessTree(4, 1));
+  const Result r = run(m, rt, cfg);
+
+  // Paper: "cache hit ratios of about 99%" in the force phase.
+  EXPECT_GT(static_cast<double>(r.readHits) / static_cast<double>(r.reads), 0.90);
+  // The force phase dominates.
+  double wallSum = 0;
+  for (int ph = 0; ph < kNumPhases; ++ph) wallSum += r.phaseWallUs[ph];
+  EXPECT_GT(r.phaseWallUs[kForce], 0.3 * wallSum);
+  EXPECT_GT(r.phaseComputeUs[kForce], 0.0);
+  EXPECT_GT(r.cellsCreated, 0u);
+}
+
+TEST(DistributedBarnesHutStats, AccessTreeBeatsFixedHomeOnCongestion) {
+  Config cfg;
+  cfg.numBodies = 600;
+  cfg.steps = 2;
+  cfg.warmupSteps = 0;
+
+  Machine ma(4, 4);
+  Runtime rta(ma, RuntimeConfig::accessTree(4, 1));
+  const auto at = run(ma, rta, cfg);
+
+  Machine mf(4, 4);
+  Runtime rtf(mf, RuntimeConfig::fixedHome());
+  const auto fh = run(mf, rtf, cfg);
+
+  EXPECT_LT(at.congestionMessages, fh.congestionMessages);
+  // At 4×4 the paper's own numbers put the two strategies nearly level on
+  // time (Figure 4 analogue: 2.77 vs 2.79); the separation grows with the
+  // network. Here we only require the access tree not to lose noticeably;
+  // the benches demonstrate the large-mesh win.
+  EXPECT_LT(at.timeUs, fh.timeUs * 1.15);
+}
+
+}  // namespace
+}  // namespace diva::apps::barneshut

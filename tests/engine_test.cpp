@@ -1,0 +1,191 @@
+// Unit tests for the discrete-event simulation kernel: event ordering,
+// coroutine task semantics, conditions and one-shot futures.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace diva::sim {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(30.0, [&] { order.push_back(3); });
+  e.scheduleAt(10.0, [&] { order.push_back(1); });
+  e.scheduleAt(20.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 30.0);
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) e.scheduleAt(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsScheduledInsideEventsRun) {
+  Engine e;
+  int depth = 0;
+  e.scheduleAt(1.0, [&] {
+    e.scheduleAfter(1.0, [&] {
+      ++depth;
+      e.scheduleAfter(1.0, [&] { ++depth; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine e;
+  double seen = -1.0;
+  e.scheduleAt(10.0, [&] {
+    e.scheduleAt(5.0, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(Engine, EventCountIsTracked) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.scheduleAt(i, [] {});
+  e.run();
+  EXPECT_EQ(e.eventsProcessed(), 7u);
+}
+
+TEST(Task, DelayAdvancesTime) {
+  Engine e;
+  double t1 = -1, t2 = -1;
+  spawn([](Engine& eng, double& a, double& b) -> Task<> {
+    co_await eng.delay(100.0);
+    a = eng.now();
+    co_await eng.delay(50.0);
+    b = eng.now();
+  }(e, t1, t2));
+  e.run();
+  EXPECT_DOUBLE_EQ(t1, 100.0);
+  EXPECT_DOUBLE_EQ(t2, 150.0);
+}
+
+TEST(Task, NestedTasksReturnValues) {
+  Engine e;
+  int result = 0;
+  auto inner = [](Engine& eng) -> Task<int> {
+    co_await eng.delay(10.0);
+    co_return 42;
+  };
+  spawn([](Engine& eng, auto innerFn, int& out) -> Task<> {
+    const int a = co_await innerFn(eng);
+    const int b = co_await innerFn(eng);
+    out = a + b;
+  }(e, inner, result));
+  e.run();
+  EXPECT_EQ(result, 84);
+  EXPECT_DOUBLE_EQ(e.now(), 20.0);
+}
+
+TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    spawn([](Engine& eng, std::vector<int>& ord, int id) -> Task<> {
+      co_await eng.delay(10.0 * (8 - id));  // reverse completion order
+      ord.push_back(id);
+    }(e, order, i));
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(Condition, NotifyAllWakesEveryWaiter) {
+  Engine e;
+  Condition cond(e);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    spawn([](Condition& c, int& n) -> Task<> {
+      co_await c.wait();
+      ++n;
+    }(cond, woke));
+  }
+  e.scheduleAt(10.0, [&] { cond.notifyAll(); });
+  e.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Condition, NotifyOneWakesOneWaiter) {
+  Engine e;
+  Condition cond(e);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Condition& c, int& n) -> Task<> {
+      co_await c.wait();
+      ++n;
+    }(cond, woke));
+  }
+  e.scheduleAt(1.0, [&] { cond.notifyOne(); });
+  e.run();
+  EXPECT_EQ(woke, 1);
+  EXPECT_EQ(cond.numWaiters(), 2u);
+}
+
+TEST(OneShot, ResolveBeforeWaitIsImmediate) {
+  Engine e;
+  OneShot<int> shot(e);
+  shot.resolve(7);
+  int got = 0;
+  spawn([](OneShot<int>& s, int& out) -> Task<> { out = co_await s.wait(); }(shot, got));
+  e.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(OneShot, ResolveAfterWaitResumes) {
+  Engine e;
+  OneShot<int> shot(e);
+  int got = 0;
+  double when = -1;
+  spawn([](Engine& eng, OneShot<int>& s, int& out, double& t) -> Task<> {
+    out = co_await s.wait();
+    t = eng.now();
+  }(e, shot, got, when));
+  e.scheduleAt(33.0, [&] { shot.resolve(5); });
+  e.run();
+  EXPECT_EQ(got, 5);
+  EXPECT_DOUBLE_EQ(when, 33.0);
+}
+
+TEST(OneShot, DoubleResolveThrows) {
+  Engine e;
+  OneShot<int> shot(e);
+  shot.resolve(1);
+  EXPECT_THROW(shot.resolve(2), support::CheckError);
+}
+
+TEST(Determinism, SameScheduleSameEventCount) {
+  auto runOnce = [] {
+    Engine e;
+    for (int i = 0; i < 100; ++i) {
+      spawn([](Engine& eng, int id) -> Task<> {
+        co_await eng.delay(static_cast<double>(id % 7));
+        co_await eng.delay(static_cast<double>(id % 3));
+      }(e, i));
+    }
+    e.run();
+    return std::pair{e.eventsProcessed(), e.now()};
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace diva::sim

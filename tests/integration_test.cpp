@@ -1,0 +1,213 @@
+// Cross-module integration and stress tests: concurrent mixed workloads
+// over locks + barriers + data, determinism of entire application runs,
+// and strategy-independence of application results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/barneshut/barneshut.hpp"
+#include "apps/bitonic/bitonic.hpp"
+#include "apps/matmul/matmul.hpp"
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace diva {
+namespace {
+
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: random lock-protected read-modify-write traffic
+// ---------------------------------------------------------------------------
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, LockProtectedCountersStayConsistent) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& rc :
+       {RuntimeConfig::accessTree(4, 1, seed), RuntimeConfig::accessTree(2, 1, seed),
+        RuntimeConfig::accessTree(2, 4, seed), RuntimeConfig::fixedHome(seed)}) {
+    Machine m(4, 8);
+    Runtime rt(m, rc);
+
+    constexpr int kVars = 6;
+    constexpr int kOpsPerProc = 8;
+    std::vector<VarId> vars;
+    for (int i = 0; i < kVars; ++i)
+      vars.push_back(rt.createVarFree(static_cast<NodeId>(i * 5 % 32),
+                                      makeValue<std::int64_t>(0), /*withLock=*/true));
+
+    std::vector<int> increments(kVars, 0);
+    for (NodeId p = 0; p < 32; ++p) {
+      sim::spawn([](Machine& mm, Runtime& r, NodeId self, std::uint64_t sd,
+                    std::vector<VarId>& vs, std::vector<int>& counts) -> Task<> {
+        support::SplitMix64 rng(support::hashCombine(sd, static_cast<std::uint64_t>(self)));
+        for (int op = 0; op < kOpsPerProc; ++op) {
+          const int which = static_cast<int>(rng.below(kVars));
+          co_await mm.net.compute(self, rng.uniform(0.0, 500.0));
+          co_await r.lock(self, vs[which]);
+          const auto v = valueAs<std::int64_t>(co_await r.read(self, vs[which]));
+          co_await r.write(self, vs[which], makeValue<std::int64_t>(v + 1));
+          ++counts[which];
+          co_await r.unlock(self, vs[which]);
+        }
+        co_await r.barrier(self);
+      }(m, rt, p, seed, vars, increments));
+    }
+    m.run();
+    rt.checkAllInvariants();
+    for (int i = 0; i < kVars; ++i)
+      EXPECT_EQ(valueAs<std::int64_t>(rt.peek(vars[i])), increments[i])
+          << "lost update on var " << i << " seed " << seed;
+  }
+}
+
+TEST_P(StressTest, ConcurrentReadersWithSingleWriterStayCoherent) {
+  // One writer updates a variable (read-before-write) between barriers;
+  // many concurrent readers spread copies. Everything must quiesce into
+  // a valid state after every round.
+  const std::uint64_t seed = GetParam();
+  Machine m(4, 4);
+  Runtime rt(m, RuntimeConfig::accessTree(4, 1, seed));
+  const VarId x = rt.createVarFree(7, makeValue<std::int64_t>(0));
+  constexpr int kRounds = 10;
+
+  std::vector<std::int64_t> observed(16, -1);
+  for (NodeId p = 0; p < 16; ++p) {
+    sim::spawn([](Machine& mm, Runtime& r, NodeId self, std::uint64_t sd, VarId v,
+                  std::vector<std::int64_t>& out) -> Task<> {
+      support::SplitMix64 rng(support::hashCombine(sd, 7777ull + self));
+      for (int round = 0; round < kRounds; ++round) {
+        if (self == round % 16) {
+          const auto cur = valueAs<std::int64_t>(co_await r.read(self, v));
+          co_await r.write(self, v, makeValue<std::int64_t>(cur + 1));
+        } else {
+          co_await mm.net.compute(self, rng.uniform(0.0, 200.0));
+          out[self] = valueAs<std::int64_t>(co_await r.read(self, v));
+        }
+        co_await r.barrier(self);
+      }
+    }(m, rt, p, seed, x, observed));
+  }
+  m.run();
+  rt.checkAllInvariants();
+  EXPECT_EQ(valueAs<std::int64_t>(rt.peek(x)), kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Values(1u, 2u, 3u, 42u, 777u));
+
+// ---------------------------------------------------------------------------
+// Whole-application determinism and strategy independence
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, MatmulRunIsBitReproducible) {
+  auto once = [] {
+    Machine m(4, 4);
+    Runtime rt(m, RuntimeConfig::accessTree(4));
+    apps::matmul::Config cfg;
+    cfg.blockInts = 64;
+    const auto r = apps::matmul::runDiva(m, rt, cfg);
+    return std::tuple{r.timeUs, r.congestionBytes, r.totalBytes,
+                      m.engine.eventsProcessed()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Determinism, BarnesHutRunIsBitReproducible) {
+  auto once = [] {
+    Machine m(4, 4);
+    Runtime rt(m, RuntimeConfig::accessTree(4));
+    apps::barneshut::Config cfg;
+    cfg.numBodies = 300;
+    cfg.steps = 2;
+    cfg.warmupSteps = 0;
+    const auto r = apps::barneshut::run(m, rt, cfg);
+    return std::tuple{r.timeUs, r.congestionMessages, r.finalBodies[17].pos.x,
+                      m.engine.eventsProcessed()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(StrategyIndependence, ApplicationsComputeIdenticalResults) {
+  // The data management strategy must never change what is computed —
+  // only how data moves. Bitonic: identical sorted keys; Barnes-Hut:
+  // identical body states.
+  apps::bitonic::Config bcfg;
+  bcfg.keysPerProc = 64;
+  std::vector<std::uint32_t> keysRef;
+  apps::barneshut::Config ncfg;
+  ncfg.numBodies = 400;
+  ncfg.steps = 2;
+  ncfg.warmupSteps = 0;
+  std::vector<apps::barneshut::BodyData> bodiesRef;
+
+  for (const auto& rc : {RuntimeConfig::accessTree(4), RuntimeConfig::accessTree(16),
+                         RuntimeConfig::fixedHome()}) {
+    {
+      Machine m(4, 4);
+      Runtime rt(m, rc);
+      const auto r = apps::bitonic::runDiva(m, rt, bcfg);
+      if (keysRef.empty()) keysRef = r.keys;
+      EXPECT_EQ(r.keys, keysRef);
+    }
+    {
+      Machine m(4, 4);
+      Runtime rt(m, rc);
+      const auto r = apps::barneshut::run(m, rt, ncfg);
+      if (bodiesRef.empty()) bodiesRef = r.finalBodies;
+      ASSERT_EQ(r.finalBodies.size(), bodiesRef.size());
+      for (std::size_t i = 0; i < bodiesRef.size(); ++i) {
+        EXPECT_EQ(r.finalBodies[i].pos, bodiesRef[i].pos);
+        EXPECT_EQ(r.finalBodies[i].vel, bodiesRef[i].vel);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model plumbing
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, BandwidthChangesTimeNotCongestionShape) {
+  apps::matmul::Config cfg;
+  cfg.blockInts = 256;
+  net::CostModel fast = net::CostModel::gcel();
+  fast.bytesPerUs = 100.0;
+
+  Machine slow(4, 4);
+  Runtime rtS(slow, RuntimeConfig::accessTree(4));
+  const auto rs = apps::matmul::runDiva(slow, rtS, cfg);
+
+  Machine quick(4, 4, fast);
+  Runtime rtQ(quick, RuntimeConfig::accessTree(4));
+  const auto rq = apps::matmul::runDiva(quick, rtQ, cfg);
+
+  EXPECT_LT(rq.timeUs, rs.timeUs);
+}
+
+TEST(CostModel, StartupCostDominatesSmallMessages) {
+  // With header-only traffic, halving the bandwidth changes little, but
+  // doubling the startup cost nearly doubles the barrier time.
+  auto barrierTime = [](net::CostModel cm) {
+    Machine m(8, 8, cm);
+    Runtime rt(m, RuntimeConfig::accessTree(4));
+    for (NodeId p = 0; p < 64; ++p)
+      sim::spawn([](Runtime& r, NodeId n) -> Task<> { co_await r.barrier(n); }(rt, p));
+    return m.run();
+  };
+  net::CostModel base = net::CostModel::gcel();
+  net::CostModel slowLinks = base;
+  slowLinks.bytesPerUs = 0.5;
+  net::CostModel slowCpu = base;
+  slowCpu.sendOverheadUs *= 2;
+  slowCpu.recvOverheadUs *= 2;
+
+  const double tBase = barrierTime(base);
+  EXPECT_LT(barrierTime(slowLinks) / tBase, 1.3);
+  EXPECT_GT(barrierTime(slowCpu) / tBase, 1.5);
+}
+
+}  // namespace
+}  // namespace diva
