@@ -24,6 +24,73 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventThroughput);
 
+// Steady-state event churn with protocol-sized captures. A population of
+// 512 self-rescheduling events keeps the heap at working depth, and each
+// event carries 32 bytes of state — the size of a typical network
+// continuation (this-pointer, in-flight message state, a deadline). This
+// is the `events_per_sec` series recorded in BENCH_engine.json.
+struct ChurnEvent {
+  sim::Engine* engine;
+  std::uint64_t* budget;
+  std::uint64_t rng;
+  std::uint64_t pad;
+  void operator()() const {
+    if (*budget == 0) return;
+    --*budget;
+    const std::uint64_t next = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    engine->scheduleAfter(static_cast<double>(next % 97),
+                          ChurnEvent{engine, budget, next, pad});
+  }
+};
+
+void BM_EngineEventChurn(benchmark::State& state) {
+  static_assert(sizeof(ChurnEvent) == 32);
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t budget = 100000;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      if (budget == 0) break;
+      --budget;
+      e.scheduleAt(static_cast<double>(i % 17), ChurnEvent{&e, &budget, i, 0});
+    }
+    e.run();
+    processed += e.eventsProcessed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+}
+BENCHMARK(BM_EngineEventChurn);
+
+// Steady-state message churn on an 8×8 mesh: every node runs a protocol
+// handler that relays each arriving message to a pseudo-random next node,
+// so messages continuously traverse multi-hop routes, contend on links
+// and re-enter dispatch. This is the `messages_per_sec` series recorded
+// in BENCH_engine.json.
+void BM_NetworkMessageChurn(benchmark::State& state) {
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    Machine m(8, 8);
+    const NodeId procs = static_cast<NodeId>(m.numProcs());
+    std::uint64_t budget = 20000;
+    for (NodeId p = 0; p < procs; ++p) {
+      m.net.setHandler(p, net::kProtocolChannel, [&m, &budget, procs](net::Message&& msg) {
+        if (budget == 0) return;
+        --budget;
+        const NodeId next = static_cast<NodeId>((msg.dst * 13 + 7) % procs);
+        m.net.post(net::Message{msg.dst, next, net::kProtocolChannel, 64, {}});
+      });
+    }
+    for (NodeId p = 0; p < procs; ++p) {
+      m.net.post(net::Message{p, static_cast<NodeId>((p + procs / 2) % procs),
+                              net::kProtocolChannel, 64, {}});
+    }
+    m.engine.run();
+    sent += m.net.messagesSent();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_NetworkMessageChurn);
+
 void BM_DimensionOrderRouting(benchmark::State& state) {
   mesh::Mesh m(32, 32);
   std::vector<mesh::Hop> hops;

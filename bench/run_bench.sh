@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Reproducible micro-engine benchmark runner: builds the Release bench
+# binary, runs the steady-state churn benchmarks and emits/updates
+# BENCH_engine.json with events/sec, messages/sec and peak RSS, so every
+# PR records the simulator-core perf trajectory.
+#
+# Usage:
+#   bench/run_bench.sh                 # full run (7 repetitions)
+#   BENCH_SMOKE=1 bench/run_bench.sh   # CI smoke: 1 repetition, tiny time
+#   BENCH_LABEL=baseline bench/run_bench.sh   # record under a label
+#                                             # (default: "current")
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${BENCH_OUT:-$REPO_ROOT/BENCH_engine.json}
+LABEL=${BENCH_LABEL:-current}
+REPS=${BENCH_REPS:-7}
+if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
+  REPS=1
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target micro_engine -j >/dev/null
+
+BIN="$BUILD_DIR/bench/micro_engine" RAW="$BUILD_DIR/bench_raw.json" \
+OUT="$OUT" LABEL="$LABEL" REPS="$REPS" python3 - <<'EOF'
+import json, os, resource, subprocess, sys
+
+bin_path = os.environ["BIN"]
+raw_path = os.environ["RAW"]
+out_path = os.environ["OUT"]
+label = os.environ["LABEL"]
+reps = os.environ["REPS"]
+
+cmd = [
+    bin_path,
+    "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn",
+    f"--benchmark_repetitions={reps}",
+    "--benchmark_report_aggregates_only=true",
+    f"--benchmark_out={raw_path}",
+    "--benchmark_out_format=json",
+]
+subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+peak_rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+
+with open(raw_path) as f:
+    raw = json.load(f)
+
+def rate(name):
+    # single-repetition runs emit the plain name, aggregate runs the _mean
+    for suffix in ("_mean", ""):
+        for b in raw["benchmarks"]:
+            if b["name"] == name + suffix:
+                return b["items_per_second"]
+    raise SystemExit(f"benchmark {name} missing from output")
+
+entry = {
+    "events_per_sec": round(rate("BM_EngineEventChurn")),
+    "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
+    "peak_rss_kb": peak_rss_kb,
+    "repetitions": int(reps),
+}
+
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("benchmark", "micro_engine steady-state churn "
+               "(BM_EngineEventChurn / BM_NetworkMessageChurn)")
+doc[label] = entry
+base = doc.get("baseline")
+cur = doc.get("current")
+if base and cur:
+    doc["speedup"] = {
+        "events": round(cur["events_per_sec"] / base["events_per_sec"], 2),
+        "messages": round(cur["messages_per_sec"] / base["messages_per_sec"], 2),
+    }
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"{label}: {entry['events_per_sec']:,} events/s, "
+      f"{entry['messages_per_sec']:,} messages/s, peak RSS {peak_rss_kb} KB")
+EOF

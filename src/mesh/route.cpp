@@ -3,28 +3,12 @@
 namespace diva::mesh {
 
 void routeDimensionOrder(const Mesh& mesh, NodeId from, NodeId to, std::vector<Hop>& out) {
-  const Coord src = mesh.coordOf(from);
-  const Coord dst = mesh.coordOf(to);
-  NodeId cur = from;
-  int col = src.col;
-  while (col != dst.col) {
-    const Mesh::Dir d = col < dst.col ? Mesh::East : Mesh::West;
-    out.push_back(Hop{mesh.linkIndex(cur, d), mesh.neighbor(cur, d)});
-    cur = out.back().to;
-    col += (d == Mesh::East) ? 1 : -1;
-  }
-  int row = src.row;
-  while (row != dst.row) {
-    const Mesh::Dir d = row < dst.row ? Mesh::South : Mesh::North;
-    out.push_back(Hop{mesh.linkIndex(cur, d), mesh.neighbor(cur, d)});
-    cur = out.back().to;
-    row += (d == Mesh::South) ? 1 : -1;
-  }
+  appendDimensionOrderRoute(mesh, from, to, out);
 }
 
 std::vector<Hop> routeOf(const Mesh& mesh, NodeId from, NodeId to) {
   std::vector<Hop> hops;
-  routeDimensionOrder(mesh, from, to, hops);
+  appendDimensionOrderRoute(mesh, from, to, hops);
   return hops;
 }
 

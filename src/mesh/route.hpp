@@ -18,6 +18,41 @@ struct Hop {
 /// and then edges of dimension 2 (rows, South/North).
 ///
 /// Appends the hops from `from` to `to` onto `out` (empty when from == to).
+/// Templated over the output container so hot-path callers can route
+/// straight into reused inline-storage buffers (see `Network::Flight`)
+/// without a per-message allocation.
+template <typename OutVec>
+void appendDimensionOrderRoute(const Mesh& mesh, NodeId from, NodeId to, OutVec& out) {
+  // Pure-arithmetic walk: every intermediate hop is valid by construction
+  // (we only ever step toward the destination inside the grid), so the
+  // generic neighbor()/hasNeighbor() accessors — which re-derive
+  // coordinates with an integer division per call — are skipped on this
+  // per-message path.
+  const Coord src = mesh.coordOf(from);
+  const Coord dst = mesh.coordOf(to);
+  NodeId cur = from;
+  int col = src.col;
+  while (col != dst.col) {
+    const bool east = col < dst.col;
+    const Mesh::Dir d = east ? Mesh::East : Mesh::West;
+    const NodeId next = east ? cur + 1 : cur - 1;
+    out.push_back(Hop{mesh.linkIndex(cur, d), next});
+    cur = next;
+    col += east ? 1 : -1;
+  }
+  int row = src.row;
+  const int cols = mesh.cols();
+  while (row != dst.row) {
+    const bool south = row < dst.row;
+    const Mesh::Dir d = south ? Mesh::South : Mesh::North;
+    const NodeId next = south ? cur + cols : cur - cols;
+    out.push_back(Hop{mesh.linkIndex(cur, d), next});
+    cur = next;
+    row += south ? 1 : -1;
+  }
+}
+
+/// Non-template convenience form for analysis/setup code.
 void routeDimensionOrder(const Mesh& mesh, NodeId from, NodeId to, std::vector<Hop>& out);
 
 /// Convenience wrapper returning a fresh hop vector.

@@ -3,27 +3,53 @@
 namespace diva::net {
 
 namespace {
-std::uint64_t handlerKey(NodeId node, Channel channel) {
-  return (static_cast<std::uint64_t>(node) << 32) | channel;
-}
+/// Channels are small dense integers by construction (the library reserves
+/// the first 16, applications hand out consecutive values above that); the
+/// dense per-(channel, node) dispatch tables rely on it.
+constexpr Channel kMaxChannels = 1u << 16;
 }  // namespace
-
-struct Network::Flight {
-  Message msg;
-  std::vector<mesh::Hop> path;
-  std::size_t idx = 0;
-  sim::Time headReady = 0;  ///< when the head is ready to enter path[idx]
-};
 
 Network::Network(sim::Engine& engine, const mesh::Mesh& mesh, CostModel cost,
                  mesh::LinkStats& stats)
-    : engine_(&engine), mesh_(&mesh), cost_(cost), stats_(&stats) {
-  cpuFreeAt_.assign(static_cast<std::size_t>(mesh.numNodes()), sim::kTimeZero);
+    : engine_(&engine),
+      mesh_(&mesh),
+      cost_(cost),
+      stats_(&stats),
+      numNodes_(static_cast<std::size_t>(mesh.numNodes())) {
+  cpuFreeAt_.assign(numNodes_, sim::kTimeZero);
   linkFreeAt_.assign(static_cast<std::size_t>(mesh.numLinkSlots()), sim::kTimeZero);
+  // The library protocol channels exist on every machine; size for them up
+  // front so the common dispatch never grows mid-run.
+  handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
+  handlerChannels_ = kFirstAppChannel;
+  mailboxes_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
+  mailboxChannels_ = kFirstAppChannel;
 }
 
 void Network::setHandler(NodeId node, Channel channel, Handler handler) {
-  handlers_[handlerKey(node, channel)] = std::move(handler);
+  DIVA_CHECK(node >= 0 && static_cast<std::size_t>(node) < numNodes_);
+  DIVA_CHECK_MSG(channel < kMaxChannels, "channel out of dense-table range");
+  if (channel >= handlerChannels_) {
+    // Growing the table moves every registered handler; a handler that is
+    // currently executing must not be moved out from under itself (the
+    // map-based design this replaced was reference-stable). Registering
+    // on already-covered channels from inside a handler stays legal.
+    DIVA_CHECK_MSG(dispatchDepth_ == 0,
+                   "cannot register a new channel from inside a handler");
+    handlerChannels_ = channel + 1;
+    handlers_.resize(static_cast<std::size_t>(handlerChannels_) * numNodes_);
+  }
+  handlers_[slotOf(node, channel)] = std::move(handler);
+}
+
+std::size_t Network::mailboxSlot(NodeId node, Channel channel) {
+  DIVA_CHECK(node >= 0 && static_cast<std::size_t>(node) < numNodes_);
+  DIVA_CHECK_MSG(channel < kMaxChannels, "channel out of dense-table range");
+  if (channel >= mailboxChannels_) {
+    mailboxChannels_ = channel + 1;
+    mailboxes_.resize(static_cast<std::size_t>(mailboxChannels_) * numNodes_);
+  }
+  return slotOf(node, channel);
 }
 
 sim::Time Network::postInternal(Message&& msg) {
@@ -35,18 +61,23 @@ sim::Time Network::postInternal(Message&& msg) {
     // Local "message": a function call on the host processor. No startup,
     // no link traffic; costs one state-machine step.
     const sim::Time done = reserveCpu(msg.src, cost_.stateLookupUs);
-    auto* boxed = new Message(std::move(msg));
+    Message* boxed = messagePool_.acquire();
+    *boxed = std::move(msg);
     engine_->scheduleAt(done, [this, boxed] {
       Message m = std::move(*boxed);
-      delete boxed;
+      messagePool_.release(boxed);
       dispatchOrEnqueue(std::move(m));
     });
     return done;
   }
 
   const sim::Time injected = reserveCpu(msg.src, cost_.sendOverheadUs);
-  auto* f = new Flight{std::move(msg), {}, 0, injected};
-  mesh::routeDimensionOrder(*mesh_, f->msg.src, f->msg.dst, f->path);
+  Flight* f = flightPool_.acquire();
+  f->msg = std::move(msg);
+  f->path.clear();  // recycled flights keep their (possibly spilled) capacity
+  f->idx = 0;
+  f->headReady = injected;
+  mesh::appendDimensionOrderRoute(*mesh_, f->msg.src, f->msg.dst, f->path);
   engine_->scheduleAt(injected, [this, f] { hop(f); });
   return injected;
 }
@@ -62,12 +93,17 @@ void Network::hop(Flight* f) {
 
   if (f->idx + 1 == f->path.size()) {
     // Last link: the message is fully delivered when its tail arrives.
+    // Accepting it then costs receive overhead on the destination CPU;
+    // the flight carries the message through both events, so delivery
+    // adds no pool traffic beyond the flight itself.
     const sim::Time arrival = start + streamTime;
     engine_->scheduleAt(arrival, [this, f] {
-      Message m = std::move(f->msg);
-      const sim::Time t = engine_->now();
-      delete f;
-      deliver(std::move(m), t);
+      const sim::Time handleAt = reserveCpu(f->msg.dst, cost_.recvOverheadUs);
+      engine_->scheduleAt(handleAt, [this, f] {
+        Message m = std::move(f->msg);
+        flightPool_.release(f);
+        dispatchOrEnqueue(std::move(m));
+      });
     });
   } else {
     ++f->idx;
@@ -76,46 +112,52 @@ void Network::hop(Flight* f) {
   }
 }
 
-void Network::deliver(Message&& msg, sim::Time /*arrival*/) {
-  // Accepting the message costs receive overhead on the destination CPU.
-  const sim::Time handleAt = reserveCpu(msg.dst, cost_.recvOverheadUs);
-  auto* boxed = new Message(std::move(msg));
-  engine_->scheduleAt(handleAt, [this, boxed] {
-    Message m = std::move(*boxed);
-    delete boxed;
-    dispatchOrEnqueue(std::move(m));
-  });
-}
-
 void Network::dispatchOrEnqueue(Message&& msg) {
-  const auto it = handlers_.find(handlerKey(msg.dst, msg.channel));
-  if (it != handlers_.end()) {
-    it->second(std::move(msg));
-    return;
+  if (msg.channel < handlerChannels_) {
+    Handler& h = handlers_[slotOf(msg.dst, msg.channel)];
+    if (h) {
+      ++dispatchDepth_;  // guards the reference against table growth
+      try {
+        h(std::move(msg));
+      } catch (...) {
+        --dispatchDepth_;
+        throw;
+      }
+      --dispatchDepth_;
+      return;
+    }
   }
-  Mailbox& box = mailboxes_[MailKey{msg.dst, msg.channel}];
+  Mailbox& box = mailboxes_[mailboxSlot(msg.dst, msg.channel)];
   box.queue.push_back(std::move(msg));
   if (!box.waiters.empty()) {
-    auto h = box.waiters.front();
-    box.waiters.pop_front();
-    engine_->resumeAt(engine_->now(), h);
+    engine_->resumeAt(engine_->now(), box.waiters.take_front());
   }
 }
 
 sim::Task<Message> Network::recv(NodeId node, Channel channel) {
-  Mailbox& box = mailboxes_[MailKey{node, channel}];
-  while (box.queue.empty()) {
+  // Plain function, not a coroutine: validates (node, channel) and
+  // resolves the slot eagerly — a coroutine body would defer the check
+  // (and its CheckError) until first resume inside the event loop.
+  return recvOnSlot(mailboxSlot(node, channel));
+}
+
+sim::Task<Message> Network::recvOnSlot(std::size_t slot) {
+  // Hold the slot index, not a Mailbox reference: the dense table may be
+  // resized by other channels appearing while this coroutine is suspended
+  // (indices survive growth, references do not).
+  while (mailboxes_[slot].queue.empty()) {
     struct WaitAwaiter {
-      Mailbox* box;
+      Network* net;
+      std::size_t slot;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { box->waiters.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        net->mailboxes_[slot].waiters.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
-    co_await WaitAwaiter{&box};
+    co_await WaitAwaiter{this, slot};
   }
-  Message msg = std::move(box.queue.front());
-  box.queue.pop_front();
-  co_return msg;
+  co_return mailboxes_[slot].queue.take_front();
 }
 
 }  // namespace diva::net

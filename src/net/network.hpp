@@ -2,9 +2,7 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/link_stats.hpp"
@@ -14,6 +12,9 @@
 #include "net/message.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "support/object_pool.hpp"
+#include "support/ring_buffer.hpp"
+#include "support/small_vec.hpp"
 
 namespace diva::net {
 
@@ -38,6 +39,12 @@ namespace diva::net {
 /// driven); application channels feed per-node mailboxes awaited by node
 /// coroutines. Congestion statistics are recorded per link crossing and
 /// are completely independent of the time model.
+///
+/// Hot-path storage: in-flight state (`Flight`, boxed local `Message`s)
+/// comes from recycling slab pools owned by the Network, routes live in
+/// per-flight inline buffers that are computed in place, and handler /
+/// mailbox dispatch indexes dense per-(channel, node) vectors — so in
+/// steady state moving a message end to end allocates nothing.
 class Network {
  public:
   using Handler = std::function<void(Message&&)>;
@@ -96,37 +103,46 @@ class Network {
   std::uint64_t messagesSent() const { return messagesSent_; }
 
  private:
-  struct Flight;  // in-flight message state
+  struct Flight {  // in-flight message state, pooled and recycled
+    Message msg;
+    support::SmallVec<mesh::Hop, 16> path;
+    std::size_t idx = 0;
+    sim::Time headReady = 0;  ///< when the head is ready to enter path[idx]
+  };
+
+  struct Mailbox {
+    support::RingBuffer<Message> queue;
+    support::RingBuffer<std::coroutine_handle<>> waiters;
+  };
 
   sim::Time postInternal(Message&& msg);
   void hop(Flight* f);
-  void deliver(Message&& msg, sim::Time arrival);
   void dispatchOrEnqueue(Message&& msg);
+  sim::Task<Message> recvOnSlot(std::size_t slot);
 
-  struct MailKey {
-    NodeId node;
-    Channel channel;
-    bool operator==(const MailKey&) const = default;
-  };
-  struct MailKeyHash {
-    std::size_t operator()(const MailKey& k) const {
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.node) << 32) | k.channel);
-    }
-  };
-  struct Mailbox {
-    std::deque<Message> queue;
-    std::deque<std::coroutine_handle<>> waiters;
-  };
+  /// Dense dispatch slot for (node, channel). Channel-major layout —
+  /// `channel * numNodes + node` — so discovering a new channel appends a
+  /// block of slots without disturbing existing indices (important:
+  /// suspended `recv` coroutines hold slot indices across awaits).
+  std::size_t slotOf(NodeId node, Channel channel) const {
+    return static_cast<std::size_t>(channel) * numNodes_ + static_cast<std::size_t>(node);
+  }
+  std::size_t mailboxSlot(NodeId node, Channel channel);
 
   sim::Engine* engine_;
   const mesh::Mesh* mesh_;
   CostModel cost_;
   mesh::LinkStats* stats_;
+  std::size_t numNodes_;
   std::vector<sim::Time> cpuFreeAt_;
   std::vector<sim::Time> linkFreeAt_;
-  std::unordered_map<std::uint64_t, Handler> handlers_;
-  std::unordered_map<MailKey, Mailbox, MailKeyHash> mailboxes_;
+  std::vector<Handler> handlers_;   ///< channel-major, empty = unregistered
+  std::vector<Mailbox> mailboxes_;  ///< channel-major
+  Channel handlerChannels_ = 0;     ///< channels covered by handlers_
+  Channel mailboxChannels_ = 0;     ///< channels covered by mailboxes_
+  int dispatchDepth_ = 0;           ///< handlers currently executing
+  support::ObjectPool<Flight> flightPool_;
+  support::ObjectPool<Message> messagePool_;
   std::uint64_t messagesSent_ = 0;
 };
 

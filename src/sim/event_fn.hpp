@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace diva::sim {
+
+/// Move-only `void()` callable with small-buffer optimization, built for
+/// the event heap: every closure the simulator schedules (a coroutine
+/// handle, a `this` pointer plus in-flight state) fits in the 48-byte
+/// inline buffer, so pushing an event performs no heap allocation. Larger
+/// or throwing-move callables transparently fall back to the heap — they
+/// still work, they just pay the allocation the hot path avoids.
+///
+/// Relocation is vtable-free: a per-type ops table is consulted only for
+/// non-trivial captures; trivially-copyable inline captures (the common
+/// case — pointers and integers) are moved with a fixed-size memcpy that
+/// the compiler unrolls.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): callback wrapper
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Construct a callable directly into this (possibly occupied) slot,
+  /// avoiding the extra relocation a construct-then-move-assign would pay.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kInlinable<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  /// Destroy the stored callable, leaving the slot empty.
+  void clear() noexcept { reset(); }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invoke the stored callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Invoke, then destroy the capture and leave the slot empty — the
+  /// event-loop epilogue, fused so the ops table is loaded once. The
+  /// capture is destroyed even if the callable throws (fail-fast checks
+  /// like DIVA_CHECK propagate out of event loops); zero-cost EH keeps
+  /// the non-throwing path free.
+  void invokeAndReset() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    try {
+      ops->invoke(buf_);
+    } catch (...) {
+      if (ops->destroy != nullptr) ops->destroy(buf_);
+      throw;
+    }
+    if (ops->destroy != nullptr) ops->destroy(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct `dst` from `src` and destroy `src`. Null for
+    /// trivially-relocatable inline captures: a memcpy suffices.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null when destruction is a no-op.
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool kInlinable =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+              ::new (dst) Fn(std::move(*s));
+              s->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* self) noexcept {
+              std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+            },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      nullptr,  // the heap pointer itself relocates via memcpy
+      [](void* self) noexcept { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  void moveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace diva::sim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace diva::support {
+
+/// FIFO queue over a power-of-two circular buffer. Unlike `std::deque`,
+/// which allocates and frees block nodes as the front and back indices
+/// walk forward, a drained-and-refilled RingBuffer reuses the same
+/// storage forever — which makes mailbox traffic allocation-free in
+/// steady state. Grows geometrically when full; never shrinks.
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() noexcept = default;
+
+  RingBuffer(RingBuffer&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)),
+        cap_(std::exchange(other.cap_, 0)),
+        head_(std::exchange(other.head_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this != &other) {
+      destroyAll();
+      buf_ = std::exchange(other.buf_, nullptr);
+      cap_ = std::exchange(other.cap_, 0);
+      head_ = std::exchange(other.head_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  ~RingBuffer() { destroyAll(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    const std::size_t slot = (head_ + size_) & (cap_ - 1);
+    T* p = ::new (static_cast<void*>(buf_ + slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_front() {
+    buf_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Move the front element out and pop it.
+  T take_front() {
+    T v = std::move(front());
+    pop_front();
+    return v;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = cap_ == 0 ? 8 : cap_ * 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& src = buf_[(head_ + i) & (cap_ - 1)];
+      ::new (static_cast<void*>(fresh + i)) T(std::move(src));
+      src.~T();
+    }
+    if (buf_ != nullptr) ::operator delete(buf_, std::align_val_t{alignof(T)});
+    buf_ = fresh;
+    cap_ = cap;
+    head_ = 0;
+  }
+
+  void destroyAll() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) buf_[(head_ + i) & (cap_ - 1)].~T();
+    if (buf_ != nullptr) ::operator delete(buf_, std::align_val_t{alignof(T)});
+    buf_ = nullptr;
+    cap_ = head_ = size_ = 0;
+  }
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;   // always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace diva::support

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace diva::support {
+
+/// Vector with inline storage for the first `N` elements, used where the
+/// common case is small and per-instance heap traffic matters (e.g. the
+/// route of an in-flight message: ≤16 hops covers every path on meshes up
+/// to 9×9, and larger meshes spill once and then reuse the spilled
+/// capacity because `clear()` never releases it).
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0);
+
+ public:
+  SmallVec() noexcept : data_(inlineData()) {}
+
+  SmallVec(SmallVec&& other) noexcept : data_(inlineData()) {
+    moveFrom(other);
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      releaseHeap();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  ~SmallVec() {
+    clear();
+    releaseHeap();
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool spilled() const noexcept { return data_ != inlineData(); }
+
+  /// Destroys the elements but keeps the current (possibly spilled)
+  /// capacity — the property pooled owners rely on for reuse.
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > cap_) grow(cap);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* p = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+ private:
+  T* inlineData() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inlineData() const noexcept { return reinterpret_cast<const T*>(inline_); }
+
+  void grow(std::size_t cap) {
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    releaseHeap();
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  void releaseHeap() noexcept {
+    if (spilled()) ::operator delete(data_, std::align_val_t{alignof(T)});
+    data_ = inlineData();
+    cap_ = N;
+  }
+
+  void moveFrom(SmallVec& other) noexcept {
+    if (other.spilled()) {
+      data_ = std::exchange(other.data_, other.inlineData());
+      size_ = std::exchange(other.size_, 0);
+      cap_ = std::exchange(other.cap_, N);
+    } else {
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  T* data_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace diva::support

@@ -19,6 +19,29 @@ struct Fixture {
   Network net;
 };
 
+TEST(Network, HandlerMayRebindCoveredChannelsButNotGrowTheTable) {
+  Fixture f;
+  bool rebound = false;
+  f.net.setHandler(1, kFirstAppChannel, [&](Message&&) {
+    // Re-registering on an already-covered (node, channel) mid-dispatch is
+    // legal; growing the dense table with a brand-new channel is not.
+    f.net.setHandler(2, kFirstAppChannel, [&](Message&&) { rebound = true; });
+    EXPECT_THROW(f.net.setHandler(2, kFirstAppChannel + 100, [](Message&&) {}),
+                 support::CheckError);
+  });
+  f.net.post(Message{0, 1, kFirstAppChannel, 64, 0});
+  f.net.post(Message{0, 2, kFirstAppChannel, 64, 0});
+  f.engine.run();
+  EXPECT_TRUE(rebound);
+}
+
+TEST(Network, RecvRejectsOutOfRangeNode) {
+  Fixture f;  // 4x4: nodes 0..15
+  EXPECT_THROW(
+      { auto t = f.net.recv(16, kFirstAppChannel); (void)t; },
+      support::CheckError);
+}
+
 TEST(Network, HandlerReceivesMessage) {
   Fixture f;
   int got = -1;
