@@ -61,15 +61,17 @@ void BM_EngineEventChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventChurn);
 
-// Steady-state message churn on an 8×8 mesh: every node runs a protocol
-// handler that relays each arriving message to a pseudo-random next node,
-// so messages continuously traverse multi-hop routes, contend on links
-// and re-enter dispatch. This is the `messages_per_sec` series recorded
-// in BENCH_engine.json.
-void BM_NetworkMessageChurn(benchmark::State& state) {
+// Steady-state message churn on a 64-node machine: every node runs a
+// protocol handler that relays each arriving message to a pseudo-random
+// next node, so messages continuously traverse multi-hop routes, contend
+// on links and re-enter dispatch. Run per topology so cross-topology
+// routing cost is tracked from day one; the mesh leg is the
+// `messages_per_sec` series recorded in BENCH_engine.json, the torus leg
+// the `torus_messages_per_sec` series.
+void messageChurn(benchmark::State& state, const net::TopologySpec& spec) {
   std::uint64_t sent = 0;
   for (auto _ : state) {
-    Machine m(8, 8);
+    Machine m(spec);
     const NodeId procs = static_cast<NodeId>(m.numProcs());
     std::uint64_t budget = 20000;
     for (NodeId p = 0; p < procs; ++p) {
@@ -89,7 +91,16 @@ void BM_NetworkMessageChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(sent));
 }
+
+void BM_NetworkMessageChurn(benchmark::State& state) {
+  messageChurn(state, net::TopologySpec::mesh2d(8, 8));
+}
 BENCHMARK(BM_NetworkMessageChurn);
+
+void BM_NetworkMessageChurnTorus(benchmark::State& state) {
+  messageChurn(state, net::TopologySpec::torus2d(8, 8));
+}
+BENCHMARK(BM_NetworkMessageChurnTorus);
 
 void BM_DimensionOrderRouting(benchmark::State& state) {
   mesh::Mesh m(32, 32);

@@ -24,8 +24,13 @@ fi
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_engine -j >/dev/null
 
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)
+COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
+
 BIN="$BUILD_DIR/bench/micro_engine" RAW="$BUILD_DIR/bench_raw.json" \
-OUT="$OUT" LABEL="$LABEL" REPS="$REPS" python3 - <<'EOF'
+OUT="$OUT" LABEL="$LABEL" REPS="$REPS" GIT_SHA="$GIT_SHA" COMPILER="$COMPILER" \
+python3 - <<'EOF'
 import json, os, resource, subprocess, sys
 
 bin_path = os.environ["BIN"]
@@ -36,7 +41,7 @@ reps = os.environ["REPS"]
 
 cmd = [
     bin_path,
-    "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn",
+    "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn|BM_NetworkMessageChurnTorus",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -59,8 +64,15 @@ def rate(name):
 entry = {
     "events_per_sec": round(rate("BM_EngineEventChurn")),
     "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
+    "torus_messages_per_sec": round(rate("BM_NetworkMessageChurnTorus")),
     "peak_rss_kb": peak_rss_kb,
     "repetitions": int(reps),
+    "topology": {
+        "messages_per_sec": "mesh2d-8x8",
+        "torus_messages_per_sec": "torus2d-8x8",
+    },
+    "git_sha": os.environ.get("GIT_SHA", "unknown"),
+    "compiler": os.environ.get("COMPILER", "unknown"),
 }
 
 doc = {}

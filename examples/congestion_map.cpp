@@ -17,13 +17,13 @@ namespace {
 
 void printHeatMap(Machine& m, const char* title) {
   // Aggregate the four outgoing links of every node.
-  const int rows = m.mesh.rows(), cols = m.mesh.cols();
+  const int rows = m.mesh().rows(), cols = m.mesh().cols();
   std::vector<std::uint64_t> load(static_cast<std::size_t>(rows) * cols, 0);
   std::uint64_t peak = 1;
-  for (NodeId n = 0; n < m.mesh.numNodes(); ++n) {
+  for (NodeId n = 0; n < m.mesh().numNodes(); ++n) {
     std::uint64_t sum = 0;
     for (int d = 0; d < mesh::Mesh::kDirs; ++d)
-      sum += m.stats.links.linkBytes(m.mesh.linkIndex(n, static_cast<mesh::Mesh::Dir>(d)));
+      sum += m.stats.links.linkBytes(m.mesh().linkIndex(n, static_cast<mesh::Mesh::Dir>(d)));
     load[static_cast<std::size_t>(n)] = sum;
     peak = std::max(peak, sum);
   }

@@ -376,7 +376,7 @@ Result run(Machine& m, Runtime& rt, const Config& cfg) {
   sh.m = &m;
   sh.rt = &rt;
   sh.P = m.numProcs();
-  sh.order = mesh::canonicalLeafOrder(m.mesh);
+  sh.order = net::canonicalLeafOrder(m.topo());
   sh.numBodies = cfg.numBodies;
   sh.owned.resize(static_cast<std::size_t>(sh.P));
   sh.myCells.resize(static_cast<std::size_t>(sh.P));

@@ -66,7 +66,7 @@ Result runDiva(Machine& m, Runtime& rt, const Config& cfg) {
   const int P = m.numProcs();
   const int logP = log2int(P);
   const int keys = cfg.keysPerProc;
-  const auto order = mesh::canonicalLeafOrder(m.mesh);
+  const auto order = net::canonicalLeafOrder(m.topo());
   const auto input = inputKeys(P, cfg);
 
   // One variable per wire, owned by the wire's processor (setup, free).
@@ -124,7 +124,7 @@ Result runHandOptimized(Machine& m, const Config& cfg) {
   const int P = m.numProcs();
   const int logP = log2int(P);
   const int keys = cfg.keysPerProc;
-  const auto order = mesh::canonicalLeafOrder(m.mesh);
+  const auto order = net::canonicalLeafOrder(m.topo());
   const auto input = inputKeys(P, cfg);
 
   std::vector<std::vector<std::uint32_t>> finals(static_cast<std::size_t>(P));

@@ -65,8 +65,8 @@ std::vector<std::int32_t> serialSquare(const std::vector<std::int32_t>& a, int n
 // ---------------------------------------------------------------------------
 
 Result runDiva(Machine& m, Runtime& rt, const Config& cfg) {
-  DIVA_CHECK_MSG(m.mesh.rows() == m.mesh.cols(), "matmul needs a square mesh");
-  const int q = m.mesh.rows();
+  DIVA_CHECK_MSG(m.mesh().rows() == m.mesh().cols(), "matmul needs a square mesh");
+  const int q = m.mesh().rows();
   const int s = blockSide(cfg.blockInts);
   const int n = q * s;
 
@@ -79,12 +79,12 @@ Result runDiva(Machine& m, Runtime& rt, const Config& cfg) {
       Value init = cfg.realCompute
                        ? makeVecValue(blockOf(input, n, q, s, i, j))
                        : makeRawValue(static_cast<std::size_t>(cfg.blockInts) * 4);
-      vars[i * q + j] = rt.createVarFree(m.mesh.nodeAt(i, j), std::move(init));
+      vars[i * q + j] = rt.createVarFree(m.mesh().nodeAt(i, j), std::move(init));
     }
 
   auto program = [](Machine& mm, Runtime& r, const Config& c, int q_, int s_,
                     std::vector<VarId>& av, int i, int j) -> sim::Task<> {
-    const NodeId p = mm.mesh.nodeAt(i, j);
+    const NodeId p = mm.mesh().nodeAt(i, j);
     std::vector<std::int32_t> h;
     if (c.realCompute) h.assign(static_cast<std::size_t>(s_) * s_, 0);
     // Read phase: √P staggered steps.
@@ -166,8 +166,8 @@ sim::Task<> relay(Machine& m, NodeId p, net::Channel ch, bool hasNext, NodeId ne
 }  // namespace
 
 Result runHandOptimized(Machine& m, const Config& cfg) {
-  DIVA_CHECK_MSG(m.mesh.rows() == m.mesh.cols(), "matmul needs a square mesh");
-  const int q = m.mesh.rows();
+  DIVA_CHECK_MSG(m.mesh().rows() == m.mesh().cols(), "matmul needs a square mesh");
+  const int q = m.mesh().rows();
   const int s = blockSide(cfg.blockInts);
   const int n = q * s;
 
@@ -192,7 +192,7 @@ Result runHandOptimized(Machine& m, const Config& cfg) {
   auto main = [](Machine& mm, const Config& c, int q_, int s_, int i, int j,
                  std::vector<Value>& ownBlocks, PerProc& mine,
                  std::vector<std::int32_t>& result) -> sim::Task<> {
-    const NodeId p = mm.mesh.nodeAt(i, j);
+    const NodeId p = mm.mesh().nodeAt(i, j);
     mine.row.assign(static_cast<std::size_t>(q_), Value{});
     mine.col.assign(static_cast<std::size_t>(q_), Value{});
     const Value own = ownBlocks[i * q_ + j];
@@ -202,13 +202,13 @@ Result runHandOptimized(Machine& m, const Config& cfg) {
     sim::WaitGroup wg(mm.engine);
     wg.add(4);
     // East-bound blocks originate west of us: expect j of them.
-    sim::spawn(relay(mm, p, kEast, j + 1 < q_, j + 1 < q_ ? mm.mesh.nodeAt(i, j + 1) : p,
+    sim::spawn(relay(mm, p, kEast, j + 1 < q_, j + 1 < q_ ? mm.mesh().nodeAt(i, j + 1) : p,
                      j, j, own, mine.row, wg));
-    sim::spawn(relay(mm, p, kWest, j > 0, j > 0 ? mm.mesh.nodeAt(i, j - 1) : p,
+    sim::spawn(relay(mm, p, kWest, j > 0, j > 0 ? mm.mesh().nodeAt(i, j - 1) : p,
                      q_ - 1 - j, j, own, mine.row, wg));
-    sim::spawn(relay(mm, p, kSouth, i + 1 < q_, i + 1 < q_ ? mm.mesh.nodeAt(i + 1, j) : p,
+    sim::spawn(relay(mm, p, kSouth, i + 1 < q_, i + 1 < q_ ? mm.mesh().nodeAt(i + 1, j) : p,
                      i, i, own, mine.col, wg));
-    sim::spawn(relay(mm, p, kNorth, i > 0, i > 0 ? mm.mesh.nodeAt(i - 1, j) : p,
+    sim::spawn(relay(mm, p, kNorth, i > 0, i > 0 ? mm.mesh().nodeAt(i - 1, j) : p,
                      q_ - 1 - i, i, own, mine.col, wg));
     co_await wg.wait();
 

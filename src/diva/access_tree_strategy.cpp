@@ -25,8 +25,7 @@ AccessTreeStrategy::AccessTreeStrategy(net::Network& net, Stats& stats,
       stats_(stats),
       caches_(caches),
       params_(params),
-      decomp_(net.mesh(), mesh::Decomposition::Params{params.arity, params.leafSize}),
-      embed_(decomp_, params.embedding, params.seed) {}
+      tree_(net.topology().decompose(net::DecompParams{params.arity, params.leafSize})) {}
 
 std::string AccessTreeStrategy::name() const {
   return variantName(params_.arity, params_.leafSize);
@@ -41,11 +40,11 @@ const AccessTreeStrategy::TreeState* AccessTreeStrategy::findState(
 }
 
 bool AccessTreeStrategy::isParentOf(std::int32_t parent, std::int32_t child) const {
-  return decomp_.node(child).parent == parent;
+  return tree_->node(child).parent == parent;
 }
 
 std::uint32_t AccessTreeStrategy::childBit(std::int32_t child) const {
-  const int idx = decomp_.node(child).indexInParent;
+  const int idx = tree_->node(child).indexInParent;
   DIVA_CHECK(idx >= 0 && idx < 32);
   return 1u << idx;
 }
@@ -91,7 +90,7 @@ sim::Task<Value> AccessTreeStrategy::read(NodeId p, VarId x) {
   b.var = x;
   b.txn = txn;
   b.requester = p;
-  b.atNode = decomp_.leafOf(p);
+  b.atNode = tree_->leafOf(p);
   net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
 
   Value v = co_await done.wait();
@@ -111,7 +110,7 @@ sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
   b.var = x;
   b.txn = txn;
   b.requester = p;
-  b.atNode = decomp_.leafOf(p);
+  b.atNode = tree_->leafOf(p);
   b.isWrite = true;
   b.value = std::move(v);
   net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
@@ -125,14 +124,14 @@ sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
 void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
   DIVA_CHECK_MSG(!states_.contains(x), "variable registered twice");
   VarState& vs = states_[x];
-  const std::int32_t leaf = decomp_.leafOf(owner);
+  const std::int32_t leaf = tree_->leafOf(owner);
   TreeState& st = vs.nodes[leaf];
   st.kind = TreeState::Kind::Copy;
   NodeCache::Entry& e = caches_[owner].put(x, std::move(init));
   e.copyCount = 1;
   // Mark the path from the root to the component (data tracking invariant).
   std::int32_t child = leaf;
-  for (std::int32_t a = decomp_.parent(leaf); a >= 0; a = decomp_.parent(a)) {
+  for (std::int32_t a = tree_->parent(leaf); a >= 0; a = tree_->parent(a)) {
     TreeState& as = vs.nodes[a];
     as.kind = TreeState::Kind::Down;
     as.downChild = child;
@@ -147,14 +146,14 @@ sim::Task<void> AccessTreeStrategy::registerVar(VarId x, NodeId owner, Value ini
   // bookkeeping plus the first startup — creation does not block on a
   // root round trip.
   registerVarFree(x, owner, std::move(init));
-  const std::int32_t leaf = decomp_.leafOf(owner);
-  if (decomp_.parent(leaf) < 0) co_return;  // 1×1 mesh
+  const std::int32_t leaf = tree_->leafOf(owner);
+  if (tree_->parent(leaf) < 0) co_return;  // single-node machine
 
   AtBody b;
   b.k = AtBody::K::Mark;
   b.var = x;
   b.requester = owner;
-  b.atNode = decomp_.parent(leaf);
+  b.atNode = tree_->parent(leaf);
   b.fromNode = leaf;
   net_.post(net::Message{owner, hostOf(b.atNode, x), net::kProtocolChannel, 0, std::move(b)});
   co_return;
@@ -182,7 +181,7 @@ Value AccessTreeStrategy::peek(VarId x) const {
   std::int32_t top = -1;
   for (const auto& [node, st] : it->second.nodes)
     if (st.kind == TreeState::Kind::Copy &&
-        (top < 0 || decomp_.depthOf(node) < decomp_.depthOf(top)))
+        (top < 0 || tree_->depthOf(node) < tree_->depthOf(top)))
       top = node;
   DIVA_CHECK_MSG(top >= 0, "variable has no copies");
   const NodeCache::Entry* e = caches_[hostOf(top, x)].peek(x);
@@ -247,7 +246,7 @@ void AccessTreeStrategy::onClimb(AtBody&& b) {
     ++stats_.ops.protocolRetries;
     DIVA_CHECK_MSG(b.retries < kMaxRetries, "access tree climb livelock");
   }
-  const std::int32_t parent = decomp_.parent(node);
+  const std::int32_t parent = tree_->parent(node);
   DIVA_CHECK_MSG(parent >= 0, "climb reached the root without finding data "
                                   << "(unregistered variable " << b.var << "?)");
   b.path.push_back(node);
@@ -371,7 +370,7 @@ void AccessTreeStrategy::startInvalidation(std::int32_t uNode, AtBody&& b) {
   c.value = std::move(b.value);
   c.path = std::move(b.path);
 
-  const Decomp::Node& nd = decomp_.node(uNode);
+  const net::ClusterTree::Node& nd = tree_->node(uNode);
   auto flood = [&](std::int32_t nb) {
     AtBody iv;
     iv.k = AtBody::K::Inval;
@@ -417,7 +416,7 @@ void AccessTreeStrategy::onInval(AtBody&& b) {
   }
   ++stats_.ops.invalidations;
 
-  const Decomp::Node& nd = decomp_.node(node);
+  const net::ClusterTree::Node& nd = tree_->node(node);
   RelayState rs;
   rs.ackTo = from;
   auto flood = [&](std::int32_t nb) {
@@ -521,7 +520,7 @@ void AccessTreeStrategy::onMark(AtBody&& b) {
   // Cost-only: the directory was updated at registration; this message
   // stream just accounts for the marking traffic up the root path.
   const std::int32_t node = b.atNode;
-  const std::int32_t parent = decomp_.parent(node);
+  const std::int32_t parent = tree_->parent(node);
   if (parent < 0) return;
   b.fromNode = node;
   forward(std::move(b), node, parent, 0);
@@ -569,7 +568,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
   std::int32_t boundaryInside = -1, boundaryOutside = -1;
   for (std::int32_t s : hosted) {
     const TreeState& st = vit->second.nodes.at(s);
-    const Decomp::Node& nd = decomp_.node(s);
+    const net::ClusterTree::Node& nd = tree_->node(s);
     if (nd.parent < 0 || !inS(nd.parent)) ++topsInS;
     if (st.parentCopy && !inS(nd.parent)) {
       ++boundaryEdges;
@@ -600,7 +599,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
 
   // Is a tree node `a` an ancestor of `b`?
   auto isAncestor = [&](std::int32_t a, std::int32_t b) {
-    for (std::int32_t w = decomp_.parent(b); w >= 0; w = decomp_.parent(w))
+    for (std::int32_t w = tree_->parent(b); w >= 0; w = tree_->parent(w))
       if (w == a) return true;
     return false;
   };
@@ -611,7 +610,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
     if (boundaryOutside == s || isAncestor(s, boundaryOutside)) {
       // Survivors hang below: mark Down toward them.
       std::int32_t towards = boundaryOutside;
-      for (std::int32_t w = boundaryOutside; w != s; w = decomp_.parent(w)) towards = w;
+      for (std::int32_t w = boundaryOutside; w != s; w = tree_->parent(w)) towards = w;
       st.kind = TreeState::Kind::Down;
       st.downChild = towards;
     } else {
@@ -684,10 +683,10 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   };
   std::int32_t top = copies.front();
   for (std::int32_t n : copies)
-    if (decomp_.depthOf(n) < decomp_.depthOf(top)) top = n;
+    if (tree_->depthOf(n) < tree_->depthOf(top)) top = n;
   for (std::int32_t n : copies) {
     if (n == top) continue;
-    DIVA_CHECK_MSG(decomp_.parent(n) >= 0 && isCopy(decomp_.parent(n)),
+    DIVA_CHECK_MSG(tree_->parent(n) >= 0 && isCopy(tree_->parent(n)),
                    "copy component disconnected at tree node " << n);
   }
 
@@ -696,7 +695,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   std::vector<std::int32_t> rootPath;
   {
     std::int32_t child = top;
-    for (std::int32_t a = decomp_.parent(top); a >= 0; a = decomp_.parent(a)) {
+    for (std::int32_t a = tree_->parent(top); a >= 0; a = tree_->parent(a)) {
       const TreeState* st = findState(x, a);
       DIVA_CHECK_MSG(st && st->kind == TreeState::Kind::Down && st->downChild == child,
                      "root-path marking broken at tree node " << a);
@@ -718,7 +717,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   std::unordered_map<NodeId, int> hostCounts;
   for (std::int32_t n : copies) {
     const TreeState& st = vs.nodes.at(n);
-    const auto& nd = decomp_.node(n);
+    const auto& nd = tree_->node(n);
     // Masks are "may have a copy": they must cover every actual copy
     // neighbour (or invalidation floods would miss copies); stray extra
     // bits from skipped racing deposits are permitted (healed by the

@@ -5,22 +5,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "diva/cache.hpp"
 #include "diva/stats.hpp"
 #include "diva/strategy.hpp"
-#include "mesh/decomposition.hpp"
-#include "mesh/embedding.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 #include "sim/sync.hpp"
 
 namespace diva {
 
 /// The access tree strategy (paper §2, based on Maggs et al., FOCS'97).
 ///
-/// Every variable owns an *access tree* — a copy of the hierarchical mesh
-/// decomposition tree, embedded into the mesh (each tree node is hosted by
-/// a processor of its submesh). The processors holding a copy of the
-/// variable always form a connected component of the access tree:
+/// Every variable owns an *access tree* — a copy of the topology's
+/// hierarchical cluster tree, embedded into the network (each tree node
+/// is hosted by a processor of its cluster). The processors holding a
+/// copy of the variable always form a connected component of the access
+/// tree:
 ///
 ///  * READ: the requesting leaf climbs the tree to the nearest node
 ///    holding a copy; the value returns along the same tree path and a
@@ -39,19 +41,17 @@ namespace diva {
 /// "climb while Up, then descend along Down to the first Copy" always
 /// finds the nearest copy in the tree metric.
 ///
-/// All tree-edge messages travel along dimension-order mesh paths between
-/// the host processors; tree nodes co-hosted on one processor communicate
-/// by (cheap) local calls, so flatter trees trade congestion for fewer
-/// startups — the arity/leaf-size parameters below are the paper's
-/// ℓ-k-ary variants.
+/// All tree-edge messages travel along the topology's deterministic
+/// shortest paths between the host processors; tree nodes co-hosted on
+/// one processor communicate by (cheap) local calls, so flatter trees
+/// trade congestion for fewer startups — the arity/leaf-size parameters
+/// below are the paper's ℓ-k-ary variants.
 class AccessTreeStrategy final : public Strategy {
  public:
-  using Decomp = mesh::Decomposition;
-
   struct Params {
     int arity = 4;                        ///< ℓ ∈ {2, 4, 16}
     int leafSize = 1;                     ///< k (1 = pure ℓ-ary)
-    mesh::EmbeddingKind embedding = mesh::EmbeddingKind::Regular;
+    net::EmbeddingKind embedding = net::EmbeddingKind::Regular;
     std::uint64_t seed = 1;
   };
 
@@ -68,8 +68,10 @@ class AccessTreeStrategy final : public Strategy {
   void checkInvariants(VarId x) const override;
   void handleMessage(net::Message&& msg) override;
 
-  const mesh::Decomposition& decomposition() const { return decomp_; }
-  const mesh::Embedding& embedding() const { return embed_; }
+  /// The cluster tree every access tree copies (built from the machine
+  /// topology's decompose()).
+  const net::ClusterTree& tree() const { return *tree_; }
+  const Params& params() const { return params_; }
 
   /// Try to evict `x` from processor `p`'s cache if the tree invariants
   /// allow it (the copy is a fringe node of its component and not the
@@ -171,7 +173,9 @@ class AccessTreeStrategy final : public Strategy {
   // --- state helpers ---
   TreeState& stateOf(VarId x, std::int32_t node) { return states_[x].nodes[node]; }
   const TreeState* findState(VarId x, std::int32_t node) const;
-  NodeId hostOf(std::int32_t node, VarId x) const { return embed_.hostOf(node, x); }
+  NodeId hostOf(std::int32_t node, VarId x) const {
+    return tree_->hostOf(node, x, params_.embedding, params_.seed);
+  }
   bool isParentOf(std::int32_t parent, std::int32_t child) const;
   std::uint32_t childBit(std::int32_t child) const;
   int copyNeighborCount(VarId x, std::int32_t node) const;
@@ -182,8 +186,7 @@ class AccessTreeStrategy final : public Strategy {
   Stats& stats_;
   std::vector<NodeCache>& caches_;
   Params params_;
-  mesh::Decomposition decomp_;
-  mesh::Embedding embed_;
+  std::unique_ptr<net::ClusterTree> tree_;
   std::unordered_map<VarId, VarState> states_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
   std::uint64_t nextTxn_ = 1;

@@ -11,25 +11,25 @@ std::uint64_t roundKey(std::int32_t node, std::uint64_t round) {
 BarrierService::BarrierService(net::Network& net, Stats& stats, std::uint64_t seed)
     : net_(net),
       stats_(stats),
-      decomp_(net.mesh(), mesh::Decomposition::Params{4, 1}),
-      embed_(decomp_, mesh::EmbeddingKind::Regular, seed),
-      waiting_(net.mesh().numNodes(), nullptr),
-      nextRound_(net.mesh().numNodes(), 0) {}
+      seed_(seed),
+      tree_(net.topology().decompose(net::DecompParams{4, 1})),
+      waiting_(net.numNodes(), nullptr),
+      nextRound_(net.numNodes(), 0) {}
 
 sim::Task<void> BarrierService::arrive(NodeId p) {
   ++stats_.ops.barriers;
   const std::uint64_t round = nextRound_[p]++;
 
-  if (net_.mesh().numNodes() == 1) co_return;
+  if (net_.numNodes() == 1) co_return;
 
   sim::OneShot<bool> released(net_.engine());
   DIVA_CHECK_MSG(waiting_[p] == nullptr, "processor re-entered a barrier");
   waiting_[p] = &released;
 
-  const std::int32_t leaf = decomp_.leafOf(p);
+  const std::int32_t leaf = tree_->leafOf(p);
   Body b;
   b.k = Body::K::Complete;
-  b.atNode = decomp_.parent(leaf);
+  b.atNode = tree_->parent(leaf);
   b.round = round;
   net_.post(net::Message{p, hostOf(b.atNode), net::kSyncChannel, 0, b});
 
@@ -45,9 +45,9 @@ void BarrierService::handleMessage(net::Message&& msg) {
     return;
   }
   // Release wave.
-  const mesh::Decomposition::Node& nd = decomp_.node(b.atNode);
+  const net::ClusterTree::Node& nd = tree_->node(b.atNode);
   if (nd.isLeaf()) {
-    const NodeId p = decomp_.procOfLeaf(b.atNode);
+    const NodeId p = tree_->procOfLeaf(b.atNode);
     DIVA_CHECK_MSG(waiting_[p] != nullptr, "barrier release without a waiter");
     waiting_[p]->resolve(true);
     return;
@@ -56,7 +56,7 @@ void BarrierService::handleMessage(net::Message&& msg) {
 }
 
 void BarrierService::onComplete(std::int32_t node, std::uint64_t round) {
-  const mesh::Decomposition::Node& nd = decomp_.node(node);
+  const net::ClusterTree::Node& nd = tree_->node(node);
   const std::uint64_t key = roundKey(node, round);
   const int have = ++counts_[key];
   if (have < static_cast<int>(nd.children.size())) return;
@@ -73,12 +73,12 @@ void BarrierService::onComplete(std::int32_t node, std::uint64_t round) {
 }
 
 void BarrierService::releaseSubtree(std::int32_t node, std::uint64_t round) {
-  const mesh::Decomposition::Node& nd = decomp_.node(node);
+  const net::ClusterTree::Node& nd = tree_->node(node);
   const NodeId src = hostOf(node);
   for (std::int32_t child : nd.children) {
-    const mesh::Decomposition::Node& cd = decomp_.node(child);
+    const net::ClusterTree::Node& cd = tree_->node(child);
     if (cd.isLeaf()) {
-      const NodeId p = decomp_.procOfLeaf(child);
+      const NodeId p = tree_->procOfLeaf(child);
       Body b;
       b.k = Body::K::Release;
       b.atNode = child;

@@ -1,19 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "diva/stats.hpp"
-#include "mesh/decomposition.hpp"
-#include "mesh/embedding.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace diva {
 
-using mesh::NodeId;
+using net::NodeId;
 
 /// Barrier synchronization over a decomposition tree (paper §2:
 /// "synchronization mechanisms ... are implementations of elegant
@@ -22,8 +22,8 @@ using mesh::NodeId;
 /// Arrivals aggregate bottom-up: a tree node reports to its parent once
 /// all of its children's subtrees have arrived; when the root completes,
 /// a release wave broadcasts top-down. All messages are control-sized and
-/// travel between the embedded hosts along mesh routes, so barriers have
-/// realistic cost (≈2 messages per tree edge per episode).
+/// travel between the embedded hosts along network routes, so barriers
+/// have realistic cost (≈2 messages per tree edge per episode).
 class BarrierService {
  public:
   BarrierService(net::Network& net, Stats& stats, std::uint64_t seed);
@@ -42,14 +42,16 @@ class BarrierService {
 
   void onComplete(std::int32_t node, std::uint64_t round);
   void releaseSubtree(std::int32_t node, std::uint64_t round);
-  NodeId hostOf(std::int32_t node) const { return embed_.hostOf(node, kVarKey); }
+  NodeId hostOf(std::int32_t node) const {
+    return tree_->hostOf(node, kVarKey, net::EmbeddingKind::Regular, seed_);
+  }
 
   static constexpr std::uint64_t kVarKey = 0xBA221E5ull;
 
   net::Network& net_;
   Stats& stats_;
-  mesh::Decomposition decomp_;
-  mesh::Embedding embed_;
+  std::uint64_t seed_;
+  std::unique_ptr<net::ClusterTree> tree_;
   std::unordered_map<std::uint64_t, int> counts_;  ///< (node, round) → arrivals
   std::vector<sim::OneShot<bool>*> waiting_;       ///< per-processor release slot
   std::vector<std::uint64_t> nextRound_;           ///< per-processor episode counter

@@ -13,7 +13,7 @@ FixedHomeStrategy::FixedHomeStrategy(net::Network& net, Stats& stats,
 NodeId FixedHomeStrategy::homeOf(VarId x) const {
   return static_cast<NodeId>(support::hashBelow(
       support::hashCombine(params_.seed, x, 0xf1bedull),
-      static_cast<std::uint64_t>(net_.mesh().numNodes())));
+      static_cast<std::uint64_t>(net_.numNodes())));
 }
 
 void FixedHomeStrategy::sendBody(NodeId src, NodeId dst, FhBody&& b,

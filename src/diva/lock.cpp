@@ -20,16 +20,16 @@ std::uint64_t waitKey(VarId lock, NodeId p) {
 // ===========================================================================
 
 TreeLockService::TreeLockService(net::Network& net, Stats& stats,
-                                 const mesh::Decomposition& decomp,
-                                 const mesh::Embedding& embed)
-    : net_(net), stats_(stats), decomp_(decomp), embed_(embed) {}
+                                 const net::ClusterTree& tree,
+                                 net::EmbeddingKind embedding, std::uint64_t seed)
+    : net_(net), stats_(stats), tree_(tree), embedding_(embedding), seed_(seed) {}
 
 NodeId TreeLockService::hostOf(std::int32_t node, VarId lock) const {
-  return embed_.hostOf(node, lock);
+  return tree_.hostOf(node, lock, embedding_, seed_);
 }
 
 void TreeLockService::registerLockFree(VarId lock, NodeId creator) {
-  creatorLeaf_[lock] = decomp_.leafOf(creator);
+  creatorLeaf_[lock] = tree_.leafOf(creator);
 }
 
 std::int32_t TreeLockService::defaultHolderDir(VarId lock, std::int32_t node) const {
@@ -39,13 +39,8 @@ std::int32_t TreeLockService::defaultHolderDir(VarId lock, std::int32_t node) co
   if (leaf == node) return kSelf;
   // Token starts at the creator's leaf: point into the subtree containing
   // it, or to the parent when it lies outside ours.
-  const mesh::Decomposition::Node& nd = decomp_.node(node);
-  const mesh::Coord c = decomp_.mesh().coordOf(decomp_.procOfLeaf(leaf));
-  if (!nd.box.contains(c)) return nd.parent;
-  for (std::int32_t ch : nd.children)
-    if (decomp_.node(ch).box.contains(c)) return ch;
-  DIVA_CHECK_MSG(false, "defaultHolderDir: inconsistent decomposition");
-  return -3;
+  const int child = tree_.childToward(node, tree_.procOfLeaf(leaf));
+  return child >= 0 ? child : tree_.node(node).parent;
 }
 
 TreeLockService::NodeState& TreeLockService::stateOf(VarId lock, std::int32_t node) {
@@ -64,7 +59,7 @@ sim::Task<void> TreeLockService::acquire(NodeId p, VarId lock) {
   Body b;
   b.k = Body::K::Request;
   b.lock = lock;
-  b.atNode = decomp_.leafOf(p);
+  b.atNode = tree_.leafOf(p);
   b.fromNode = kSelf;
   net_.post(net::Message{p, p, net::kLockChannel, 0, b});
 
@@ -77,7 +72,7 @@ sim::Task<void> TreeLockService::release(NodeId p, VarId lock) {
   Body b;
   b.k = Body::K::Release;
   b.lock = lock;
-  b.atNode = decomp_.leafOf(p);
+  b.atNode = tree_.leafOf(p);
   // Named local rather than a temporary in the co_await expression:
   // GCC 12 double-destroys such temporaries (PR 104031).
   net::Message m{p, p, net::kLockChannel, 0, b};
@@ -145,7 +140,7 @@ void TreeLockService::grantNext(VarId lock, std::int32_t node) {
   if (next == kSelf) {
     // Local grant: `node` must be the requester's leaf.
     st.inUse = true;
-    const NodeId p = decomp_.procOfLeaf(node);
+    const NodeId p = tree_.procOfLeaf(node);
     auto it = waiting_.find(waitKey(lock, p));
     DIVA_CHECK_MSG(it != waiting_.end(), "token granted but nobody waits");
     it->second->resolve(true);
@@ -188,7 +183,7 @@ CentralLockService::CentralLockService(net::Network& net, Stats& stats,
 NodeId CentralLockService::homeOf(VarId lock) const {
   return static_cast<NodeId>(
       support::hashBelow(support::hashCombine(seed_, lock, 0x10c4ull),
-                         static_cast<std::uint64_t>(net_.mesh().numNodes())));
+                         static_cast<std::uint64_t>(net_.numNodes())));
 }
 
 void CentralLockService::registerLockFree(VarId lock, NodeId /*creator*/) {

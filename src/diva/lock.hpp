@@ -6,15 +6,14 @@
 
 #include "diva/stats.hpp"
 #include "diva/types.hpp"
-#include "mesh/decomposition.hpp"
-#include "mesh/embedding.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace diva {
 
-using mesh::NodeId;
+using net::NodeId;
 
 /// Mutual exclusion on global variables. Two implementations mirror the
 /// two data strategies: token passing on the variable's access tree
@@ -36,11 +35,14 @@ class LockService {
 /// variable. Every tree node keeps a pointer toward the token and a FIFO
 /// of pending requests; requests climb toward the token, the token flips
 /// pointers as it travels back. O(tree depth) messages per acquisition,
-/// with locality: contenders in one submesh resolve within it.
+/// with locality: contenders in one cluster resolve within it.
 class TreeLockService final : public LockService {
  public:
-  TreeLockService(net::Network& net, Stats& stats, const mesh::Decomposition& decomp,
-                  const mesh::Embedding& embed);
+  /// `tree` is the strategy's cluster tree (lock traffic travels the same
+  /// access trees as the data); `embedding`/`seed` select the same
+  /// per-variable hosts.
+  TreeLockService(net::Network& net, Stats& stats, const net::ClusterTree& tree,
+                  net::EmbeddingKind embedding, std::uint64_t seed);
 
   sim::Task<void> acquire(NodeId p, VarId lock) override;
   sim::Task<void> release(NodeId p, VarId lock) override;
@@ -74,8 +76,9 @@ class TreeLockService final : public LockService {
 
   net::Network& net_;
   Stats& stats_;
-  const mesh::Decomposition& decomp_;
-  const mesh::Embedding& embed_;
+  const net::ClusterTree& tree_;
+  net::EmbeddingKind embedding_;
+  std::uint64_t seed_;
   std::unordered_map<VarId, std::unordered_map<std::int32_t, NodeState>> states_;
   std::unordered_map<VarId, std::int32_t> creatorLeaf_;
   std::unordered_map<std::uint64_t, sim::OneShot<bool>*> waiting_;  ///< (lock,proc) → acquire

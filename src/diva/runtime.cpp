@@ -7,6 +7,24 @@ namespace diva {
 
 Runtime::Runtime(Machine& machine, RuntimeConfig config)
     : machine_(machine), config_(config) {
+  // Fail fast on configurations that would otherwise misbehave deep
+  // inside the protocol (or silently measure the wrong machine).
+  DIVA_CHECK_MSG(config.arity == 2 || config.arity == 4 || config.arity == 16,
+                 "RuntimeConfig: arity must be 2, 4 or 16 (got " << config.arity << ")");
+  DIVA_CHECK_MSG(config.leafSize >= 1,
+                 "RuntimeConfig: leafSize must be positive (got " << config.leafSize
+                                                                  << ")");
+  DIVA_CHECK_MSG(config.leafSize <= 32,
+                 "RuntimeConfig: leafSize must be <= 32 — access-tree child-copy "
+                 "masks are 32-bit (got "
+                     << config.leafSize << ")");
+  if (config.topology.specified()) {
+    DIVA_CHECK_MSG(config.topology == machine.topo().spec(),
+                   "RuntimeConfig topology " << config.topology.describe()
+                                             << " does not match machine topology "
+                                             << machine.topo().name());
+  }
+
   caches_.reserve(static_cast<std::size_t>(machine.numProcs()));
   for (int i = 0; i < machine.numProcs(); ++i)
     caches_.emplace_back(config.cacheCapacityBytes);
@@ -17,8 +35,8 @@ Runtime::Runtime(Machine& machine, RuntimeConfig config)
         AccessTreeStrategy::Params{config.arity, config.leafSize, config.embedding,
                                    config.seed});
     // Locks travel the same access trees as the data.
-    locks_ = std::make_unique<TreeLockService>(machine.net, machine.stats,
-                                               at->decomposition(), at->embedding());
+    locks_ = std::make_unique<TreeLockService>(machine.net, machine.stats, at->tree(),
+                                               config.embedding, config.seed);
     strategy_ = std::move(at);
   } else {
     strategy_ = std::make_unique<FixedHomeStrategy>(

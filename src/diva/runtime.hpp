@@ -10,20 +10,27 @@
 #include "diva/lock.hpp"
 #include "diva/machine.hpp"
 #include "diva/strategy.hpp"
-#include "mesh/embedding.hpp"
+#include "net/topology.hpp"
 
 namespace diva {
 
 enum class StrategyKind { AccessTree, FixedHome };
 
 /// Everything needed to instantiate one data-management configuration.
+/// Validated by the Runtime constructor, which throws a descriptive
+/// CheckError on invalid parameters (bad arity/leafSize, or a topology
+/// spec that does not match the machine) instead of misbehaving later.
 struct RuntimeConfig {
   StrategyKind kind = StrategyKind::AccessTree;
-  int arity = 4;      ///< access tree: ℓ
-  int leafSize = 1;   ///< access tree: k (ℓ-k-ary variants)
-  mesh::EmbeddingKind embedding = mesh::EmbeddingKind::Regular;
+  int arity = 4;      ///< access tree: ℓ ∈ {2, 4, 16}
+  int leafSize = 1;   ///< access tree: k (ℓ-k-ary variants), 1 ≤ k ≤ 32
+  net::EmbeddingKind embedding = net::EmbeddingKind::Regular;
   std::uint64_t seed = 1;
   std::uint64_t cacheCapacityBytes = ~0ull;  ///< per-processor memory module
+  /// Optional: the machine shape this configuration was written for.
+  /// When specified it must equal the machine's topology (fail fast on
+  /// mismatched experiment setups); left unspecified it matches any.
+  net::TopologySpec topology{};
 
   static RuntimeConfig accessTree(int arity = 4, int leafSize = 1,
                                   std::uint64_t seed = 1) {
@@ -38,6 +45,12 @@ struct RuntimeConfig {
     RuntimeConfig c;
     c.kind = StrategyKind::FixedHome;
     c.seed = seed;
+    return c;
+  }
+  /// Builder-style: pin this config to a machine shape.
+  RuntimeConfig on(const net::TopologySpec& spec) const {
+    RuntimeConfig c = *this;
+    c.topology = spec;
     return c;
   }
 };

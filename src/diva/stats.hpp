@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "mesh/link_stats.hpp"
-#include "mesh/mesh.hpp"
+#include "net/topology.hpp"
 #include "sim/time.hpp"
 
 namespace diva {
@@ -16,7 +16,7 @@ class Stats {
  public:
   static constexpr int kMaxPhases = 8;
 
-  explicit Stats(const mesh::Mesh& mesh) : links(mesh.numLinkSlots(), kMaxPhases) {}
+  explicit Stats(const net::Topology& topo) : links(topo.numLinkSlots(), kMaxPhases) {}
 
   mesh::LinkStats links;
 

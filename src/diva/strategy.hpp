@@ -3,13 +3,12 @@
 #include <string>
 
 #include "diva/types.hpp"
-#include "mesh/mesh.hpp"
 #include "net/message.hpp"
 #include "sim/task.hpp"
 
 namespace diva {
 
-using mesh::NodeId;
+using net::NodeId;
 
 /// A dynamic data management strategy: decides how many copies of each
 /// global variable exist, where they are placed, and how consistency is

@@ -81,12 +81,4 @@ int Decomposition::build(const Submesh& box, int parent, int indexInParent, int 
   return self;
 }
 
-std::vector<NodeId> canonicalLeafOrder(const Mesh& mesh) {
-  Decomposition d(mesh, Decomposition::Params{2, 1});
-  std::vector<NodeId> order;
-  order.reserve(static_cast<std::size_t>(mesh.numNodes()));
-  for (int leaf : d.leafOrder()) order.push_back(d.procOfLeaf(leaf));
-  return order;
-}
-
 }  // namespace diva::mesh

@@ -96,9 +96,4 @@ class Decomposition {
   int maxDepth_ = 0;
 };
 
-/// The canonical 2-ary leaf order of a mesh, used to assign logical
-/// processor numbers consistently across all strategies (so that every
-/// strategy runs the *same* workload and only data management differs).
-std::vector<NodeId> canonicalLeafOrder(const Mesh& mesh);
-
 }  // namespace diva::mesh

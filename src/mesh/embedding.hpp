@@ -3,20 +3,15 @@
 #include <cstdint>
 
 #include "mesh/decomposition.hpp"
+#include "net/topology.hpp"
 
 namespace diva::mesh {
 
-enum class EmbeddingKind {
-  /// Theoretical embedding from the competitive analysis: every access
-  /// tree node is mapped independently and uniformly at random to one of
-  /// the processors of its submesh.
-  Random,
-  /// Practical embedding from the paper: the root is mapped uniformly at
-  /// random; a node whose parent sits at relative position (i, j) of the
-  /// parent's submesh is mapped to relative position (i mod m1, j mod m2)
-  /// of its own m1×m2 submesh. This shortens expected tree-edge routes.
-  Regular,
-};
+/// The embedding kinds are shared with the generic topology layer; on the
+/// mesh, `Regular` maps a node whose parent sits at relative position
+/// (i, j) of the parent's submesh to relative position
+/// (i mod m1, j mod m2) of its own m1×m2 submesh.
+using EmbeddingKind = net::EmbeddingKind;
 
 /// Maps access-tree nodes to host processors, one embedding per variable.
 ///

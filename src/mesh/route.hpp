@@ -3,14 +3,14 @@
 #include <vector>
 
 #include "mesh/mesh.hpp"
+#include "net/topology.hpp"
 
 namespace diva::mesh {
 
 /// One hop of a route: the directed link taken and the node it leads to.
-struct Hop {
-  int link;
-  NodeId to;
-};
+/// (Shared with the generic topology layer — `net::MeshTopology` routes
+/// by delegating to `appendDimensionOrderRoute` below.)
+using Hop = net::Hop;
 
 /// Dimension-by-dimension order routing, exactly as assumed by the paper's
 /// analysis and implemented by the GCel's wormhole router: the unique

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace diva::net {
+
+/// Cluster tree of a hypercube: subcube decomposition. Splitting always
+/// fixes the highest free dimension, so every cluster is a contiguous
+/// range of node ids [base, base + 2^freeDims) and the canonical leaf
+/// order is the numeric node order. ℓ-ary trees fix log2(ℓ) dimensions
+/// per level; the ℓ-k-ary variants terminate at subcubes of ≤ k nodes
+/// with one child per processor, exactly mirroring the mesh decomposition.
+class HypercubeClusterTree final : public ClusterTree {
+ public:
+  HypercubeClusterTree(int dims, DecompParams params);
+
+  NodeId hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
+                std::uint64_t seed) const override;
+
+ private:
+  struct Cube {
+    NodeId base = 0;
+    int freeDims = 0;  ///< cluster = ids [base, base + 2^freeDims)
+  };
+
+  int build(const Cube& cube, int parent, int indexInParent, int depth,
+            const DecompParams& params);
+  static void expandChildren(const Cube& cube, int levels, std::vector<Cube>& out);
+
+  int dims_;
+  std::vector<Cube> cubes_;  ///< parallel to nodes_
+};
+
+/// d-dimensional hypercube (2^d nodes, node ids are coordinate bit
+/// strings). Direction slot i is the link flipping bit i. Routing is
+/// e-cube (dimension-order): correct differing bits from dimension 0
+/// upward — the deterministic shortest path, one bit flip per hop.
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(int dims);
+
+  int dims() const { return dims_; }
+
+  TopologyKind kind() const override { return TopologyKind::Hypercube; }
+  TopologySpec spec() const override { return TopologySpec::hypercube(dims_); }
+  int numNodes() const override { return 1 << dims_; }
+  int degree() const override { return dims_; }
+
+  NodeId neighbor(NodeId n, int dir) const override {
+    if (dir < 0 || dir >= dims_) return -1;
+    return n ^ (NodeId{1} << dir);
+  }
+
+  NodeId nextHop(NodeId from, NodeId to) const override;
+  int distance(NodeId a, NodeId b) const override;
+  void appendRoute(NodeId from, NodeId to, RouteVec& out) const override;
+
+  std::unique_ptr<ClusterTree> decompose(DecompParams params) const override {
+    return std::make_unique<HypercubeClusterTree>(dims_, params);
+  }
+
+ private:
+  int dims_;
+};
+
+}  // namespace diva::net

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+
+#include "mesh/decomposition.hpp"
+#include "mesh/embedding.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/route.hpp"
+#include "net/topology.hpp"
+
+namespace diva::net {
+
+/// Cluster tree of a 2-D grid: wraps the paper's mesh decomposition (the
+/// recursive halving of the longer side) and its submesh-relative
+/// embeddings, so strategies built on the generic API behave exactly like
+/// the original mesh-specific code path.
+class MeshClusterTree final : public ClusterTree {
+ public:
+  MeshClusterTree(const mesh::Mesh& grid, DecompParams params)
+      : decomp_(grid, mesh::Decomposition::Params{params.arity, params.leafSize}) {
+    const int n = decomp_.numNodes();
+    nodes_.resize(static_cast<std::size_t>(n));
+    leafProc_.assign(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+      const mesh::Decomposition::Node& d = decomp_.node(i);
+      nodes_[i] = Node{d.parent, d.indexInParent, d.children, d.depth, d.box.size()};
+      if (d.isLeaf()) leafProc_[i] = decomp_.procOfLeaf(i);
+    }
+    finalize(grid.numNodes());
+  }
+
+  NodeId hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
+                std::uint64_t seed) const override {
+    // Embedding is a stateless pure function of (decomposition, kind,
+    // seed); constructing it per call is three pointer stores.
+    return mesh::Embedding(decomp_, kind, seed).hostOf(treeNode, varKey);
+  }
+
+  const mesh::Decomposition& decomposition() const { return decomp_; }
+
+ private:
+  mesh::Decomposition decomp_;
+};
+
+/// The 2-D mesh of the Parsytec GCel — the paper's machine. Dimension-order
+/// routing (columns then rows) with arithmetic-only route expansion; this
+/// is the hot-path topology and must stay allocation-free.
+class MeshTopology : public Topology {
+ public:
+  MeshTopology(int rows, int cols) : grid_(rows, cols) {}
+
+  /// Grid-coordinate access for 2-D-structured applications (matmul's
+  /// block layout, congestion heat maps).
+  const mesh::Mesh& grid() const { return grid_; }
+
+  TopologyKind kind() const override { return TopologyKind::Mesh2D; }
+  TopologySpec spec() const override {
+    return TopologySpec::mesh2d(grid_.rows(), grid_.cols());
+  }
+  int numNodes() const override { return grid_.numNodes(); }
+  int degree() const override { return mesh::Mesh::kDirs; }
+
+  NodeId neighbor(NodeId n, int dir) const override {
+    if (dir < 0 || dir >= mesh::Mesh::kDirs) return -1;
+    const auto d = static_cast<mesh::Mesh::Dir>(dir);
+    return grid_.hasNeighbor(n, d) ? grid_.neighbor(n, d) : -1;
+  }
+
+  NodeId nextHop(NodeId from, NodeId to) const override {
+    const mesh::Coord src = grid_.coordOf(from), dst = grid_.coordOf(to);
+    if (src.col != dst.col) return src.col < dst.col ? from + 1 : from - 1;
+    if (src.row != dst.row)
+      return src.row < dst.row ? from + grid_.cols() : from - grid_.cols();
+    return from;
+  }
+
+  int distance(NodeId a, NodeId b) const override { return grid_.distance(a, b); }
+
+  void appendRoute(NodeId from, NodeId to, RouteVec& out) const override {
+    mesh::appendDimensionOrderRoute(grid_, from, to, out);
+  }
+
+  std::unique_ptr<ClusterTree> decompose(DecompParams params) const override {
+    return std::make_unique<MeshClusterTree>(grid_, params);
+  }
+
+ protected:
+  mesh::Mesh grid_;
+};
+
+}  // namespace diva::net

@@ -4,11 +4,9 @@
 #include <cstdint>
 #include <utility>
 
-#include "mesh/mesh.hpp"
+#include "net/topology.hpp"
 
 namespace diva::net {
-
-using mesh::NodeId;
 
 /// Mailbox/handler channel. Low values are reserved by the library;
 /// applications may use any value ≥ kFirstAppChannel.

@@ -9,15 +9,15 @@ namespace {
 constexpr Channel kMaxChannels = 1u << 16;
 }  // namespace
 
-Network::Network(sim::Engine& engine, const mesh::Mesh& mesh, CostModel cost,
+Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
                  mesh::LinkStats& stats)
     : engine_(&engine),
-      mesh_(&mesh),
+      topo_(&topology),
       cost_(cost),
       stats_(&stats),
-      numNodes_(static_cast<std::size_t>(mesh.numNodes())) {
+      numNodes_(static_cast<std::size_t>(topology.numNodes())) {
   cpuFreeAt_.assign(numNodes_, sim::kTimeZero);
-  linkFreeAt_.assign(static_cast<std::size_t>(mesh.numLinkSlots()), sim::kTimeZero);
+  linkFreeAt_.assign(static_cast<std::size_t>(topology.numLinkSlots()), sim::kTimeZero);
   // The library protocol channels exist on every machine; size for them up
   // front so the common dispatch never grows mid-run.
   handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
@@ -53,8 +53,8 @@ std::size_t Network::mailboxSlot(NodeId node, Channel channel) {
 }
 
 sim::Time Network::postInternal(Message&& msg) {
-  DIVA_CHECK(msg.src >= 0 && msg.src < mesh_->numNodes());
-  DIVA_CHECK(msg.dst >= 0 && msg.dst < mesh_->numNodes());
+  DIVA_CHECK(msg.src >= 0 && static_cast<std::size_t>(msg.src) < numNodes_);
+  DIVA_CHECK(msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < numNodes_);
   ++messagesSent_;
 
   if (msg.src == msg.dst) {
@@ -77,13 +77,13 @@ sim::Time Network::postInternal(Message&& msg) {
   f->path.clear();  // recycled flights keep their (possibly spilled) capacity
   f->idx = 0;
   f->headReady = injected;
-  mesh::appendDimensionOrderRoute(*mesh_, f->msg.src, f->msg.dst, f->path);
+  topo_->appendRoute(f->msg.src, f->msg.dst, f->path);
   engine_->scheduleAt(injected, [this, f] { hop(f); });
   return injected;
 }
 
 void Network::hop(Flight* f) {
-  const mesh::Hop& h = f->path[f->idx];
+  const Hop& h = f->path[f->idx];
   sim::Time& linkFree = linkFreeAt_[h.link];
   const sim::Time start = std::max(f->headReady, linkFree);
   const std::uint64_t wire = f->msg.payloadBytes + cost_.headerBytes;
@@ -138,14 +138,19 @@ sim::Task<Message> Network::recv(NodeId node, Channel channel) {
   // Plain function, not a coroutine: validates (node, channel) and
   // resolves the slot eagerly — a coroutine body would defer the check
   // (and its CheckError) until first resume inside the event loop.
-  return recvOnSlot(mailboxSlot(node, channel));
+  return recvOnSlot(*this, mailboxSlot(node, channel));
 }
 
-sim::Task<Message> Network::recvOnSlot(std::size_t slot) {
+sim::Task<Message> Network::recvOnSlot(Network& net, std::size_t slot) {
+  // The Network first parameter routes this coroutine's frame into the
+  // network-owned frame pool (see sim/task.hpp): mailbox-heavy loops call
+  // recv once per message, and after warm-up those frames recycle instead
+  // of hitting the heap.
+  //
   // Hold the slot index, not a Mailbox reference: the dense table may be
   // resized by other channels appearing while this coroutine is suspended
   // (indices survive growth, references do not).
-  while (mailboxes_[slot].queue.empty()) {
+  while (net.mailboxes_[slot].queue.empty()) {
     struct WaitAwaiter {
       Network* net;
       std::size_t slot;
@@ -155,9 +160,9 @@ sim::Task<Message> Network::recvOnSlot(std::size_t slot) {
       }
       void await_resume() const noexcept {}
     };
-    co_await WaitAwaiter{this, slot};
+    co_await WaitAwaiter{&net, slot};
   }
-  co_return mailboxes_[slot].queue.take_front();
+  co_return net.mailboxes_[slot].queue.take_front();
 }
 
 }  // namespace diva::net

@@ -6,20 +6,20 @@
 #include <vector>
 
 #include "mesh/link_stats.hpp"
-#include "mesh/mesh.hpp"
-#include "mesh/route.hpp"
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
+#include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "support/frame_pool.hpp"
 #include "support/object_pool.hpp"
 #include "support/ring_buffer.hpp"
 #include "support/small_vec.hpp"
 
 namespace diva::net {
 
-/// The message-passing machine: a 2-D mesh of single-CPU nodes joined by
-/// directed links, simulated at message granularity.
+/// The message-passing machine: single-CPU nodes joined by the directed
+/// links of a pluggable `Topology`, simulated at message granularity.
 ///
 /// Time model (three cost terms, matching the paper's observations):
 ///  1. *Startups*: each send charges `sendOverheadUs` on the sender's CPU,
@@ -27,9 +27,9 @@ namespace diva::net {
 ///     Every node has one CPU; application compute, send startups and
 ///     message handling serialize on it (`cpuFreeAt_`).
 ///  2. *Bandwidth & contention*: a message occupies every directed link of
-///     its dimension-order path for wireBytes/bandwidth µs; links are FIFO
-///     resources, so contended links queue messages — this is where
-///     congestion turns into time.
+///     its deterministic shortest path for wireBytes/bandwidth µs; links
+///     are FIFO resources, so contended links queue messages — this is
+///     where congestion turns into time.
 ///  3. *Per-hop latency*: the cut-through router forwards the head after
 ///     `hopLatencyUs`, letting the payload pipeline across hops (the GCel
 ///     uses wormhole routing; we model virtual cut-through, i.e. infinite
@@ -41,19 +41,21 @@ namespace diva::net {
 /// are completely independent of the time model.
 ///
 /// Hot-path storage: in-flight state (`Flight`, boxed local `Message`s)
-/// comes from recycling slab pools owned by the Network, routes live in
-/// per-flight inline buffers that are computed in place, and handler /
-/// mailbox dispatch indexes dense per-(channel, node) vectors — so in
+/// comes from recycling slab pools owned by the Network, routes are
+/// computed by the topology straight into per-flight inline buffers,
+/// handler / mailbox dispatch indexes dense per-(channel, node) vectors,
+/// and `recv` coroutine frames recycle through a frame pool — so in
 /// steady state moving a message end to end allocates nothing.
 class Network {
  public:
   using Handler = std::function<void(Message&&)>;
 
-  Network(sim::Engine& engine, const mesh::Mesh& mesh, CostModel cost,
+  Network(sim::Engine& engine, const Topology& topology, CostModel cost,
           mesh::LinkStats& stats);
 
   sim::Engine& engine() { return *engine_; }
-  const mesh::Mesh& mesh() const { return *mesh_; }
+  const Topology& topology() const { return *topo_; }
+  int numNodes() const { return static_cast<int>(numNodes_); }
   const CostModel& cost() const { return cost_; }
   mesh::LinkStats& stats() { return *stats_; }
 
@@ -102,10 +104,13 @@ class Network {
   /// Total messages injected (diagnostics).
   std::uint64_t messagesSent() const { return messagesSent_; }
 
+  /// Frame recycling for the `recv` coroutines (see sim/task.hpp).
+  support::FramePool& coroFramePool() { return framePool_; }
+
  private:
   struct Flight {  // in-flight message state, pooled and recycled
     Message msg;
-    support::SmallVec<mesh::Hop, 16> path;
+    RouteVec path;
     std::size_t idx = 0;
     sim::Time headReady = 0;  ///< when the head is ready to enter path[idx]
   };
@@ -118,7 +123,9 @@ class Network {
   sim::Time postInternal(Message&& msg);
   void hop(Flight* f);
   void dispatchOrEnqueue(Message&& msg);
-  sim::Task<Message> recvOnSlot(std::size_t slot);
+  /// Static (not a member) so the Network is the coroutine's first
+  /// parameter: that is what routes the frame into `coroFramePool()`.
+  static sim::Task<Message> recvOnSlot(Network& net, std::size_t slot);
 
   /// Dense dispatch slot for (node, channel). Channel-major layout —
   /// `channel * numNodes + node` — so discovering a new channel appends a
@@ -130,7 +137,7 @@ class Network {
   std::size_t mailboxSlot(NodeId node, Channel channel);
 
   sim::Engine* engine_;
-  const mesh::Mesh* mesh_;
+  const Topology* topo_;
   CostModel cost_;
   mesh::LinkStats* stats_;
   std::size_t numNodes_;
@@ -143,6 +150,7 @@ class Network {
   int dispatchDepth_ = 0;           ///< handlers currently executing
   support::ObjectPool<Flight> flightPool_;
   support::ObjectPool<Message> messagePool_;
+  support::FramePool framePool_;
   std::uint64_t messagesSent_ = 0;
 };
 

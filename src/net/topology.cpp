@@ -1,0 +1,106 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+
+#include "net/hypercube_topology.hpp"
+#include "net/mesh_topology.hpp"
+#include "net/torus_topology.hpp"
+
+namespace diva::net {
+
+const char* topologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::Mesh2D: return "mesh2d";
+    case TopologyKind::Torus2D: return "torus2d";
+    case TopologyKind::Hypercube: return "hypercube";
+  }
+  return "?";
+}
+
+std::string TopologySpec::describe() const {
+  std::ostringstream os;
+  os << topologyKindName(kind);
+  if (kind == TopologyKind::Hypercube) {
+    os << '-' << a << 'd';
+  } else {
+    os << '-' << a << 'x' << b;
+  }
+  return os.str();
+}
+
+void ClusterTree::finalize(int numProcs) {
+  DIVA_CHECK(!nodes_.empty() && leafProc_.size() == nodes_.size());
+  leafOfProc_.assign(numProcs, -1);
+  rankOfProc_.assign(numProcs, -1);
+  leafOrder_.clear();
+  leafOrder_.reserve(static_cast<std::size_t>(numProcs));
+  maxDepth_ = 0;
+  // Left-to-right DFS fixes the canonical leaf order independently of the
+  // order in which a builder happened to append nodes.
+  std::vector<int> stack{root()};
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    maxDepth_ = std::max(maxDepth_, nodes_[n].depth);
+    if (nodes_[n].isLeaf()) {
+      const NodeId p = leafProc_[n];
+      DIVA_CHECK_MSG(p >= 0 && p < numProcs, "leaf without a processor");
+      DIVA_CHECK_MSG(leafOfProc_[p] < 0, "processor " << p << " has two leaves");
+      leafOfProc_[p] = n;
+      leafOrder_.push_back(n);
+      continue;
+    }
+    for (auto it = nodes_[n].children.rbegin(); it != nodes_[n].children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  DIVA_CHECK_MSG(static_cast<int>(leafOrder_.size()) == numProcs,
+                 "decomposition leaves do not cover the processor set");
+  for (int w = 0; w < numProcs; ++w) rankOfProc_[procOfLeaf(leafOrder_[w])] = w;
+}
+
+int ClusterTree::childToward(int treeNode, NodeId p) const {
+  int cur = leafOf(p);
+  while (cur >= 0) {
+    const int par = nodes_[cur].parent;
+    if (par == treeNode) return cur;
+    cur = par;
+  }
+  return -1;
+}
+
+std::unique_ptr<Topology> makeTopology(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::Mesh2D:
+      DIVA_CHECK_MSG(spec.a >= 1 && spec.b >= 1,
+                     "mesh2d sides must be positive (got " << spec.a << "x" << spec.b
+                                                           << ")");
+      return std::make_unique<MeshTopology>(spec.a, spec.b);
+    case TopologyKind::Torus2D:
+      DIVA_CHECK_MSG(spec.a >= 1 && spec.b >= 1,
+                     "torus2d sides must be positive (got " << spec.a << "x" << spec.b
+                                                            << ")");
+      return std::make_unique<TorusTopology>(spec.a, spec.b);
+    case TopologyKind::Hypercube:
+      DIVA_CHECK_MSG(spec.a >= 0 && spec.a <= 20,
+                     "hypercube dimension must be in [0, 20] (got " << spec.a << ")");
+      return std::make_unique<HypercubeTopology>(spec.a);
+  }
+  DIVA_CHECK_MSG(false, "unknown topology kind");
+  return nullptr;
+}
+
+std::vector<NodeId> canonicalLeafOrder(const Topology& topo) {
+  const auto tree = topo.decompose(DecompParams{2, 1});
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(topo.numNodes()));
+  for (int leaf : tree->leafOrder()) order.push_back(tree->procOfLeaf(leaf));
+  return order;
+}
+
+std::vector<Hop> routeOf(const Topology& topo, NodeId from, NodeId to) {
+  RouteVec buf;
+  topo.appendRoute(from, to, buf);
+  return std::vector<Hop>(buf.begin(), buf.end());
+}
+
+}  // namespace diva::net

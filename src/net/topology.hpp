@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/small_vec.hpp"
+
+namespace diva::net {
+
+/// Processor identifier: dense index 0..P-1. The numbering convention is
+/// topology-specific (row-major for grids, binary for hypercubes).
+using NodeId = std::int32_t;
+
+/// One hop of a route: the directed link taken and the node it leads to.
+struct Hop {
+  int link;
+  NodeId to;
+};
+
+/// Inline route buffer used on the per-message hot path: routes are
+/// computed in place, and 16 inline hops cover every shortest path on the
+/// machine sizes the paper studies (spills reuse their capacity).
+using RouteVec = support::SmallVec<Hop, 16>;
+
+/// How access-tree nodes are mapped to host processors (paper §2).
+enum class EmbeddingKind {
+  /// Theoretical embedding from the competitive analysis: every tree node
+  /// is mapped independently and uniformly at random to one of the
+  /// processors of its cluster.
+  Random,
+  /// Practical embedding from the paper: the root is mapped uniformly at
+  /// random, every other node preserves its parent's relative position
+  /// within the child cluster. This shortens expected tree-edge routes.
+  Regular,
+};
+
+/// Parameters of the hierarchical decomposition (paper §2): ℓ-ary trees
+/// for ℓ ∈ {2, 4, 16}, optionally terminated at clusters of ≤ `leafSize`
+/// processors, which then get one child per processor (ℓ-k-ary variants).
+struct DecompParams {
+  int arity = 4;
+  int leafSize = 1;
+};
+
+/// The network shapes a Machine can simulate.
+enum class TopologyKind { Mesh2D, Torus2D, Hypercube };
+
+const char* topologyKindName(TopologyKind kind);
+
+/// Value-type description of a topology, used to construct machines and
+/// to validate that a RuntimeConfig matches the machine it runs on.
+/// `a`/`b` are rows/cols for the 2-D grids; `a` is the dimension count
+/// for hypercubes (b unused). a == 0 means "unspecified".
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Mesh2D;
+  int a = 0;
+  int b = 0;
+
+  static TopologySpec mesh2d(int rows, int cols) {
+    return TopologySpec{TopologyKind::Mesh2D, rows, cols};
+  }
+  static TopologySpec torus2d(int rows, int cols) {
+    return TopologySpec{TopologyKind::Torus2D, rows, cols};
+  }
+  static TopologySpec hypercube(int dims) {
+    return TopologySpec{TopologyKind::Hypercube, dims, 0};
+  }
+
+  /// A default-constructed spec (mesh2d with no dimensions) means
+  /// "unspecified — match any machine"; every constructible spec,
+  /// including the 1-node hypercube(0), counts as specified.
+  bool specified() const { return kind != TopologyKind::Mesh2D || a > 0; }
+  bool operator==(const TopologySpec&) const = default;
+  std::string describe() const;
+};
+
+/// Topology-agnostic hierarchical cluster tree — the generalization of the
+/// paper's mesh-decomposition tree that the access-tree strategy, barrier
+/// and tree locks consume. Leaves correspond 1:1 to processors;
+/// `leafOrder()` enumerates them in the tree's left-to-right order (the
+/// numbering applications use to assign logical processor identities).
+///
+/// Concrete trees are produced by `Topology::decompose()` and keep the
+/// geometry needed to embed tree nodes onto processors; a tree must not
+/// outlive the topology that created it.
+class ClusterTree {
+ public:
+  struct Node {
+    int parent = -1;            ///< -1 at the root
+    int indexInParent = -1;     ///< which child of the parent this node is
+    std::vector<int> children;  ///< empty at leaves
+    int depth = 0;
+    int size = 0;               ///< processors in this cluster
+    bool isLeaf() const { return children.empty(); }
+  };
+
+  virtual ~ClusterTree() = default;
+
+  int root() const { return 0; }
+  int numNodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int i) const { return nodes_[i]; }
+  int parent(int i) const { return nodes_[i].parent; }
+  int depthOf(int i) const { return nodes_[i].depth; }
+  int maxDepth() const { return maxDepth_; }
+  int numProcs() const { return static_cast<int>(leafOfProc_.size()); }
+
+  /// Tree leaf whose cluster is exactly {processor p}.
+  int leafOf(NodeId p) const { return leafOfProc_[p]; }
+
+  /// The single processor of a leaf node.
+  NodeId procOfLeaf(int leaf) const {
+    DIVA_CHECK(leafProc_[leaf] >= 0);
+    return leafProc_[leaf];
+  }
+
+  /// Leaves in left-to-right tree order (size = number of processors).
+  const std::vector<int>& leafOrder() const { return leafOrder_; }
+
+  /// Logical rank of processor p in leaf order (inverse of leafOrder).
+  int rankOf(NodeId p) const { return rankOfProc_[p]; }
+
+  /// Processor with logical rank w in leaf order.
+  NodeId procOfRank(int w) const { return procOfLeaf(leafOrder_[w]); }
+
+  /// Child of `treeNode` whose subtree contains processor p, or -1 when
+  /// p lies outside `treeNode`'s cluster. Generic replacement for the
+  /// "which quadrant contains this coordinate" query.
+  int childToward(int treeNode, NodeId p) const;
+
+  /// Host processor of tree node `treeNode` in the access tree of the
+  /// variable identified by `varKey`. Pure function of its arguments, so
+  /// no per-variable state exists — essential when applications create
+  /// hundreds of thousands of variables.
+  virtual NodeId hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
+                        std::uint64_t seed) const = 0;
+
+ protected:
+  /// Builders append `nodes_`/`leafProc_` and then call finalize(), which
+  /// derives the per-processor leaf/rank tables and checks that leaves
+  /// partition the processor set.
+  void finalize(int numProcs);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leafProc_;  ///< per tree node: its processor, -1 unless leaf
+  std::vector<int> leafOfProc_;
+  std::vector<int> rankOfProc_;
+  std::vector<int> leafOrder_;
+  int maxDepth_ = 0;
+};
+
+/// A network shape: the load-bearing abstraction between the simulated
+/// machine and everything above it. A Topology defines the node set, the
+/// directed-link slot numbering used by the cost model and congestion
+/// accounting, deterministic oblivious routing, and the hierarchical
+/// decomposition the data-management strategies build their trees from.
+///
+/// Routing contract: `appendRoute` emits the unique deterministic
+/// shortest path from `from` to `to` (empty when equal); the hop count
+/// always equals `distance(from, to)`, and `nextHop` returns the first
+/// node of that path. Implementations must keep `appendRoute`
+/// allocation-free apart from the output buffer — it runs once per
+/// simulated message.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual TopologyKind kind() const = 0;
+  virtual TopologySpec spec() const = 0;
+  std::string name() const { return spec().describe(); }
+
+  virtual int numNodes() const = 0;
+
+  /// Directed-link slots per node. Slots for links that do not exist at a
+  /// boundary are allocated but never used: link lookup stays a single
+  /// multiply-add.
+  virtual int degree() const = 0;
+  int numLinkSlots() const { return numNodes() * degree(); }
+  int linkIndex(NodeId from, int dir) const { return from * degree() + dir; }
+
+  /// Neighbor of `n` along direction slot `dir`, or -1 when absent.
+  virtual NodeId neighbor(NodeId n, int dir) const = 0;
+
+  /// First node after `from` on the route to `to` (`from` when equal).
+  virtual NodeId nextHop(NodeId from, NodeId to) const = 0;
+
+  /// Length of the route from `a` to `b` in hops.
+  virtual int distance(NodeId a, NodeId b) const = 0;
+
+  /// Append the deterministic shortest route onto `out` (see contract
+  /// above). Hot path: must not allocate beyond `out` itself.
+  virtual void appendRoute(NodeId from, NodeId to, RouteVec& out) const = 0;
+
+  /// Build the hierarchical cluster tree for `params`. The returned tree
+  /// references this topology and must not outlive it.
+  virtual std::unique_ptr<ClusterTree> decompose(DecompParams params) const = 0;
+};
+
+/// Construct a topology from its spec; throws CheckError on invalid
+/// dimensions (non-positive grid sides, hypercube dims outside [0, 20]).
+std::unique_ptr<Topology> makeTopology(const TopologySpec& spec);
+
+/// The canonical 2-ary leaf order of a topology, used to assign logical
+/// processor numbers consistently across all strategies (so that every
+/// strategy runs the *same* workload and only data management differs).
+std::vector<NodeId> canonicalLeafOrder(const Topology& topo);
+
+/// Convenience: route as a fresh vector (analysis/tests, not hot path).
+std::vector<Hop> routeOf(const Topology& topo, NodeId from, NodeId to);
+
+}  // namespace diva::net

@@ -1,0 +1,75 @@
+#include "net/torus_topology.hpp"
+
+namespace diva::net {
+
+namespace {
+
+/// Signed per-dimension step plan: how many hops, and in which of the two
+/// ring directions. Forward = increasing coordinate (East/South).
+struct RingPlan {
+  int count;
+  bool forward;
+};
+
+RingPlan planRing(int from, int to, int size) {
+  int fwd = to - from;
+  if (fwd < 0) fwd += size;
+  // Shorter way around; a tie (fwd == size/2 on even rings) goes forward
+  // so routes stay deterministic.
+  if (fwd * 2 <= size) return RingPlan{fwd, true};
+  return RingPlan{size - fwd, false};
+}
+
+}  // namespace
+
+int TorusTopology::distance(NodeId a, NodeId b) const {
+  const mesh::Coord ca = grid_.coordOf(a), cb = grid_.coordOf(b);
+  return planRing(ca.col, cb.col, grid_.cols()).count +
+         planRing(ca.row, cb.row, grid_.rows()).count;
+}
+
+void TorusTopology::appendRoute(NodeId from, NodeId to, RouteVec& out) const {
+  // Arithmetic-only dimension-order walk (columns then rows), mirroring
+  // the mesh hot path: no allocation beyond the caller's buffer.
+  const int rows = grid_.rows(), cols = grid_.cols();
+  const mesh::Coord src = grid_.coordOf(from), dst = grid_.coordOf(to);
+  NodeId cur = from;
+
+  const RingPlan colPlan = planRing(src.col, dst.col, cols);
+  int col = src.col;
+  for (int i = 0; i < colPlan.count; ++i) {
+    const int nc = colPlan.forward ? (col + 1) % cols : (col + cols - 1) % cols;
+    const NodeId next = cur + (nc - col);  // same row
+    const auto d = colPlan.forward ? mesh::Mesh::East : mesh::Mesh::West;
+    out.push_back(Hop{linkIndex(cur, d), next});
+    cur = next;
+    col = nc;
+  }
+
+  const RingPlan rowPlan = planRing(src.row, dst.row, rows);
+  int row = src.row;
+  for (int i = 0; i < rowPlan.count; ++i) {
+    const int nr = rowPlan.forward ? (row + 1) % rows : (row + rows - 1) % rows;
+    const NodeId next = cur + (nr - row) * cols;
+    const auto d = rowPlan.forward ? mesh::Mesh::South : mesh::Mesh::North;
+    out.push_back(Hop{linkIndex(cur, d), next});
+    cur = next;
+    row = nr;
+  }
+}
+
+NodeId TorusTopology::nextHop(NodeId from, NodeId to) const {
+  if (from == to) return from;
+  const int rows = grid_.rows(), cols = grid_.cols();
+  const mesh::Coord src = grid_.coordOf(from), dst = grid_.coordOf(to);
+  if (src.col != dst.col) {
+    const RingPlan p = planRing(src.col, dst.col, cols);
+    const int nc = p.forward ? (src.col + 1) % cols : (src.col + cols - 1) % cols;
+    return from + (nc - src.col);
+  }
+  const RingPlan p = planRing(src.row, dst.row, rows);
+  const int nr = p.forward ? (src.row + 1) % rows : (src.row + rows - 1) % rows;
+  return from + (nr - src.row) * cols;
+}
+
+}  // namespace diva::net

@@ -1,10 +1,15 @@
 #pragma once
 
+#include <concepts>
 #include <coroutine>
+#include <cstddef>
 #include <cstdio>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
+
+#include "support/frame_pool.hpp"
 
 namespace diva::sim {
 
@@ -21,8 +26,59 @@ class [[nodiscard]] Task;
 
 namespace detail {
 
+/// A coroutine owner that recycles its coroutines' frames: expose a
+/// `coroFramePool()` accessor and take the owner as the coroutine's first
+/// parameter (e.g. `Network`'s mailbox receive). Frames of such
+/// coroutines are drawn from the owner's pool instead of the heap, so
+/// awaiting the same operation in a loop stops allocating after warm-up.
+template <typename T>
+concept HasFramePool = requires(T& t) {
+  { t.coroFramePool() } -> std::same_as<support::FramePool&>;
+};
+
+/// Every Task frame is prefixed with its origin (pool or heap) and total
+/// size, because the frame deallocation function receives no context.
+/// The header is padded to the default new alignment, which is also the
+/// strictest alignment coroutine frames get from any allocator.
+struct FrameHeader {
+  support::FramePool* pool;
+  std::size_t size;
+};
+inline constexpr std::size_t kFrameHeaderSize =
+    (sizeof(FrameHeader) + __STDCPP_DEFAULT_NEW_ALIGNMENT__ - 1) /
+    __STDCPP_DEFAULT_NEW_ALIGNMENT__ * __STDCPP_DEFAULT_NEW_ALIGNMENT__;
+
+inline void* allocFrame(support::FramePool* pool, std::size_t n) {
+  const std::size_t total = n + kFrameHeaderSize;
+  void* raw = pool != nullptr ? pool->allocate(total) : ::operator new(total);
+  *static_cast<FrameHeader*>(raw) = FrameHeader{pool, total};
+  return static_cast<std::byte*>(raw) + kFrameHeaderSize;
+}
+
+inline void freeFrame(void* p) noexcept {
+  void* raw = static_cast<std::byte*>(p) - kFrameHeaderSize;
+  const FrameHeader h = *static_cast<FrameHeader*>(raw);
+  if (h.pool != nullptr) {
+    h.pool->deallocate(raw, h.size);
+  } else {
+    ::operator delete(raw);
+  }
+}
+
 struct PromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Frame allocation: overload resolution for a coroutine's frame first
+  // tries (size, parameters...); the constrained overload wins exactly
+  // when the first parameter is a pool-owning object, everything else
+  // falls back to the plain form on the global heap.
+  static void* operator new(std::size_t n) { return allocFrame(nullptr, n); }
+  template <typename Owner, typename... Args>
+    requires HasFramePool<Owner>
+  static void* operator new(std::size_t n, Owner& owner, Args&...) {
+    return allocFrame(&owner.coroFramePool(), n);
+  }
+  static void operator delete(void* p) noexcept { freeFrame(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

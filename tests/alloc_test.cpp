@@ -156,6 +156,43 @@ TEST(Alloc, MessagePipelineIsAllocationFreeInSteadyState) {
   EXPECT_EQ(budget, 0u);
 }
 
+// Mailbox-heavy steady state: a token circulates a ring of coroutines
+// that each loop `recv` → `post`. Every recv call is a fresh coroutine,
+// so without the network's frame pool this would allocate one frame per
+// received message; with it, the frames recycle and the whole loop runs
+// allocation-free at working depth.
+TEST(Alloc, RecvCoroutineFramesRecycleInSteadyState) {
+  Machine m(4, 4);
+  const NodeId procs = static_cast<NodeId>(m.numProcs());
+
+  auto spawnRing = [&](int rounds) {
+    for (NodeId p = 0; p < procs; ++p) {
+      sim::spawn([](Machine& mm, NodeId self, NodeId np, int n) -> sim::Task<> {
+        for (int i = 0; i < n; ++i) {
+          net::Message msg = co_await mm.net.recv(self, net::kFirstAppChannel);
+          (void)msg;
+          if (i + 1 == n && self + 1 == np) co_return;  // retire the token
+          net::Message next{self, static_cast<NodeId>((self + 1) % np),
+                            net::kFirstAppChannel, 32, {}};
+          mm.net.post(std::move(next));
+        }
+      }(m, p, procs, rounds));
+    }
+    m.net.post(net::Message{0, 0, net::kFirstAppChannel, 32, {}});
+  };
+
+  // Warm-up: grows the frame pool to one frame per concurrently-suspended
+  // recv, plus the flight/message pools and mailbox rings.
+  spawnRing(8);
+  m.engine.run();
+
+  // Steady state: several thousand recv calls, zero heap traffic.
+  spawnRing(128);
+  const std::uint64_t before = allocCount();
+  m.engine.run();
+  EXPECT_EQ(allocCount() - before, 0u) << "recv coroutine frames hit the heap";
+}
+
 TEST(Alloc, TeardownWithPendingEventsLeaksNothing) {
   const std::int64_t baseline = outstanding();
   {

@@ -7,6 +7,7 @@
 
 #include "mesh/decomposition.hpp"
 #include "mesh/embedding.hpp"
+#include "net/mesh_topology.hpp"
 
 namespace diva::mesh {
 namespace {
@@ -133,7 +134,7 @@ TEST(Decomposition, FullMeshLeafSizeIsPary) {
 
 TEST(CanonicalLeafOrder, IsAPermutationAndLocal) {
   Mesh m(8, 8);
-  const auto order = canonicalLeafOrder(m);
+  const auto order = net::canonicalLeafOrder(net::MeshTopology(8, 8));
   std::set<NodeId> seen(order.begin(), order.end());
   EXPECT_EQ(seen.size(), 64u);
   // Locality: consecutive ranks are close in the mesh (within the 2-ary

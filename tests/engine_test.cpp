@@ -232,6 +232,11 @@ TEST(Condition, NotifyOneWakesOneWaiter) {
   e.run();
   EXPECT_EQ(woke, 1);
   EXPECT_EQ(cond.numWaiters(), 2u);
+  // Drain the remaining waiters: abandoned detached coroutines would leak
+  // their frames, and the full suite must stay clean under LSan.
+  cond.notifyAll();
+  e.run();
+  EXPECT_EQ(woke, 3);
 }
 
 TEST(OneShot, ResolveBeforeWaitIsImmediate) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "mesh/link_stats.hpp"
+#include "net/mesh_topology.hpp"
 #include "net/network.hpp"
 #include "sim/task.hpp"
 
@@ -12,9 +13,9 @@ namespace {
 
 struct Fixture {
   explicit Fixture(int rows = 4, int cols = 4, CostModel cm = CostModel::gcel())
-      : mesh(rows, cols), stats(mesh.numLinkSlots(), 1), net(engine, mesh, cm, stats) {}
+      : topo(rows, cols), stats(topo.numLinkSlots(), 1), net(engine, topo, cm, stats) {}
   sim::Engine engine;
-  mesh::Mesh mesh;
+  MeshTopology topo;
   mesh::LinkStats stats;
   Network net;
 };

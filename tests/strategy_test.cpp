@@ -251,10 +251,10 @@ TEST(AccessTree, ReadDepositsCopiesAlongTheTreePath) {
   // less traffic than the first.
   Machine m(8, 8);
   Runtime rt(m, RuntimeConfig::accessTree(2, 1));
-  const VarId x = rt.createVarFree(m.mesh.nodeAt(7, 7), makeRawValue(4096));
-  readVar(m, rt, m.mesh.nodeAt(0, 0), x);
+  const VarId x = rt.createVarFree(m.mesh().nodeAt(7, 7), makeRawValue(4096));
+  readVar(m, rt, m.mesh().nodeAt(0, 0), x);
   const auto afterFirst = m.stats.links.totalBytes();
-  readVar(m, rt, m.mesh.nodeAt(0, 1), x);  // same small submesh
+  readVar(m, rt, m.mesh().nodeAt(0, 1), x);  // same small submesh
   const auto second = m.stats.links.totalBytes() - afterFirst;
   EXPECT_LT(second, afterFirst / 2) << "nearby reader should be served locally";
   rt.checkAllInvariants();
@@ -310,7 +310,7 @@ TEST(FixedHome, HomeSerializesAllRequests) {
   const NodeId home = fh->homeOf(x);
   std::uint64_t homeOut = 0;
   for (int d = 0; d < mesh::Mesh::kDirs; ++d)
-    homeOut += m.stats.links.linkBytes(m.mesh.linkIndex(home, static_cast<mesh::Mesh::Dir>(d)));
+    homeOut += m.stats.links.linkBytes(m.mesh().linkIndex(home, static_cast<mesh::Mesh::Dir>(d)));
   EXPECT_GT(homeOut, m.stats.links.totalBytes() / 16);
 }
 

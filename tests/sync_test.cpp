@@ -192,9 +192,9 @@ TEST(TreeLock, TokenTravelsTowardContention) {
   // involving the far-away creator after the first transfer.
   Machine m(8, 8);
   Runtime rt(m, RuntimeConfig::accessTree(2, 1));
-  const NodeId far = m.mesh.nodeAt(7, 7);
+  const NodeId far = m.mesh().nodeAt(7, 7);
   const VarId lk = rt.createVarFree(far, makeValue<int>(0), true);
-  const NodeId a = m.mesh.nodeAt(0, 0), b = m.mesh.nodeAt(0, 1);
+  const NodeId a = m.mesh().nodeAt(0, 0), b = m.mesh().nodeAt(0, 1);
   // First acquisition drags the token across the mesh.
   sim::spawn([](Runtime& r, NodeId n, VarId l) -> Task<> {
     co_await r.lock(n, l);

@@ -1,0 +1,341 @@
+// Tests for the pluggable topology layer: routing validity across every
+// topology (link-sequence correctness, hop count == distance, torus
+// wraparound direction, hypercube bit flips), decomposition/embedding
+// sanity, fail-fast construction, and end-to-end strategy runs on every
+// network shape.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "net/hypercube_topology.hpp"
+#include "net/mesh_topology.hpp"
+#include "net/topology.hpp"
+#include "net/torus_topology.hpp"
+#include "support/rng.hpp"
+
+namespace diva {
+namespace {
+
+using net::NodeId;
+using net::TopologySpec;
+
+std::vector<TopologySpec> allShapes() {
+  return {TopologySpec::mesh2d(4, 5),  TopologySpec::mesh2d(1, 7),
+          TopologySpec::torus2d(4, 6), TopologySpec::torus2d(5, 5),
+          TopologySpec::hypercube(4),  TopologySpec::hypercube(1)};
+}
+
+/// Does processor p lie in the cluster of `treeNode`? (Climb from p's leaf.)
+bool inCluster(const net::ClusterTree& tree, int treeNode, NodeId p) {
+  for (int n = tree.leafOf(p); n >= 0; n = tree.parent(n))
+    if (n == treeNode) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+TEST(TopologyRouting, RoutesFollowLinksAndMatchDistance) {
+  for (const auto& spec : allShapes()) {
+    const auto topo = net::makeTopology(spec);
+    const int n = topo->numNodes();
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        const auto hops = net::routeOf(*topo, a, b);
+        ASSERT_EQ(static_cast<int>(hops.size()), topo->distance(a, b))
+            << spec.describe() << " " << a << "->" << b;
+        NodeId cur = a;
+        for (const net::Hop& h : hops) {
+          // The hop's link must be a real directed link out of `cur`
+          // leading exactly to the hop's target.
+          const int dir = h.link - topo->linkIndex(cur, 0);
+          ASSERT_GE(dir, 0) << spec.describe();
+          ASSERT_LT(dir, topo->degree()) << spec.describe();
+          ASSERT_EQ(topo->linkIndex(cur, dir), h.link);
+          ASSERT_EQ(topo->neighbor(cur, dir), h.to)
+              << spec.describe() << " " << a << "->" << b << " at node " << cur;
+          cur = h.to;
+        }
+        ASSERT_EQ(cur, b) << spec.describe();
+        // nextHop is the first node of the route (or `a` when trivial).
+        ASSERT_EQ(topo->nextHop(a, b), hops.empty() ? a : hops.front().to);
+      }
+    }
+  }
+}
+
+TEST(TopologyRouting, TorusWraparoundPicksShorterDirection) {
+  const auto topo = net::makeTopology(TopologySpec::torus2d(4, 6));
+  auto at = [&](int r, int c) { return static_cast<NodeId>(r * 6 + c); };
+
+  // (0,0) -> (0,5): one hop West around the wrap, not five hops East.
+  EXPECT_EQ(topo->distance(at(0, 0), at(0, 5)), 1);
+  EXPECT_EQ(topo->nextHop(at(0, 0), at(0, 5)), at(0, 5));
+
+  // (0,0) -> (3,0): one hop North around the wrap.
+  EXPECT_EQ(topo->distance(at(0, 0), at(3, 0)), 1);
+  EXPECT_EQ(topo->nextHop(at(0, 0), at(3, 0)), at(3, 0));
+
+  // (0,1) -> (0,4): tie on the 6-ring (3 either way) breaks East.
+  EXPECT_EQ(topo->distance(at(0, 1), at(0, 4)), 3);
+  EXPECT_EQ(topo->nextHop(at(0, 1), at(0, 4)), at(0, 2));
+
+  // A size-1 ring has no wrap link — neighbor() must not report a
+  // self-loop.
+  const auto ribbon = net::makeTopology(TopologySpec::torus2d(1, 7));
+  EXPECT_EQ(ribbon->neighbor(3, mesh::Mesh::South), -1);
+  EXPECT_EQ(ribbon->neighbor(3, mesh::Mesh::North), -1);
+  EXPECT_EQ(ribbon->neighbor(6, mesh::Mesh::East), 0);  // the 7-ring wraps
+
+  // Distances are symmetric and never exceed the mesh distance.
+  const auto meshTopo = net::makeTopology(TopologySpec::mesh2d(4, 6));
+  for (NodeId a = 0; a < 24; ++a) {
+    for (NodeId b = 0; b < 24; ++b) {
+      EXPECT_EQ(topo->distance(a, b), topo->distance(b, a));
+      EXPECT_LE(topo->distance(a, b), meshTopo->distance(a, b));
+    }
+  }
+}
+
+TEST(TopologyRouting, HypercubeRoutesFlipOneAscendingBitPerHop) {
+  const auto topo = net::makeTopology(TopologySpec::hypercube(4));
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      const auto hops = net::routeOf(*topo, a, b);
+      EXPECT_EQ(static_cast<int>(hops.size()),
+                std::popcount(static_cast<std::uint32_t>(a ^ b)));
+      NodeId cur = a;
+      int lastDim = -1;
+      for (const net::Hop& h : hops) {
+        const auto flipped = static_cast<std::uint32_t>(cur ^ h.to);
+        ASSERT_EQ(std::popcount(flipped), 1) << a << "->" << b;
+        const int dim = std::countr_zero(flipped);
+        ASSERT_GT(dim, lastDim) << "e-cube order violated";  // dimensions ascend
+        lastDim = dim;
+        cur = h.to;
+      }
+      ASSERT_EQ(cur, b);
+    }
+  }
+}
+
+TEST(TopologyRouting, MeshMatchesLegacyDimensionOrderRouting) {
+  // The topology route of the mesh must be bit-identical to the original
+  // arithmetic dimension-order walk the network hot path always used.
+  const mesh::Mesh grid(5, 7);
+  const net::MeshTopology topo(5, 7);
+  for (NodeId a = 0; a < 35; ++a) {
+    for (NodeId b = 0; b < 35; ++b) {
+      const auto legacy = mesh::routeOf(grid, a, b);
+      const auto generic = net::routeOf(topo, a, b);
+      ASSERT_EQ(legacy.size(), generic.size());
+      for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(legacy[i].link, generic[i].link);
+        EXPECT_EQ(legacy[i].to, generic[i].to);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition and embedding
+// ---------------------------------------------------------------------------
+
+TEST(TopologyDecomposition, TreesPartitionAndEmbedWithinClusters) {
+  for (const auto& spec : allShapes()) {
+    const auto topo = net::makeTopology(spec);
+    const int procs = topo->numNodes();
+    for (const auto& params :
+         {net::DecompParams{2, 1}, net::DecompParams{4, 1}, net::DecompParams{16, 1},
+          net::DecompParams{2, 4}}) {
+      const auto tree = topo->decompose(params);
+
+      // Leaf tables are mutually inverse permutations.
+      ASSERT_EQ(tree->numProcs(), procs);
+      for (NodeId p = 0; p < procs; ++p) {
+        EXPECT_EQ(tree->procOfLeaf(tree->leafOf(p)), p);
+        EXPECT_EQ(tree->procOfRank(tree->rankOf(p)), p);
+      }
+
+      // Tree structure: children sizes sum to the parent's, indexInParent
+      // matches position, depths increase by one.
+      for (int i = 0; i < tree->numNodes(); ++i) {
+        const auto& nd = tree->node(i);
+        if (nd.isLeaf()) {
+          EXPECT_EQ(nd.size, 1);
+          continue;
+        }
+        int sum = 0;
+        for (std::size_t c = 0; c < nd.children.size(); ++c) {
+          const auto& cd = tree->node(nd.children[c]);
+          EXPECT_EQ(cd.parent, i);
+          EXPECT_EQ(cd.indexInParent, static_cast<int>(c));
+          EXPECT_EQ(cd.depth, nd.depth + 1);
+          sum += cd.size;
+        }
+        EXPECT_EQ(sum, nd.size) << spec.describe();
+      }
+
+      // Embeddings host every tree node on a processor of its own cluster,
+      // deterministically, for both kinds.
+      for (const auto kind : {net::EmbeddingKind::Regular, net::EmbeddingKind::Random}) {
+        for (std::uint64_t var : {1ull, 2ull, 99ull}) {
+          for (int i = 0; i < tree->numNodes(); ++i) {
+            const NodeId host = tree->hostOf(i, var, kind, 42);
+            ASSERT_GE(host, 0);
+            ASSERT_LT(host, procs);
+            EXPECT_TRUE(inCluster(*tree, i, host))
+                << spec.describe() << " node " << i << " hosted outside its cluster";
+            EXPECT_EQ(host, tree->hostOf(i, var, kind, 42)) << "non-deterministic";
+          }
+        }
+      }
+
+      // childToward agrees with the ancestor chain.
+      for (NodeId p = 0; p < procs; ++p) {
+        int cur = tree->leafOf(p);
+        while (tree->parent(cur) >= 0) {
+          EXPECT_EQ(tree->childToward(tree->parent(cur), p), cur);
+          cur = tree->parent(cur);
+        }
+        EXPECT_EQ(tree->childToward(tree->leafOf(p), p), -1);  // leaf has no child
+      }
+    }
+
+    // Canonical leaf order is a permutation of the processors.
+    auto order = net::canonicalLeafOrder(*topo);
+    ASSERT_EQ(static_cast<int>(order.size()), procs);
+    std::sort(order.begin(), order.end());
+    for (NodeId p = 0; p < procs; ++p) EXPECT_EQ(order[p], p);
+  }
+}
+
+TEST(TopologyDecomposition, MeshTreeMatchesLegacyDecomposition) {
+  const net::MeshTopology topo(4, 3);
+  const mesh::Mesh grid(4, 3);
+  const mesh::Decomposition legacy(grid, mesh::Decomposition::Params{2, 1});
+  const auto tree = topo.decompose(net::DecompParams{2, 1});
+  ASSERT_EQ(tree->numNodes(), legacy.numNodes());
+  for (int i = 0; i < tree->numNodes(); ++i) {
+    EXPECT_EQ(tree->parent(i), legacy.parent(i));
+    EXPECT_EQ(tree->depthOf(i), legacy.depthOf(i));
+    EXPECT_EQ(tree->node(i).children, legacy.node(i).children);
+  }
+  EXPECT_EQ(tree->leafOrder(), legacy.leafOrder());
+  // Hosts are computed by the very same embedding.
+  const mesh::Embedding embed(legacy, mesh::EmbeddingKind::Regular, 7);
+  for (int i = 0; i < tree->numNodes(); ++i)
+    for (std::uint64_t var : {1ull, 5ull})
+      EXPECT_EQ(tree->hostOf(i, var, net::EmbeddingKind::Regular, 7),
+                embed.hostOf(i, var));
+}
+
+// ---------------------------------------------------------------------------
+// Fail-fast construction and configuration validation
+// ---------------------------------------------------------------------------
+
+TEST(TopologyValidation, RejectsInvalidDimensions) {
+  EXPECT_THROW((void)net::makeTopology(TopologySpec::mesh2d(0, 4)), support::CheckError);
+  EXPECT_THROW((void)net::makeTopology(TopologySpec::torus2d(4, -1)),
+               support::CheckError);
+  EXPECT_THROW((void)net::makeTopology(TopologySpec::hypercube(-1)),
+               support::CheckError);
+  EXPECT_THROW((void)net::makeTopology(TopologySpec::hypercube(21)),
+               support::CheckError);
+  EXPECT_THROW(Machine(TopologySpec::mesh2d(0, 0)), support::CheckError);
+}
+
+TEST(TopologyValidation, RuntimeRejectsInvalidConfig) {
+  Machine m(4, 4);
+  EXPECT_THROW(Runtime(m, RuntimeConfig::accessTree(3, 1)), support::CheckError);
+  EXPECT_THROW(Runtime(m, RuntimeConfig::accessTree(4, 0)), support::CheckError);
+  EXPECT_THROW(Runtime(m, RuntimeConfig::accessTree(4, 33)), support::CheckError);
+}
+
+TEST(TopologyValidation, RuntimeRejectsMismatchedTopologySpec) {
+  Machine m(TopologySpec::torus2d(4, 4));
+  // Pinning the config to the machine's own shape is fine...
+  Runtime ok(m, RuntimeConfig::accessTree(4, 1).on(TopologySpec::torus2d(4, 4)));
+  // ...any other shape fails fast instead of silently measuring the wrong
+  // machine.
+  EXPECT_THROW(Runtime(m, RuntimeConfig::accessTree(4, 1).on(TopologySpec::mesh2d(4, 4))),
+               support::CheckError);
+  EXPECT_THROW(
+      Runtime(m, RuntimeConfig::fixedHome().on(TopologySpec::torus2d(4, 8))),
+      support::CheckError);
+  // hypercube(0) is a constructible 1-node machine, so pinning it counts
+  // as "specified" and must still trip the mismatch check.
+  EXPECT_THROW(
+      Runtime(m, RuntimeConfig::accessTree(4, 1).on(TopologySpec::hypercube(0))),
+      support::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: both strategies run on every topology
+// ---------------------------------------------------------------------------
+
+class TopologyEndToEnd : public ::testing::TestWithParam<TopologySpec> {};
+
+TEST_P(TopologyEndToEnd, StrategiesRunAndInvariantsHoldAtQuiescence) {
+  const TopologySpec spec = GetParam();
+  for (const auto& rc :
+       {RuntimeConfig::accessTree(4, 1), RuntimeConfig::accessTree(2, 2),
+        RuntimeConfig::fixedHome()}) {
+    Machine m(spec);
+    Runtime rt(m, rc);
+    const int procs = m.numProcs();
+
+    constexpr int kVars = 4;
+    constexpr int kOpsPerProc = 6;
+    std::vector<VarId> vars;
+    for (int i = 0; i < kVars; ++i)
+      vars.push_back(rt.createVarFree(static_cast<NodeId>((i * 5) % procs),
+                                      makeValue<std::int64_t>(0), /*withLock=*/true));
+
+    std::vector<int> increments(kVars, 0);
+    for (NodeId p = 0; p < procs; ++p) {
+      sim::spawn([](Machine& mm, Runtime& r, NodeId self, std::vector<VarId>& vs,
+                    std::vector<int>& counts) -> sim::Task<> {
+        support::SplitMix64 rng(
+            support::hashCombine(99, static_cast<std::uint64_t>(self)));
+        for (int op = 0; op < kOpsPerProc; ++op) {
+          const int which = static_cast<int>(rng.below(kVars));
+          co_await mm.net.compute(self, rng.uniform(0.0, 300.0));
+          co_await r.lock(self, vs[which]);
+          const auto v = valueAs<std::int64_t>(co_await r.read(self, vs[which]));
+          co_await r.write(self, vs[which], makeValue<std::int64_t>(v + 1));
+          ++counts[which];
+          co_await r.unlock(self, vs[which]);
+        }
+        co_await r.barrier(self);
+      }(m, rt, p, vars, increments));
+    }
+    m.run();
+    rt.checkAllInvariants();
+    for (int i = 0; i < kVars; ++i)
+      EXPECT_EQ(valueAs<std::int64_t>(rt.peek(vars[i])), increments[i])
+          << "lost update on " << spec.describe() << " with " << rt.strategyName();
+    EXPECT_GT(m.stats.links.totalMessages(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologyEndToEnd,
+                         ::testing::Values(TopologySpec::mesh2d(4, 4),
+                                           TopologySpec::torus2d(4, 4),
+                                           TopologySpec::hypercube(4)),
+                         [](const auto& info) {
+                           std::string s = info.param.describe();
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace diva
