@@ -3,9 +3,13 @@
 // Shared helpers for the figure-reproduction benches.
 //
 // Env knobs:
-//   DIVA_FULL=1   — run the paper's full parameter sweeps (slower).
-//   DIVA_QUICK=1  — minimal sweeps for smoke-testing.
+//   DIVA_FULL=1     — run the paper's full parameter sweeps (slower).
+//   DIVA_QUICK=1    — minimal sweeps for smoke-testing.
+//   DIVA_TOPOLOGY=  — machine shape for the topology-parameterized benches
+//                     (mesh2d default; torus2d, hypercube, ring, star,
+//                     random-regular — see topoForSide()).
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -15,6 +19,7 @@
 #include "apps/matmul/matmul.hpp"
 #include "diva/machine.hpp"
 #include "diva/runtime.hpp"
+#include "net/graph_topology.hpp"
 #include "support/table.hpp"
 
 namespace diva::bench {
@@ -55,6 +60,44 @@ inline StratSpec accessTree(int arity, int leafSize = 1) {
 /// "24.52" / "44%"-style cells as in the paper's bar charts.
 inline std::string ratioCell(double value, double baseline) {
   return support::fmt(value / baseline, 2);
+}
+
+/// The machine shape for a P = side×side sweep point, selected by
+/// DIVA_TOPOLOGY. Grid shapes (mesh2d — the default — and torus2d) work
+/// for every bench; the non-grid shapes (hypercube, ring, star,
+/// random-regular) only for benches whose application is not
+/// grid-structured (bitonic, Barnes–Hut). Benches that require a grid
+/// pass requireGrid = true and fail fast with a clear message otherwise.
+inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
+  const char* env = std::getenv("DIVA_TOPOLOGY");
+  const std::string name = (env && *env) ? env : "mesh2d";
+  const int procs = side * side;
+  if (name == "mesh2d") return net::TopologySpec::mesh2d(side, side);
+  if (name == "torus2d") return net::TopologySpec::torus2d(side, side);
+  DIVA_CHECK_MSG(!requireGrid, "this bench is grid-structured: DIVA_TOPOLOGY must be "
+                               "mesh2d or torus2d (got '"
+                                   << name << "')");
+  if (name == "hypercube") {
+    int d = 0;
+    while ((1 << d) < procs) ++d;
+    DIVA_CHECK_MSG((1 << d) == procs,
+                   "side " << side << " is not a hypercube-compatible size");
+    return net::TopologySpec::hypercube(d);
+  }
+  if (name == "ring") return net::TopologySpec::graph(net::ringGraph(procs));
+  if (name == "star") return net::TopologySpec::graph(net::starGraph(procs));
+  if (name == "random-regular")
+    return net::TopologySpec::graph(net::randomRegularGraph(procs, 4, 1));
+  DIVA_CHECK_MSG(false, "unknown DIVA_TOPOLOGY '" << name << "'");
+  return {};
+}
+
+/// Machine-readable sweep record consumed by bench/run_bench.sh, which
+/// stores the last one per figure in BENCH_engine.json.
+inline void printDatapoint(const char* fig, const net::TopologySpec& spec,
+                           double atOverFhTime) {
+  std::printf("DATAPOINT %s topology=%s at_fh_time=%.4f\n", fig,
+              spec.describe().c_str(), atOverFhTime);
 }
 
 }  // namespace diva::bench

@@ -3,6 +3,10 @@
 // congestion ratio of the fixed home strategy grows ≈ √P (5.6 → 48),
 // the access tree's ≈ log P (3.9 → 8.1); the access tree's advantage in
 // time grows with the network (99% → 28% of the fixed home time).
+//
+// Parameterized over TopologySpec: DIVA_TOPOLOGY=torus2d reruns the sweep
+// on the wrapped grid (matmul's block layout needs grid coordinates, so
+// only the grid shapes apply here).
 
 #include <cstdio>
 
@@ -24,35 +28,40 @@ int main() {
   std::printf("Figure 4 — matrix multiplication, block size 4096\n");
   std::printf("ratios relative to the hand-optimized strategy; AT/FH = access tree's\n");
   std::printf("share of the fixed home time (paper: 99%% / 61%% / 44%% / 28%%)\n\n");
-  support::Table table({"mesh", "strategy", "congestion ratio", "comm time ratio",
+  support::Table table({"machine", "strategy", "congestion ratio", "comm time ratio",
                         "AT/FH time"});
 
+  double lastAtOverFh = 0.0;
+  net::TopologySpec lastSpec;
   for (const int side : sides) {
+    const net::TopologySpec spec = topoForSide(side, /*requireGrid=*/true);
     mm::Config cfg;
     cfg.blockInts = 4096;
 
-    Machine mh(side, side, cm);
+    Machine mh(spec, cm);
     const auto ho = mm::runHandOptimized(mh, cfg);
 
-    Machine ma(side, side, cm);
-    Runtime rta(ma, accessTree(4).config);
+    Machine ma(spec, cm);
+    Runtime rta(ma, accessTree(4).config.on(spec));
     const auto at = mm::runDiva(ma, rta, cfg);
 
-    Machine mf(side, side, cm);
-    Runtime rtf(mf, fixedHome().config);
+    Machine mf(spec, cm);
+    Runtime rtf(mf, fixedHome().config.on(spec));
     const auto fh = mm::runDiva(mf, rtf, cfg);
 
-    const std::string mesh = std::to_string(side) + "x" + std::to_string(side);
-    table.addRow({mesh, "4-ary access tree",
+    lastAtOverFh = at.timeUs / fh.timeUs;
+    lastSpec = spec;
+    table.addRow({spec.describe(), "4-ary access tree",
                   ratioCell(static_cast<double>(at.congestionBytes),
                             static_cast<double>(ho.congestionBytes)),
                   ratioCell(at.timeUs, ho.timeUs),
-                  support::fmtPercent(at.timeUs / fh.timeUs)});
-    table.addRow({mesh, "fixed home",
+                  support::fmtPercent(lastAtOverFh)});
+    table.addRow({spec.describe(), "fixed home",
                   ratioCell(static_cast<double>(fh.congestionBytes),
                             static_cast<double>(ho.congestionBytes)),
                   ratioCell(fh.timeUs, ho.timeUs), ""});
   }
   table.print();
+  printDatapoint("fig04_matmul_scaling", lastSpec, lastAtOverFh);
   return 0;
 }

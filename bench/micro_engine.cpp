@@ -8,6 +8,7 @@
 #include "diva/machine.hpp"
 #include "diva/runtime.hpp"
 #include "mesh/route.hpp"
+#include "net/graph_topology.hpp"
 
 namespace {
 
@@ -101,6 +102,17 @@ void BM_NetworkMessageChurnTorus(benchmark::State& state) {
   messageChurn(state, net::TopologySpec::torus2d(8, 8));
 }
 BENCHMARK(BM_NetworkMessageChurnTorus);
+
+// The general-graph leg: same relay churn on a random 3-regular 64-node
+// graph, so the table-driven routing path (one load per hop instead of
+// closed-form arithmetic) is tracked next to the mesh and torus series.
+// This is the `graph_messages_per_sec` series in BENCH_engine.json.
+void BM_NetworkMessageChurnGraph(benchmark::State& state) {
+  static const net::TopologySpec spec =
+      net::TopologySpec::graph(net::randomRegularGraph(64, 3, 1));
+  messageChurn(state, spec);
+}
+BENCHMARK(BM_NetworkMessageChurnGraph);
 
 void BM_DimensionOrderRouting(benchmark::State& state) {
   mesh::Mesh m(32, 32);

@@ -22,14 +22,25 @@ if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_engine -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_engine fig04_matmul_scaling \
+  fig07_bitonic_scaling -j >/dev/null
 
 GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)
 COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
 
+# Per-figure topology datapoints (the torus leg of the parameterized
+# figure benches): "DATAPOINT <fig> topology=<shape> at_fh_time=<x>"
+# lines, quick sweeps — a couple hundred ms each.
+FIG_DATA=$(
+  for fig in fig04_matmul_scaling fig07_bitonic_scaling; do
+    DIVA_QUICK=1 DIVA_TOPOLOGY=torus2d "$BUILD_DIR/bench/$fig" | grep '^DATAPOINT'
+  done
+)
+
 BIN="$BUILD_DIR/bench/micro_engine" RAW="$BUILD_DIR/bench_raw.json" \
 OUT="$OUT" LABEL="$LABEL" REPS="$REPS" GIT_SHA="$GIT_SHA" COMPILER="$COMPILER" \
+FIG_DATA="$FIG_DATA" \
 python3 - <<'EOF'
 import json, os, resource, subprocess, sys
 
@@ -41,7 +52,8 @@ reps = os.environ["REPS"]
 
 cmd = [
     bin_path,
-    "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn|BM_NetworkMessageChurnTorus",
+    "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
+    "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -61,16 +73,30 @@ def rate(name):
                 return b["items_per_second"]
     raise SystemExit(f"benchmark {name} missing from output")
 
+figures = {}
+for line in os.environ.get("FIG_DATA", "").splitlines():
+    parts = line.split()
+    if not parts or parts[0] != "DATAPOINT":
+        continue
+    fields = dict(kv.split("=", 1) for kv in parts[2:])
+    figures[parts[1]] = {
+        "topology": fields["topology"],
+        "at_fh_time": float(fields["at_fh_time"]),
+    }
+
 entry = {
     "events_per_sec": round(rate("BM_EngineEventChurn")),
     "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
     "torus_messages_per_sec": round(rate("BM_NetworkMessageChurnTorus")),
+    "graph_messages_per_sec": round(rate("BM_NetworkMessageChurnGraph")),
     "peak_rss_kb": peak_rss_kb,
     "repetitions": int(reps),
     "topology": {
         "messages_per_sec": "mesh2d-8x8",
         "torus_messages_per_sec": "torus2d-8x8",
+        "graph_messages_per_sec": "graph-rr64d3s1",
     },
+    "figures": figures,
     "git_sha": os.environ.get("GIT_SHA", "unknown"),
     "compiler": os.environ.get("COMPILER", "unknown"),
 }

@@ -1,0 +1,530 @@
+#include "net/graph_topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace diva::net {
+
+namespace {
+
+bool validArity(int a) { return a == 2 || a == 4 || a == 16; }
+int levelsOf(int arity) { return arity == 2 ? 1 : arity == 4 ? 2 : 4; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GraphTopology — validation, adjacency, routing tables
+// ---------------------------------------------------------------------------
+
+GraphTopology::GraphTopology(std::shared_ptr<const GraphSpec> spec,
+                             std::shared_ptr<const GraphPartitioner> partitioner)
+    : spec_(std::move(spec)), partitioner_(std::move(partitioner)) {
+  DIVA_CHECK_MSG(spec_ != nullptr, "GraphTopology requires a GraphSpec");
+  DIVA_CHECK_MSG(spec_->numNodes >= 1 && spec_->numNodes <= kMaxNodes,
+                 "graph '" << spec_->name << "': node count must be in [1, " << kMaxNodes
+                           << "] (got " << spec_->numNodes << ")");
+  if (!partitioner_) partitioner_ = std::make_shared<BfsBisectionPartitioner>();
+  numNodes_ = spec_->numNodes;
+  buildAdjacency();
+  buildRoutingTables();
+}
+
+void GraphTopology::buildAdjacency() {
+  const int n = numNodes_;
+  std::vector<std::vector<std::pair<NodeId, double>>> nbrs(static_cast<std::size_t>(n));
+  for (const GraphSpec::Edge& e : spec_->edges) {
+    DIVA_CHECK_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                   "graph '" << spec_->name << "': edge " << e.u << "-" << e.v
+                             << " out of range for " << n << " nodes");
+    DIVA_CHECK_MSG(e.u != e.v,
+                   "graph '" << spec_->name << "': self-loop at node " << e.u);
+    DIVA_CHECK_MSG(e.weight > 0.0, "graph '" << spec_->name << "': edge " << e.u << "-"
+                                             << e.v << " has non-positive weight "
+                                             << e.weight);
+    nbrs[e.u].emplace_back(e.v, e.weight);
+    nbrs[e.v].emplace_back(e.u, e.weight);
+  }
+
+  degree_ = 0;
+  for (int u = 0; u < n; ++u) {
+    auto& list = nbrs[u];
+    // Direction slots order neighbors by id — the deterministic numbering
+    // the routing tie-breaks and the partitioner's BFS both rely on.
+    std::sort(list.begin(), list.end());
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      DIVA_CHECK_MSG(list[i].first != list[i - 1].first,
+                     "graph '" << spec_->name << "': duplicate edge " << u << "-"
+                               << list[i].first);
+    }
+    degree_ = std::max(degree_, static_cast<int>(list.size()));
+  }
+
+  adj_.assign(static_cast<std::size_t>(n) * degree_, -1);
+  weightOfSlot_.assign(static_cast<std::size_t>(n) * degree_, 1.0);
+  for (int u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < nbrs[u].size(); ++i) {
+      adj_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].first;
+      weightOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].second;
+    }
+  }
+}
+
+void GraphTopology::buildRoutingTables() {
+  const int n = numNodes_;
+  nextDir_.assign(static_cast<std::size_t>(n) * n, -1);
+  hops_.assign(static_cast<std::size_t>(n) * n, 0);
+
+  // One deterministic Dijkstra per destination t fills column t of the
+  // tables: nextDir_[s][t] is s's parent direction in the shortest-path
+  // tree rooted at t. Ties (equal weighted distance) prefer fewer hops,
+  // then the lowest-id neighbor, so routes are unique. Every updater of a
+  // node is strictly closer to t (weights are positive), hence already
+  // popped and final — so the hop counts recorded here are exactly the
+  // lengths of the chains appendRoute later walks.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> hop(static_cast<std::size_t>(n));
+  using QEntry = std::pair<double, NodeId>;  // pops by (distance, node id)
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue;
+
+  for (NodeId t = 0; t < n; ++t) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(hop.begin(), hop.end(), 0u);
+    dist[t] = 0.0;
+    queue.push({0.0, t});
+    while (!queue.empty()) {
+      const auto [du, u] = queue.top();
+      queue.pop();
+      if (du > dist[u]) continue;  // stale entry
+      for (int dir = 0; dir < degree_; ++dir) {
+        const NodeId v = adj_[static_cast<std::size_t>(u) * degree_ + dir];
+        if (v < 0) break;  // slots are packed: the first -1 ends the list
+        if (v == t) continue;
+        // Relax v → u: v routes toward t through u.
+        const double w = weightOfSlot_[static_cast<std::size_t>(u) * degree_ + dir];
+        const double cand = dist[u] + w;
+        const std::uint32_t candHops = hop[u] + 1;
+        std::int16_t& cell = nextDir_[static_cast<std::size_t>(v) * n + t];
+        const bool strictly = cand < dist[v];
+        bool better = strictly;
+        if (!better && cand == dist[v]) {
+          if (candHops < hop[v]) {
+            better = true;
+          } else if (candHops == hop[v] && cell >= 0) {
+            // Same weight and hops: keep the lowest-id next hop (equals
+            // the lowest direction slot — neighbors are sorted by id).
+            better = u < adj_[static_cast<std::size_t>(v) * degree_ + cell];
+          }
+        }
+        if (!better) continue;
+        dist[v] = cand;
+        hop[v] = candHops;
+        const NodeId* vAdj = adj_.data() + static_cast<std::size_t>(v) * degree_;
+        int vd = 0;
+        while (vAdj[vd] != u) ++vd;
+        cell = static_cast<std::int16_t>(vd);
+        // Tie-break-only updates keep dist[v]: an entry is already queued.
+        if (strictly) queue.push({cand, v});
+      }
+    }
+    for (NodeId s = 0; s < n; ++s) {
+      DIVA_CHECK_MSG(s == t || dist[s] < kInf,
+                     "graph '" << spec_->name << "' is not connected (node " << s
+                               << " cannot reach node " << t << ")");
+      DIVA_CHECK_MSG(hop[s] <= std::numeric_limits<std::uint16_t>::max(),
+                     "route longer than 65535 hops");
+      hops_[static_cast<std::size_t>(s) * n + t] = static_cast<std::uint16_t>(hop[s]);
+    }
+  }
+}
+
+double GraphTopology::weightedDistance(NodeId a, NodeId b) const {
+  double sum = 0.0;
+  NodeId cur = a;
+  while (cur != b) {
+    const int dir = dirToward(cur, b);
+    sum += weightOfSlot_[static_cast<std::size_t>(cur) * degree_ + dir];
+    cur = neighborInDir(cur, dir);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// BFS-grown balanced bisection
+// ---------------------------------------------------------------------------
+
+void BfsBisectionPartitioner::bisect(const GraphTopology& topo,
+                                     const std::vector<NodeId>& cluster,
+                                     std::vector<NodeId>& a, std::vector<NodeId>& b) const {
+  const std::size_t size = cluster.size();
+  DIVA_CHECK(size >= 2);
+  const std::size_t target = (size + 1) / 2;
+
+  std::vector<char> inCluster(static_cast<std::size_t>(topo.numNodes()), 0);
+  for (NodeId p : cluster) inCluster[p] = 1;
+
+  // Seed: the node of the cluster farthest (in cluster-restricted hops)
+  // from its lowest id, ties to the lowest id. Growing from a peripheral
+  // node keeps the grown half compact instead of ring-shaped.
+  std::vector<int> depth(static_cast<std::size_t>(topo.numNodes()), -1);
+  std::queue<NodeId> queue;
+  depth[cluster.front()] = 0;
+  queue.push(cluster.front());
+  NodeId seed = cluster.front();
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (depth[u] > depth[seed] || (depth[u] == depth[seed] && u < seed)) seed = u;
+    for (int dir = 0; dir < topo.degree(); ++dir) {
+      const NodeId v = topo.neighbor(u, dir);
+      if (v < 0) break;
+      if (!inCluster[v] || depth[v] >= 0) continue;
+      depth[v] = depth[u] + 1;
+      queue.push(v);
+    }
+  }
+
+  // Grow half the cluster breadth-first from the seed; a disconnected
+  // remainder restarts from its lowest id so every node is placed.
+  std::vector<char> taken(static_cast<std::size_t>(topo.numNodes()), 0);
+  a.clear();
+  b.clear();
+  std::queue<NodeId> grow;
+  grow.push(seed);
+  taken[seed] = 1;
+  while (a.size() < target) {
+    if (grow.empty()) {
+      for (NodeId p : cluster) {
+        if (!taken[p]) {
+          taken[p] = 1;
+          grow.push(p);
+          break;
+        }
+      }
+    }
+    const NodeId u = grow.front();
+    grow.pop();
+    a.push_back(u);
+    for (int dir = 0; dir < topo.degree(); ++dir) {
+      const NodeId v = topo.neighbor(u, dir);
+      if (v < 0) break;
+      if (!inCluster[v] || taken[v]) continue;
+      taken[v] = 1;
+      grow.push(v);
+    }
+  }
+  std::sort(a.begin(), a.end());
+  for (NodeId p : cluster) {
+    if (!std::binary_search(a.begin(), a.end(), p)) b.push_back(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphClusterTree
+// ---------------------------------------------------------------------------
+
+GraphClusterTree::GraphClusterTree(const GraphTopology& topo, DecompParams params,
+                                   const GraphPartitioner& partitioner) {
+  DIVA_CHECK_MSG(validArity(params.arity), "arity must be 2, 4 or 16");
+  DIVA_CHECK_MSG(params.leafSize >= 1, "leafSize must be >= 1");
+  const int n = topo.numNodes();
+  nodes_.reserve(static_cast<std::size_t>(2) * n);
+  std::vector<NodeId> all(static_cast<std::size_t>(n));
+  for (NodeId p = 0; p < n; ++p) all[p] = p;
+  build(topo, partitioner, std::move(all), -1, -1, 0, params);
+  finalize(n);
+}
+
+void GraphClusterTree::expandChildren(const GraphTopology& topo,
+                                      const GraphPartitioner& partitioner,
+                                      std::vector<NodeId>&& cluster, int levels,
+                                      std::vector<std::vector<NodeId>>& out) {
+  if (levels == 0 || cluster.size() <= 1) {
+    out.push_back(std::move(cluster));
+    return;
+  }
+  std::vector<NodeId> a, b;
+  partitioner.bisect(topo, cluster, a, b);
+  DIVA_CHECK_MSG(!a.empty() && !b.empty() && a.size() + b.size() == cluster.size(),
+                 "partitioner did not bisect the cluster");
+  expandChildren(topo, partitioner, std::move(a), levels - 1, out);
+  expandChildren(topo, partitioner, std::move(b), levels - 1, out);
+}
+
+int GraphClusterTree::build(const GraphTopology& topo, const GraphPartitioner& partitioner,
+                            std::vector<NodeId>&& cluster, int parent, int indexInParent,
+                            int depth, const DecompParams& params) {
+  const int self = static_cast<int>(nodes_.size());
+  const int size = static_cast<int>(cluster.size());
+  nodes_.push_back(Node{parent, indexInParent, {}, depth, size});
+  leafProc_.push_back(size == 1 ? cluster.front() : -1);
+
+  std::vector<std::vector<NodeId>> childClusters;
+  if (size > 1) {
+    if (size <= params.leafSize) {
+      // ℓ-k-ary termination: one child per processor, in id order.
+      childClusters.reserve(cluster.size());
+      for (NodeId p : cluster) childClusters.push_back({p});
+    } else {
+      expandChildren(topo, partitioner, std::vector<NodeId>(cluster),
+                     levelsOf(params.arity), childClusters);
+    }
+  }
+  members_.push_back(std::move(cluster));
+
+  int idx = 0;
+  for (auto& child : childClusters) {
+    const int c = build(topo, partitioner, std::move(child), self, idx++, depth + 1, params);
+    nodes_[self].children.push_back(c);
+  }
+  return self;
+}
+
+NodeId GraphClusterTree::hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
+                                std::uint64_t seed) const {
+  const std::vector<NodeId>& mem = members_[treeNode];
+  const std::uint64_t count = mem.size();
+  if (count == 1) return mem.front();
+
+  if (kind == EmbeddingKind::Random) {
+    const std::uint64_t key =
+        support::hashCombine(seed, varKey, static_cast<std::uint64_t>(treeNode));
+    return mem[support::hashBelow(key, count)];
+  }
+
+  // Regular embedding: the root is uniform; every other node keeps its
+  // parent's relative position — the index of the parent's host within
+  // the parent's member list, folded into this cluster's size. The
+  // general-graph analogue of the mesh's (i mod m1, j mod m2) rule.
+  const Node& nd = nodes_[treeNode];
+  if (nd.parent < 0) {
+    return mem[support::hashBelow(support::hashCombine(seed, varKey), count)];
+  }
+  const NodeId parentHost = hostOf(nd.parent, varKey, kind, seed);
+  const std::vector<NodeId>& pm = members_[nd.parent];
+  const std::size_t rel =
+      static_cast<std::size_t>(std::lower_bound(pm.begin(), pm.end(), parentHost) -
+                               pm.begin());
+  return mem[rel % count];
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+GraphSpec ringGraph(int n) {
+  DIVA_CHECK_MSG(n >= 1, "ring size must be positive (got " << n << ")");
+  GraphSpec g;
+  g.name = "ring" + std::to_string(n);
+  g.numNodes = n;
+  if (n == 2) {
+    g.edges.push_back({0, 1, 1.0});
+  } else if (n > 2) {
+    for (NodeId i = 0; i < n; ++i)
+      g.edges.push_back({i, static_cast<NodeId>((i + 1) % n), 1.0});
+  }
+  return g;
+}
+
+GraphSpec starGraph(int n) {
+  DIVA_CHECK_MSG(n >= 1, "star size must be positive (got " << n << ")");
+  GraphSpec g;
+  g.name = "star" + std::to_string(n);
+  g.numNodes = n;
+  for (NodeId i = 1; i < n; ++i) g.edges.push_back({0, i, 1.0});
+  return g;
+}
+
+GraphSpec fatTreeGraph(int arity, int levels) {
+  DIVA_CHECK_MSG(arity >= 2, "fat tree arity must be >= 2 (got " << arity << ")");
+  DIVA_CHECK_MSG(levels >= 1 && levels <= 16,
+                 "fat tree levels must be in [1, 16] (got " << levels << ")");
+  GraphSpec g;
+  g.name = "fattree" + std::to_string(arity) + "x" + std::to_string(levels);
+  std::int64_t count = 0, levelSize = 1;
+  for (int d = 0; d < levels; ++d, levelSize *= arity) {
+    count += levelSize;
+    DIVA_CHECK_MSG(count <= GraphTopology::kMaxNodes,
+                   "fat tree exceeds " << GraphTopology::kMaxNodes << " nodes");
+  }
+  g.numNodes = static_cast<int>(count);
+  // Level d starts at offset (arity^d - 1)/(arity - 1); the link into a
+  // depth-(d+1) child halves in cost per level toward the root (root
+  // links are the "fat" ones).
+  std::int64_t offset = 0;
+  levelSize = 1;
+  for (int d = 0; d + 1 < levels; ++d) {
+    const std::int64_t childOffset = offset + levelSize;
+    const double weight = 1.0 / static_cast<double>(1 << (levels - 2 - d));
+    for (std::int64_t i = 0; i < levelSize; ++i) {
+      for (int c = 0; c < arity; ++c) {
+        g.edges.push_back({static_cast<NodeId>(offset + i),
+                           static_cast<NodeId>(childOffset + i * arity + c), weight});
+      }
+    }
+    offset = childOffset;
+    levelSize *= arity;
+  }
+  return g;
+}
+
+GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
+  DIVA_CHECK_MSG(n >= 1 && n <= GraphTopology::kMaxNodes,
+                 "random regular graph: n must be in [1, " << GraphTopology::kMaxNodes
+                                                           << "] (got " << n << ")");
+  DIVA_CHECK_MSG(d >= 0 && d < n, "random regular graph: need 0 <= d < n (got d=" << d
+                                                                                  << ", n=" << n << ")");
+  DIVA_CHECK_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                 "random regular graph: n*d must be even");
+  DIVA_CHECK_MSG(d >= 2 || n <= 2, "random regular graph: d < 2 cannot be connected");
+
+  GraphSpec g;
+  g.name = "rr" + std::to_string(n) + "d" + std::to_string(d) + "s" + std::to_string(seed);
+  g.numNodes = n;
+  if (n <= 1 || d == 0) return g;
+
+  // Pairing model: shuffle the n·d stubs, pair them off, reject pairings
+  // with self-loops, duplicate edges, or a disconnected result, and retry
+  // with a derived seed. Deterministic for a given seed.
+  const std::size_t stubCount = static_cast<std::size_t>(n) * d;
+  std::vector<NodeId> stubs(stubCount);
+  // Scratch reused across attempts (the pairing model rejects most of
+  // them for small d): only the cells the failed attempt touched are
+  // cleared, not the whole O(n²) table.
+  std::vector<char> used(static_cast<std::size_t>(n) * n, 0);
+  std::vector<std::vector<NodeId>> nbrs(static_cast<std::size_t>(n));
+  std::vector<char> reached(static_cast<std::size_t>(n));
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    support::SplitMix64 rng(
+        support::hashCombine(seed, static_cast<std::uint64_t>(attempt)));
+    for (std::size_t i = 0; i < stubCount; ++i)
+      stubs[i] = static_cast<NodeId>(i / static_cast<std::size_t>(d));
+    for (std::size_t i = stubCount - 1; i > 0; --i)
+      std::swap(stubs[i], stubs[rng.below(i + 1)]);
+
+    for (const auto& e : g.edges) used[static_cast<std::size_t>(e.u) * n + e.v] = 0;
+    g.edges.clear();
+    bool ok = true;
+    for (std::size_t i = 0; i < stubCount; i += 2) {
+      NodeId u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      char& seen = used[static_cast<std::size_t>(u) * n + v];
+      if (seen) {
+        ok = false;
+        break;
+      }
+      seen = 1;
+      g.edges.push_back({u, v, 1.0});
+    }
+    if (!ok) continue;
+
+    // Connectivity check over the candidate edge set.
+    for (auto& list : nbrs) list.clear();
+    for (const auto& e : g.edges) {
+      nbrs[e.u].push_back(e.v);
+      nbrs[e.v].push_back(e.u);
+    }
+    std::fill(reached.begin(), reached.end(), 0);
+    std::vector<NodeId> stack{0};
+    reached[0] = 1;
+    int seen = 1;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : nbrs[u]) {
+        if (reached[v]) continue;
+        reached[v] = 1;
+        ++seen;
+        stack.push_back(v);
+      }
+    }
+    if (seen == n) {
+      std::sort(g.edges.begin(), g.edges.end(), [](const auto& a, const auto& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
+      return g;
+    }
+  }
+  DIVA_CHECK_MSG(false, "random regular graph: no valid pairing found for n="
+                            << n << ", d=" << d << ", seed=" << seed);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Text format
+// ---------------------------------------------------------------------------
+
+GraphSpec parseGraph(const std::string& text) {
+  GraphSpec g;
+  g.name = "file";
+  g.numNodes = -1;
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "graph") {
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> g.name),
+                     "graph file line " << lineNo << ": 'graph' needs a name");
+    } else if (word == "nodes") {
+      DIVA_CHECK_MSG(g.numNodes < 0,
+                     "graph file line " << lineNo << ": duplicate 'nodes' line");
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> g.numNodes) && g.numNodes >= 1,
+                     "graph file line " << lineNo << ": 'nodes' needs a positive count");
+    } else if (word == "edge") {
+      DIVA_CHECK_MSG(g.numNodes >= 0,
+                     "graph file line " << lineNo << ": 'edge' before 'nodes'");
+      GraphSpec::Edge e;
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> e.u >> e.v),
+                     "graph file line " << lineNo << ": 'edge' needs two node ids");
+      std::string wtok;
+      if (ls >> wtok) {
+        std::istringstream ws(wtok);
+        DIVA_CHECK_MSG(static_cast<bool>(ws >> e.weight) && ws.eof(),
+                       "graph file line " << lineNo << ": malformed edge weight '"
+                                          << wtok << "'");
+      }
+      g.edges.push_back(e);
+    } else {
+      DIVA_CHECK_MSG(false, "graph file line " << lineNo << ": unknown directive '"
+                                               << word << "'");
+    }
+  }
+  DIVA_CHECK_MSG(g.numNodes >= 0, "graph file has no 'nodes' line");
+  return g;
+}
+
+GraphSpec loadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  DIVA_CHECK_MSG(in.good(), "cannot open graph file '" << path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseGraph(text.str());
+}
+
+std::string formatGraph(const GraphSpec& spec) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  if (!spec.name.empty()) out << "graph " << spec.name << "\n";
+  out << "nodes " << spec.numNodes << "\n";
+  for (const GraphSpec::Edge& e : spec.edges) {
+    out << "edge " << e.u << " " << e.v;
+    if (e.weight != 1.0) out << " " << e.weight;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace diva::net

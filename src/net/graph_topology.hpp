@@ -1,0 +1,218 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace diva::net {
+
+class GraphTopology;
+
+/// Swappable strategy behind `GraphTopology::decompose()`: how to split a
+/// cluster of a general graph into two halves. The decomposition tree is
+/// built by recursive bisection (ℓ-ary levels fix log2(ℓ) bisections per
+/// tree level, exactly like the mesh and hypercube trees), so the
+/// partitioner only ever answers the two-way question.
+///
+/// Contract: `bisect` distributes every node of `cluster` (sorted
+/// ascending, size ≥ 2) into `a` and `b`, both non-empty and balanced to
+/// within one node (|a| = ⌈|cluster|/2⌉), each returned sorted ascending,
+/// deterministically for a given (topology, cluster).
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+  virtual void bisect(const GraphTopology& topo, const std::vector<NodeId>& cluster,
+                      std::vector<NodeId>& a, std::vector<NodeId>& b) const = 0;
+};
+
+/// Default partitioner: BFS-grown balanced bisection. The half containing
+/// the seed is grown breadth-first from a peripheral node of the cluster
+/// (the node farthest from the cluster's lowest id, ties to the lowest
+/// id), visiting neighbors in ascending-id order; if the cluster is
+/// disconnected the growth restarts from the lowest remaining id. Cheap,
+/// deterministic, and keeps at least one half connected — good enough
+/// cluster locality for the access-tree strategy without an external
+/// partitioning library.
+class BfsBisectionPartitioner final : public GraphPartitioner {
+ public:
+  void bisect(const GraphTopology& topo, const std::vector<NodeId>& cluster,
+              std::vector<NodeId>& a, std::vector<NodeId>& b) const override;
+};
+
+/// Cluster tree of a general graph, built by recursive partitioning. The
+/// clusters are arbitrary node sets (sizes need not be powers of the
+/// arity, children of one node may differ in size by one or more), which
+/// makes this the first non-node-symmetric decomposition in the tree —
+/// strategies must not assume uniform cluster sizes, and the tests hold
+/// them to that.
+class GraphClusterTree final : public ClusterTree {
+ public:
+  GraphClusterTree(const GraphTopology& topo, DecompParams params,
+                   const GraphPartitioner& partitioner);
+
+  NodeId hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
+                std::uint64_t seed) const override;
+
+  /// The processors of a tree node's cluster, sorted ascending. Member
+  /// order is what the Regular embedding's "keep the parent's relative
+  /// position" rule indexes into.
+  const std::vector<NodeId>& members(int treeNode) const { return members_[treeNode]; }
+
+ private:
+  int build(const GraphTopology& topo, const GraphPartitioner& partitioner,
+            std::vector<NodeId>&& cluster, int parent, int indexInParent, int depth,
+            const DecompParams& params);
+  void expandChildren(const GraphTopology& topo, const GraphPartitioner& partitioner,
+                      std::vector<NodeId>&& cluster, int levels,
+                      std::vector<std::vector<NodeId>>& out);
+
+  std::vector<std::vector<NodeId>> members_;  ///< parallel to nodes_
+};
+
+/// An arbitrary connected network, routed from precomputed all-pairs
+/// tables: construction runs one deterministic shortest-path search per
+/// node (Dijkstra over the edge weights; plain BFS when all weights are
+/// equal) and stores a dense next-direction table plus the hop count of
+/// every chosen route. `appendRoute` then walks the table —
+/// arithmetic-and-load only, no allocation beyond the caller's buffer —
+/// so general graphs ride the same allocation-free hot path as the
+/// closed-form shapes.
+///
+/// Tie-breaking makes routes deterministic and next-hop-consistent:
+/// among weight-optimal next hops, prefer the fewest remaining hops, then
+/// the lowest direction slot (direction slots order neighbors by id).
+/// Per-edge weights are exposed through `linkWeight`, which the Network
+/// folds into its per-link streaming cost.
+class GraphTopology final : public Topology {
+ public:
+  /// Validates the spec (connected, ids in range, no self-loops or
+  /// duplicate edges, positive weights, ≤ kMaxNodes nodes) and builds the
+  /// routing tables; throws CheckError otherwise. A custom partitioner
+  /// may be supplied for decompose(); the default is BFS bisection.
+  explicit GraphTopology(std::shared_ptr<const GraphSpec> spec,
+                         std::shared_ptr<const GraphPartitioner> partitioner = nullptr);
+  explicit GraphTopology(GraphSpec spec,
+                         std::shared_ptr<const GraphPartitioner> partitioner = nullptr)
+      : GraphTopology(std::make_shared<const GraphSpec>(std::move(spec)),
+                      std::move(partitioner)) {}
+
+  /// Dense n×n tables put a practical bound on machine size (4096 nodes ≈
+  /// 96 MB of tables); the paper's experiments stop at 1024.
+  static constexpr int kMaxNodes = 4096;
+
+  TopologyKind kind() const override { return TopologyKind::Graph; }
+  TopologySpec spec() const override { return TopologySpec::graph(spec_); }
+  int numNodes() const override { return numNodes_; }
+  int degree() const override { return degree_; }
+
+  NodeId neighbor(NodeId n, int dir) const override {
+    if (dir < 0 || dir >= degree_) return -1;
+    return adj_[static_cast<std::size_t>(n) * degree_ + dir];
+  }
+
+  NodeId nextHop(NodeId from, NodeId to) const override {
+    if (from == to) return from;
+    return neighborInDir(from, dirToward(from, to));
+  }
+
+  int distance(NodeId a, NodeId b) const override {
+    return hops_[static_cast<std::size_t>(a) * numNodes_ + b];
+  }
+
+  void appendRoute(NodeId from, NodeId to, RouteVec& out) const override {
+    // Table-driven walk: one load per hop for the direction, one for the
+    // neighbor. No allocation beyond `out` (whose spilled capacity the
+    // Network's recycled flights retain).
+    NodeId cur = from;
+    while (cur != to) {
+      const int dir = dirToward(cur, to);
+      const NodeId next = neighborInDir(cur, dir);
+      out.push_back(Hop{linkIndex(cur, dir), next});
+      cur = next;
+    }
+  }
+
+  double linkWeight(int link) const override { return weightOfSlot_[link]; }
+
+  /// Weighted length of the deterministic route from `a` to `b` — the
+  /// quantity the routing tables minimize. Computed by walking the route
+  /// (analysis/tests; not a hot-path query).
+  double weightedDistance(NodeId a, NodeId b) const;
+
+  std::unique_ptr<ClusterTree> decompose(DecompParams params) const override {
+    return std::make_unique<GraphClusterTree>(*this, params, *partitioner_);
+  }
+
+  const GraphSpec& graphSpec() const { return *spec_; }
+  const GraphPartitioner& partitioner() const { return *partitioner_; }
+
+ private:
+  friend class BfsBisectionPartitioner;
+  friend class GraphClusterTree;
+
+  int dirToward(NodeId from, NodeId to) const {
+    return nextDir_[static_cast<std::size_t>(from) * numNodes_ + to];
+  }
+  NodeId neighborInDir(NodeId n, int dir) const {
+    return adj_[static_cast<std::size_t>(n) * degree_ + dir];
+  }
+
+  void buildAdjacency();
+  void buildRoutingTables();
+
+  std::shared_ptr<const GraphSpec> spec_;
+  std::shared_ptr<const GraphPartitioner> partitioner_;
+  int numNodes_ = 0;
+  int degree_ = 0;                      ///< max node degree = direction slots per node
+  std::vector<NodeId> adj_;             ///< [n * degree_ + dir] → neighbor or -1
+  std::vector<double> weightOfSlot_;    ///< [link slot] → edge weight (1.0 unused)
+  std::vector<std::int16_t> nextDir_;   ///< [from * n + to] → direction, -1 on diagonal
+  std::vector<std::uint16_t> hops_;     ///< [from * n + to] → hop count of the route
+};
+
+// ---------------------------------------------------------------------------
+// Generators — named instances for benches and tests. All deterministic;
+// names embed the parameters so TopologySpec::describe() identifies runs.
+// ---------------------------------------------------------------------------
+
+/// Cycle of n ≥ 1 nodes (n = 2 is a single edge). "ring<n>".
+GraphSpec ringGraph(int n);
+
+/// Hub node 0 joined to n-1 leaves. "star<n>".
+GraphSpec starGraph(int n);
+
+/// Fat-tree-like topology: a complete `arity`-ary tree of `levels` levels
+/// whose links get *cheaper* (faster) toward the root — the link into a
+/// node at depth d has weight 2^-(levels-1-d), so root links stream
+/// 2^(levels-2)× faster than leaf links, mimicking a fat tree's
+/// bandwidth doubling per level with plain tree wiring.
+/// "fattree<arity>x<levels>".
+GraphSpec fatTreeGraph(int arity, int levels);
+
+/// Random d-regular simple connected graph on n nodes via the pairing
+/// model (deterministic for a given seed; retries rejected pairings and
+/// disconnected outcomes with derived seeds). Requires n·d even, d ≥ 2
+/// for n > 2, d < n. "rr<n>d<d>s<seed>".
+GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Text format — lets benches and tests load arbitrary graphs from file:
+//
+//   # comment (blank lines ignored)
+//   graph <name>          (optional; defaults to "file")
+//   nodes <N>             (required, before any edge)
+//   edge <u> <v> [weight] (one per line; undirected, weight defaults 1.0)
+// ---------------------------------------------------------------------------
+
+/// Parse the text format; throws CheckError with a line number on errors.
+GraphSpec parseGraph(const std::string& text);
+
+/// Read a graph file from disk; throws CheckError if unreadable.
+GraphSpec loadGraphFile(const std::string& path);
+
+/// Serialize a GraphSpec to the text format (parseGraph round-trips it).
+std::string formatGraph(const GraphSpec& spec);
+
+}  // namespace diva::net

@@ -18,6 +18,9 @@ Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
       numNodes_(static_cast<std::size_t>(topology.numNodes())) {
   cpuFreeAt_.assign(numNodes_, sim::kTimeZero);
   linkFreeAt_.assign(static_cast<std::size_t>(topology.numLinkSlots()), sim::kTimeZero);
+  linkUsPerByte_.resize(linkFreeAt_.size());
+  for (int l = 0; l < topology.numLinkSlots(); ++l)
+    linkUsPerByte_[static_cast<std::size_t>(l)] = topology.linkWeight(l) / cost_.bytesPerUs;
   // The library protocol channels exist on every machine; size for them up
   // front so the common dispatch never grows mid-run.
   handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
@@ -87,7 +90,7 @@ void Network::hop(Flight* f) {
   sim::Time& linkFree = linkFreeAt_[h.link];
   const sim::Time start = std::max(f->headReady, linkFree);
   const std::uint64_t wire = f->msg.payloadBytes + cost_.headerBytes;
-  const double streamTime = static_cast<double>(wire) / cost_.bytesPerUs;
+  const double streamTime = static_cast<double>(wire) * linkUsPerByte_[h.link];
   linkFree = start + streamTime;
   stats_->record(h.link, wire);
 

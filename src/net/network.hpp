@@ -27,9 +27,10 @@ namespace diva::net {
 ///     Every node has one CPU; application compute, send startups and
 ///     message handling serialize on it (`cpuFreeAt_`).
 ///  2. *Bandwidth & contention*: a message occupies every directed link of
-///     its deterministic shortest path for wireBytes/bandwidth µs; links
-///     are FIFO resources, so contended links queue messages — this is
-///     where congestion turns into time.
+///     its deterministic shortest path for wireBytes/bandwidth µs (scaled
+///     by the topology's per-link weight, 1.0 on homogeneous machines);
+///     links are FIFO resources, so contended links queue messages —
+///     this is where congestion turns into time.
 ///  3. *Per-hop latency*: the cut-through router forwards the head after
 ///     `hopLatencyUs`, letting the payload pipeline across hops (the GCel
 ///     uses wormhole routing; we model virtual cut-through, i.e. infinite
@@ -143,6 +144,10 @@ class Network {
   std::size_t numNodes_;
   std::vector<sim::Time> cpuFreeAt_;
   std::vector<sim::Time> linkFreeAt_;
+  /// Per-link µs-per-byte = topology linkWeight / CostModel bandwidth,
+  /// cached at construction so heterogeneous links cost one load and one
+  /// multiply per hop (no virtual call on the hot path).
+  std::vector<double> linkUsPerByte_;
   std::vector<Handler> handlers_;   ///< channel-major, empty = unregistered
   std::vector<Mailbox> mailboxes_;  ///< channel-major
   Channel handlerChannels_ = 0;     ///< channels covered by handlers_

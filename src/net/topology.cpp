@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "net/graph_topology.hpp"
 #include "net/hypercube_topology.hpp"
 #include "net/mesh_topology.hpp"
 #include "net/torus_topology.hpp"
@@ -13,6 +14,7 @@ const char* topologyKindName(TopologyKind kind) {
     case TopologyKind::Mesh2D: return "mesh2d";
     case TopologyKind::Torus2D: return "torus2d";
     case TopologyKind::Hypercube: return "hypercube";
+    case TopologyKind::Graph: return "graph";
   }
   return "?";
 }
@@ -22,6 +24,8 @@ std::string TopologySpec::describe() const {
   os << topologyKindName(kind);
   if (kind == TopologyKind::Hypercube) {
     os << '-' << a << 'd';
+  } else if (kind == TopologyKind::Graph) {
+    os << '-' << (graphSpec ? graphSpec->name : std::string("unset"));
   } else {
     os << '-' << a << 'x' << b;
   }
@@ -84,6 +88,9 @@ std::unique_ptr<Topology> makeTopology(const TopologySpec& spec) {
       DIVA_CHECK_MSG(spec.a >= 0 && spec.a <= 20,
                      "hypercube dimension must be in [0, 20] (got " << spec.a << ")");
       return std::make_unique<HypercubeTopology>(spec.a);
+    case TopologyKind::Graph:
+      DIVA_CHECK_MSG(spec.graphSpec != nullptr, "graph topology spec without a graph");
+      return std::make_unique<GraphTopology>(spec.graphSpec);
   }
   DIVA_CHECK_MSG(false, "unknown topology kind");
   return nullptr;

@@ -46,34 +46,82 @@ struct DecompParams {
 };
 
 /// The network shapes a Machine can simulate.
-enum class TopologyKind { Mesh2D, Torus2D, Hypercube };
+enum class TopologyKind { Mesh2D, Torus2D, Hypercube, Graph };
 
 const char* topologyKindName(TopologyKind kind);
+
+/// An arbitrary network as an undirected weighted graph: the value-type
+/// input of `GraphTopology` (src/net/graph_topology.hpp). Nodes are the
+/// dense ids 0..numNodes-1; every edge becomes a pair of directed links.
+/// A weight is the *relative cost* of streaming a byte across the edge
+/// (1.0 = the CostModel's nominal link; 0.5 = a link twice as fast), so
+/// heterogeneous bandwidths plug into the one-parameter cost model
+/// without changing it.
+///
+/// Generators (ring/star/fat-tree/random-regular) and the text file
+/// format live in graph_topology.hpp.
+struct GraphSpec {
+  struct Edge {
+    NodeId u = 0;
+    NodeId v = 0;
+    double weight = 1.0;
+    bool operator==(const Edge&) const = default;
+  };
+
+  std::string name;  ///< used by TopologySpec::describe()
+  int numNodes = 0;
+  std::vector<Edge> edges;
+
+  bool operator==(const GraphSpec&) const = default;
+};
 
 /// Value-type description of a topology, used to construct machines and
 /// to validate that a RuntimeConfig matches the machine it runs on.
 /// `a`/`b` are rows/cols for the 2-D grids; `a` is the dimension count
-/// for hypercubes (b unused). a == 0 means "unspecified".
+/// for hypercubes (b unused). a == 0 means "unspecified". General graphs
+/// carry their structure in `graphSpec` (shared, never mutated).
 struct TopologySpec {
   TopologyKind kind = TopologyKind::Mesh2D;
   int a = 0;
   int b = 0;
+  std::shared_ptr<const GraphSpec> graphSpec;  ///< set iff kind == Graph
 
   static TopologySpec mesh2d(int rows, int cols) {
-    return TopologySpec{TopologyKind::Mesh2D, rows, cols};
+    return TopologySpec{TopologyKind::Mesh2D, rows, cols, nullptr};
   }
   static TopologySpec torus2d(int rows, int cols) {
-    return TopologySpec{TopologyKind::Torus2D, rows, cols};
+    return TopologySpec{TopologyKind::Torus2D, rows, cols, nullptr};
   }
   static TopologySpec hypercube(int dims) {
-    return TopologySpec{TopologyKind::Hypercube, dims, 0};
+    return TopologySpec{TopologyKind::Hypercube, dims, 0, nullptr};
+  }
+  static TopologySpec graph(GraphSpec g) {
+    TopologySpec s;
+    s.kind = TopologyKind::Graph;
+    s.a = g.numNodes;
+    s.graphSpec = std::make_shared<const GraphSpec>(std::move(g));
+    return s;
+  }
+  static TopologySpec graph(std::shared_ptr<const GraphSpec> g) {
+    TopologySpec s;
+    s.kind = TopologyKind::Graph;
+    s.a = g ? g->numNodes : 0;
+    s.graphSpec = std::move(g);
+    return s;
   }
 
   /// A default-constructed spec (mesh2d with no dimensions) means
   /// "unspecified — match any machine"; every constructible spec,
   /// including the 1-node hypercube(0), counts as specified.
   bool specified() const { return kind != TopologyKind::Mesh2D || a > 0; }
-  bool operator==(const TopologySpec&) const = default;
+  /// Structural equality: graph specs compare by contents, not identity,
+  /// so a RuntimeConfig pinned to a regenerated-but-identical graph still
+  /// matches its machine.
+  bool operator==(const TopologySpec& o) const {
+    if (kind != o.kind || a != o.a || b != o.b) return false;
+    if (graphSpec == o.graphSpec) return true;
+    return graphSpec && o.graphSpec && *graphSpec == *o.graphSpec;
+  }
   std::string describe() const;
 };
 
@@ -192,6 +240,16 @@ class Topology {
   /// Append the deterministic shortest route onto `out` (see contract
   /// above). Hot path: must not allocate beyond `out` itself.
   virtual void appendRoute(NodeId from, NodeId to, RouteVec& out) const = 0;
+
+  /// Relative streaming cost of directed link slot `link`: a message
+  /// occupies the link for weight × wireBytes / CostModel::bytesPerUs.
+  /// 1.0 everywhere for the homogeneous machines; general graphs report
+  /// their per-edge weights here. Queried once per link at Network
+  /// construction (cached into a dense table), never on the hot path.
+  virtual double linkWeight(int link) const {
+    (void)link;
+    return 1.0;
+  }
 
   /// Build the hierarchical cluster tree for `params`. The returned tree
   /// references this topology and must not outlive it.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "diva/machine.hpp"
+#include "net/graph_topology.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -153,6 +154,30 @@ TEST(Alloc, MessagePipelineIsAllocationFreeInSteadyState) {
   m.engine.run();
   EXPECT_EQ(allocCount() - before2, 0u)
       << "steady-state relay churn allocated on the message path";
+  EXPECT_EQ(budget, 0u);
+}
+
+// Graph-routed message churn: the same relay workload on a 48-node ring,
+// where table-driven routes reach 24 hops and so spill past the 16-hop
+// inline route buffer. The spilled capacity lives in the recycled
+// flights, so after warm-up even these long graph routes move messages
+// end to end without touching the heap — the proof that generalizing
+// routing from closed-form arithmetic to table lookup did not regress
+// the allocation-free hot path.
+TEST(Alloc, GraphRoutedMessageChurnIsAllocationFreeInSteadyState) {
+  Machine m(net::TopologySpec::graph(net::ringGraph(48)));
+  std::uint64_t budget = 20'000;
+  registerRelayHandlers(m, budget);
+  injectSeedMessages(m);  // p -> p + 24: the diameter route on the ring
+  m.engine.run();         // warm-up: pools, spilled route buffers, link tables
+  ASSERT_EQ(budget, 0u);
+
+  budget = 20'000;
+  injectSeedMessages(m);
+  const std::uint64_t before = allocCount();
+  m.engine.run();
+  EXPECT_EQ(allocCount() - before, 0u)
+      << "steady-state graph-routed churn allocated on the message path";
   EXPECT_EQ(budget, 0u);
 }
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Docs hygiene: fail on broken relative links in the repo's *.md files.
+
+Checks every inline markdown link ``[text](target)`` whose target is not
+an external URL or a pure in-page anchor, resolving it relative to the
+file that contains it. Anchors on relative links are stripped (only file
+existence is checked). Exit status 1 lists every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks (preserving newlines so reported line
+    numbers stay correct) — illustrative links in examples are not checked."""
+    return FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in {".git", "build", ".claude"} for part in path.parts):
+            continue
+        yield path
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md in md_files(root):
+        text = strip_fences(md.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            checked += 1
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md.relative_to(root)}:{line}: broken link -> {target}")
+    for b in broken:
+        print(b)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
