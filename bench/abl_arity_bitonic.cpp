@@ -17,7 +17,8 @@ int main() {
   bs::Config cfg;
   cfg.keysPerProc = scale() == Scale::Quick ? 1024 : 4096;
 
-  Machine mh(side, side);
+  const net::TopologySpec topo = topoForSide(side);
+  Machine mh(topo);
   const auto ho = bs::runHandOptimized(mh, cfg);
 
   std::printf("Ablation — access tree arity, bitonic sort %dx%d, %d keys/proc\n\n",
@@ -29,8 +30,8 @@ int main() {
   std::vector<std::pair<StratSpec, bs::Result>> rows;
   for (const auto& spec : {accessTree(4), accessTree(2), accessTree(2, 4),
                            accessTree(4, 16), accessTree(16), fixedHome()}) {
-    Machine m(side, side);
-    Runtime rt(m, spec.config);
+    Machine m(topo);
+    Runtime rt(m, spec.config.on(topo));
     rows.emplace_back(spec, bs::runDiva(m, rt, cfg));
     if (spec.config.arity == 4 && spec.config.leafSize == 1)
       fourAryTime = rows.back().second.timeUs;

@@ -19,7 +19,8 @@ int main() {
   cfg.blockInts = scale() == Scale::Quick ? 1024 : 4096;
   const auto cm = net::CostModel::gcel().withoutCompute();
 
-  Machine mh(side, side, cm);
+  const net::TopologySpec topo = topoForSide(side, /*requireGrid=*/true);
+  Machine mh(topo, cm);
   const auto ho = mm::runHandOptimized(mh, cfg);
 
   std::printf("Ablation — access tree arity, matmul %dx%d, block %d\n\n", side, side,
@@ -30,8 +31,8 @@ int main() {
 
   for (const auto& spec : {accessTree(2), accessTree(2, 4), accessTree(4),
                            accessTree(4, 16), accessTree(16), fixedHome()}) {
-    Machine m(side, side, cm);
-    Runtime rt(m, spec.config);
+    Machine m(topo, cm);
+    Runtime rt(m, spec.config.on(topo));
     const auto r = mm::runDiva(m, rt, cfg);
     table.addRow({spec.name,
                   ratioCell(static_cast<double>(r.congestionBytes),

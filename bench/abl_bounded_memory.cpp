@@ -19,6 +19,7 @@ int main() {
   cfg.steps = 3;
   cfg.warmupSteps = 1;
 
+  const net::TopologySpec topo = topoForSide(side);
   std::printf("Ablation — bounded memory modules, Barnes-Hut %d bodies on %dx%d\n\n",
               cfg.numBodies, side, side);
   support::Table table({"capacity/proc", "strategy", "evictions", "refusals",
@@ -29,9 +30,9 @@ int main() {
 
   for (const auto cap : capacities) {
     for (const auto& spec : {accessTree(2), accessTree(4), fixedHome()}) {
-      RuntimeConfig rc = spec.config;
+      RuntimeConfig rc = spec.config.on(topo);
       rc.cacheCapacityBytes = cap;
-      Machine m(side, side);
+      Machine m(topo);
       Runtime rt(m, rc);
       const auto r = bh::run(m, rt, cfg);
       const std::string capStr =

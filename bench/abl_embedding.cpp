@@ -15,6 +15,7 @@ namespace bs = diva::apps::bitonic;
 
 int main() {
   const int side = scale() == Scale::Quick ? 8 : 16;
+  const net::TopologySpec topo = topoForSide(side, /*requireGrid=*/true);
 
   std::printf("Ablation — random vs regular access tree embedding (%dx%d mesh)\n\n",
               side, side);
@@ -29,8 +30,8 @@ int main() {
     {
       mm::Config cfg;
       cfg.blockInts = 1024;
-      Machine m(side, side, net::CostModel::gcel().withoutCompute());
-      Runtime rt(m, rc);
+      Machine m(topo, net::CostModel::gcel().withoutCompute());
+      Runtime rt(m, rc.on(topo));
       const auto r = mm::runDiva(m, rt, cfg);
       table.addRow({"matmul", name, support::fmt(r.congestionBytes / 1e3, 0),
                     support::fmt(r.timeUs / 1e6, 2),
@@ -39,8 +40,8 @@ int main() {
     {
       bs::Config cfg;
       cfg.keysPerProc = 1024;
-      Machine m(side, side);
-      Runtime rt(m, rc);
+      Machine m(topo);
+      Runtime rt(m, rc.on(topo));
       const auto r = bs::runDiva(m, rt, cfg);
       table.addRow({"bitonic", name, support::fmt(r.congestionBytes / 1e3, 0),
                     support::fmt(r.timeUs / 1e6, 2),

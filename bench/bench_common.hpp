@@ -62,18 +62,19 @@ inline std::string ratioCell(double value, double baseline) {
   return support::fmt(value / baseline, 2);
 }
 
-/// The machine shape for a P = side×side sweep point, selected by
+/// The machine shape for a rows×cols sweep point, selected by
 /// DIVA_TOPOLOGY. Grid shapes (mesh2d — the default — and torus2d) work
 /// for every bench; the non-grid shapes (hypercube, ring, star,
-/// random-regular) only for benches whose application is not
-/// grid-structured (bitonic, Barnes–Hut). Benches that require a grid
-/// pass requireGrid = true and fail fast with a clear message otherwise.
-inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
+/// random-regular) — built over P = rows·cols processors — only for
+/// benches whose application is not grid-structured (bitonic,
+/// Barnes–Hut). Benches that require a grid pass requireGrid = true and
+/// fail fast with a clear message otherwise.
+inline net::TopologySpec topoForShape(int rows, int cols, bool requireGrid = false) {
   const char* env = std::getenv("DIVA_TOPOLOGY");
   const std::string name = (env && *env) ? env : "mesh2d";
-  const int procs = side * side;
-  if (name == "mesh2d") return net::TopologySpec::mesh2d(side, side);
-  if (name == "torus2d") return net::TopologySpec::torus2d(side, side);
+  const int procs = rows * cols;
+  if (name == "mesh2d") return net::TopologySpec::mesh2d(rows, cols);
+  if (name == "torus2d") return net::TopologySpec::torus2d(rows, cols);
   DIVA_CHECK_MSG(!requireGrid, "this bench is grid-structured: DIVA_TOPOLOGY must be "
                                "mesh2d or torus2d (got '"
                                    << name << "')");
@@ -81,7 +82,7 @@ inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
     int d = 0;
     while ((1 << d) < procs) ++d;
     DIVA_CHECK_MSG((1 << d) == procs,
-                   "side " << side << " is not a hypercube-compatible size");
+                   rows << "x" << cols << " is not a hypercube-compatible size");
     return net::TopologySpec::hypercube(d);
   }
   if (name == "ring") return net::TopologySpec::graph(net::ringGraph(procs));
@@ -90,6 +91,11 @@ inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
     return net::TopologySpec::graph(net::randomRegularGraph(procs, 4, 1));
   DIVA_CHECK_MSG(false, "unknown DIVA_TOPOLOGY '" << name << "'");
   return {};
+}
+
+/// Square-machine shorthand for the side×side sweeps.
+inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
+  return topoForShape(side, side, requireGrid);
 }
 
 /// Machine-readable sweep record consumed by bench/run_bench.sh, which

@@ -44,12 +44,16 @@ inline apps::barneshut::Config bhConfig(int bodies) {
   return cfg;
 }
 
+/// Barnes–Hut is not grid-structured (bodies map to processors via the
+/// decomposition leaf order), so the sweep machine is parameterized over
+/// TopologySpec via the DIVA_TOPOLOGY env knob.
 inline std::vector<BhPoint> runBhSweep(int rows = 16, int cols = 16) {
+  const net::TopologySpec topo = topoForShape(rows, cols);
   std::vector<BhPoint> out;
   for (const int n : bhBodyCounts()) {
     for (const auto& spec : bhStrategies()) {
-      Machine m(rows, cols);
-      Runtime rt(m, spec.config);
+      Machine m(topo);
+      Runtime rt(m, spec.config.on(topo));
       out.push_back(BhPoint{n, spec, apps::barneshut::run(m, rt, bhConfig(n))});
     }
   }

@@ -5,6 +5,9 @@
 // fixed home and ≈ 9→6.5 for the access tree as blocks grow from 64 to
 // 4096 entries; time ratios smaller than congestion ratios; access tree
 // about twice as fast as fixed home.)
+//
+// Parameterized over TopologySpec: matmul's block layout needs grid
+// coordinates, so DIVA_TOPOLOGY may select mesh2d (default) or torus2d.
 
 #include <cstdio>
 
@@ -24,8 +27,9 @@ int main() {
   // The paper measures *communication* time for this experiment (local
   // block products removed from the program).
   const auto cm = net::CostModel::gcel().withoutCompute();
+  const net::TopologySpec topo = topoForSide(side, /*requireGrid=*/true);
 
-  std::printf("Figure 3 — matrix multiplication on a %dx%d mesh\n", side, side);
+  std::printf("Figure 3 — matrix multiplication on %s\n", topo.describe().c_str());
   std::printf("ratios relative to the hand-optimized message passing strategy\n\n");
   support::Table table({"block size", "strategy", "congestion ratio", "comm time ratio",
                         "congestion [KB]", "comm time [ms]"});
@@ -34,15 +38,15 @@ int main() {
     mm::Config cfg;
     cfg.blockInts = block;
 
-    Machine mh(side, side, cm);
+    Machine mh(topo, cm);
     const auto ho = mm::runHandOptimized(mh, cfg);
     table.addRow({std::to_string(block), "hand-optimized", "1.00", "1.00",
                   support::fmt(ho.congestionBytes / 1e3, 0),
                   support::fmt(ho.timeUs / 1e3, 0)});
 
     for (const auto& spec : {accessTree(4), fixedHome()}) {
-      Machine m(side, side, cm);
-      Runtime rt(m, spec.config);
+      Machine m(topo, cm);
+      Runtime rt(m, spec.config.on(topo));
       const auto r = mm::runDiva(m, rt, cfg);
       table.addRow({std::to_string(block), spec.name,
                     ratioCell(static_cast<double>(r.congestionBytes),

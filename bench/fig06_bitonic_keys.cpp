@@ -3,6 +3,10 @@
 // access tree strategies relative to the hand-optimized exchange. Paper:
 // access tree congestion ratio ≈ 2.7–3.0, fixed home ≈ 7–8; execution
 // time closely tracks congestion.
+//
+// Parameterized over TopologySpec: bitonic assigns wires by decomposition
+// leaf order, so DIVA_TOPOLOGY may select any shape (torus2d, hypercube,
+// ring, star, random-regular) besides the default mesh.
 
 #include <cstdio>
 
@@ -20,7 +24,8 @@ int main() {
     default: keyCounts = {256, 1024, 4096, 16384}; break;
   }
 
-  std::printf("Figure 6 — bitonic sorting on a %dx%d mesh\n", side, side);
+  const net::TopologySpec topo = topoForSide(side);
+  std::printf("Figure 6 — bitonic sorting on %s\n", topo.describe().c_str());
   std::printf("ratios relative to the hand-optimized message passing strategy\n\n");
   support::Table table({"keys/proc", "strategy", "congestion ratio", "exec time ratio",
                         "congestion [KB]", "time [s]"});
@@ -29,15 +34,15 @@ int main() {
     bs::Config cfg;
     cfg.keysPerProc = keys;
 
-    Machine mh(side, side);
+    Machine mh(topo);
     const auto ho = bs::runHandOptimized(mh, cfg);
     table.addRow({std::to_string(keys), "hand-optimized", "1.00", "1.00",
                   support::fmt(ho.congestionBytes / 1e3, 0),
                   support::fmt(ho.timeUs / 1e6, 2)});
 
     for (const auto& spec : {accessTree(2, 4), fixedHome()}) {
-      Machine m(side, side);
-      Runtime rt(m, spec.config);
+      Machine m(topo);
+      Runtime rt(m, spec.config.on(topo));
       const auto r = bs::runDiva(m, rt, cfg);
       table.addRow({std::to_string(keys), spec.name,
                     ratioCell(static_cast<double>(r.congestionBytes),

@@ -5,6 +5,9 @@
 // machine — its execution time falls to ≈49% of the fixed home's at 512
 // processors, its communication time (execution minus force-phase local
 // compute) to ≈33%.
+//
+// Parameterized over TopologySpec via DIVA_TOPOLOGY (Barnes–Hut runs on
+// any shape; non-grid shapes are built over rows·cols processors).
 
 #include <cstdio>
 
@@ -36,9 +39,10 @@ int main() {
     auto cfg = bhConfig(bodies);
 
     double fhTime = 0, fhComm = 0;
+    const net::TopologySpec topo = topoForShape(s.rows, s.cols);
     for (const auto& spec : {fixedHome(), accessTree(4, 8)}) {
-      Machine m(s.rows, s.cols);
-      Runtime rt(m, spec.config);
+      Machine m(topo);
+      Runtime rt(m, spec.config.on(topo));
       const auto r = apps::barneshut::run(m, rt, cfg);
       const double compute = r.phaseComputeUs[bh::kForce] / P;
       const double comm = r.timeUs - compute;

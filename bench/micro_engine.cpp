@@ -71,6 +71,8 @@ BENCHMARK(BM_EngineEventChurn);
 // the `torus_messages_per_sec` series.
 void messageChurn(benchmark::State& state, const net::TopologySpec& spec) {
   std::uint64_t sent = 0;
+  std::uint64_t events = 0;
+  sim::EventQueue::Stats qs{};
   for (auto _ : state) {
     Machine m(spec);
     const NodeId procs = static_cast<NodeId>(m.numProcs());
@@ -89,8 +91,19 @@ void messageChurn(benchmark::State& state, const net::TopologySpec& spec) {
     }
     m.engine.run();
     sent += m.net.messagesSent();
+    events += m.engine.eventsProcessed();
+    qs = m.engine.queueStats();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+  // Derived pipeline metric and queue-tier occupancy (see BENCH_engine.json).
+  state.counters["events_per_message"] =
+      static_cast<double>(events) / static_cast<double>(sent);
+  const double pushes =
+      static_cast<double>(qs.ringPushes + qs.sortedPushes + qs.overflowPushes);
+  state.counters["ring_push_share"] = static_cast<double>(qs.ringPushes) / pushes;
+  state.counters["overflow_push_share"] =
+      static_cast<double>(qs.overflowPushes) / pushes;
+  state.counters["bucket_width_us"] = qs.bucketWidthUs;
 }
 
 void BM_NetworkMessageChurn(benchmark::State& state) {

@@ -65,13 +65,16 @@ peak_rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
 with open(raw_path) as f:
     raw = json.load(f)
 
-def rate(name):
+def bench(name):
     # single-repetition runs emit the plain name, aggregate runs the _mean
     for suffix in ("_mean", ""):
         for b in raw["benchmarks"]:
             if b["name"] == name + suffix:
-                return b["items_per_second"]
+                return b
     raise SystemExit(f"benchmark {name} missing from output")
+
+def rate(name):
+    return bench(name)["items_per_second"]
 
 figures = {}
 for line in os.environ.get("FIG_DATA", "").splitlines():
@@ -84,11 +87,20 @@ for line in os.environ.get("FIG_DATA", "").splitlines():
         "at_fh_time": float(fields["at_fh_time"]),
     }
 
+mesh = bench("BM_NetworkMessageChurn")
 entry = {
     "events_per_sec": round(rate("BM_EngineEventChurn")),
     "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
     "torus_messages_per_sec": round(rate("BM_NetworkMessageChurnTorus")),
     "graph_messages_per_sec": round(rate("BM_NetworkMessageChurnGraph")),
+    # Derived pipeline metric + event-queue tier occupancy, from the mesh
+    # churn's benchmark counters (see docs/benchmarks.md).
+    "events_per_message": round(mesh["events_per_message"], 2),
+    "queue": {
+        "bucket_width_us": round(mesh["bucket_width_us"], 3),
+        "ring_push_share": round(mesh["ring_push_share"], 4),
+        "overflow_push_share": round(mesh["overflow_push_share"], 6),
+    },
     "peak_rss_kb": peak_rss_kb,
     "repetitions": int(reps),
     "topology": {

@@ -23,8 +23,7 @@ class LinkStats {
 
   LinkStats(int numLinkSlots, int numPhases)
       : slots_(numLinkSlots), phases_(std::max(1, numPhases)) {
-    msgs_.assign(static_cast<std::size_t>(phases_) * slots_, 0);
-    bytes_.assign(static_cast<std::size_t>(phases_) * slots_, 0);
+    cells_.assign(static_cast<std::size_t>(phases_) * slots_, Cell{});
   }
 
   int numPhases() const { return phases_; }
@@ -35,59 +34,67 @@ class LinkStats {
     phase_ = p;
   }
 
+  /// Hot path (once per link crossing): message count and byte count live
+  /// in one interleaved cell, so recording touches a single cache line.
   void record(int link, std::uint64_t wireBytes) {
-    const std::size_t i = static_cast<std::size_t>(phase_) * slots_ + link;
-    ++msgs_[i];
-    bytes_[i] += wireBytes;
+    Cell& c = cells_[static_cast<std::size_t>(phase_) * slots_ + link];
+    ++c.msgs;
+    c.bytes += wireBytes;
   }
 
   /// Max over links of per-link message count (within one phase, or overall).
   std::uint64_t congestionMessages(int phase = kAllPhases) const {
-    return maxOver(msgs_, phase);
+    return maxOver(&Cell::msgs, phase);
   }
   std::uint64_t congestionBytes(int phase = kAllPhases) const {
-    return maxOver(bytes_, phase);
+    return maxOver(&Cell::bytes, phase);
   }
   /// Total communication load: sum over links.
-  std::uint64_t totalMessages(int phase = kAllPhases) const { return sumOver(msgs_, phase); }
-  std::uint64_t totalBytes(int phase = kAllPhases) const { return sumOver(bytes_, phase); }
+  std::uint64_t totalMessages(int phase = kAllPhases) const {
+    return sumOver(&Cell::msgs, phase);
+  }
+  std::uint64_t totalBytes(int phase = kAllPhases) const {
+    return sumOver(&Cell::bytes, phase);
+  }
 
   std::uint64_t linkMessages(int link, int phase = kAllPhases) const {
-    return cellOver(msgs_, link, phase);
+    return cellOver(&Cell::msgs, link, phase);
   }
   std::uint64_t linkBytes(int link, int phase = kAllPhases) const {
-    return cellOver(bytes_, link, phase);
+    return cellOver(&Cell::bytes, link, phase);
   }
 
-  void reset() {
-    std::fill(msgs_.begin(), msgs_.end(), 0);
-    std::fill(bytes_.begin(), bytes_.end(), 0);
-  }
+  void reset() { std::fill(cells_.begin(), cells_.end(), Cell{}); }
 
  private:
-  std::uint64_t cellOver(const std::vector<std::uint64_t>& v, int link, int phase) const {
+  struct Cell {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::uint64_t cellOver(std::uint64_t Cell::* field, int link, int phase) const {
     if (phase != kAllPhases)
-      return v[static_cast<std::size_t>(phase) * slots_ + link];
+      return cells_[static_cast<std::size_t>(phase) * slots_ + link].*field;
     std::uint64_t s = 0;
-    for (int p = 0; p < phases_; ++p) s += v[static_cast<std::size_t>(p) * slots_ + link];
+    for (int p = 0; p < phases_; ++p)
+      s += cells_[static_cast<std::size_t>(p) * slots_ + link].*field;
     return s;
   }
-  std::uint64_t maxOver(const std::vector<std::uint64_t>& v, int phase) const {
+  std::uint64_t maxOver(std::uint64_t Cell::* field, int phase) const {
     std::uint64_t best = 0;
-    for (int l = 0; l < slots_; ++l) best = std::max(best, cellOver(v, l, phase));
+    for (int l = 0; l < slots_; ++l) best = std::max(best, cellOver(field, l, phase));
     return best;
   }
-  std::uint64_t sumOver(const std::vector<std::uint64_t>& v, int phase) const {
+  std::uint64_t sumOver(std::uint64_t Cell::* field, int phase) const {
     std::uint64_t s = 0;
-    for (int l = 0; l < slots_; ++l) s += cellOver(v, l, phase);
+    for (int l = 0; l < slots_; ++l) s += cellOver(field, l, phase);
     return s;
   }
 
   int slots_;
   int phases_;
   int phase_ = 0;
-  std::vector<std::uint64_t> msgs_;
-  std::vector<std::uint64_t> bytes_;
+  std::vector<Cell> cells_;
 };
 
 }  // namespace diva::mesh

@@ -64,6 +64,16 @@ sim::Time Network::postInternal(Message&& msg) {
     // Local "message": a function call on the host processor. No startup,
     // no link traffic; costs one state-machine step.
     const sim::Time done = reserveCpu(msg.src, cost_.stateLookupUs);
+    if (done == engine_->now() && dispatchDepth_ == 0) {
+      // Zero-cost state step on an idle CPU (cost models with
+      // stateLookupUs == 0): the dispatch is due at the current instant,
+      // so deliver inline — no pooled box, no queue round-trip. Only
+      // from outside a handler: a local post *from* a handler takes the
+      // queued path so zero-cost relay chains drain iteratively instead
+      // of recursing one stack frame per message.
+      dispatchOrEnqueue(std::move(msg));
+      return done;
+    }
     Message* boxed = messagePool_.acquire();
     *boxed = std::move(msg);
     engine_->scheduleAt(done, [this, boxed] {
@@ -79,17 +89,35 @@ sim::Time Network::postInternal(Message&& msg) {
   f->msg = std::move(msg);
   f->path.clear();  // recycled flights keep their (possibly spilled) capacity
   f->idx = 0;
+  f->wire = f->msg.payloadBytes + cost_.headerBytes;
   f->headReady = injected;
   topo_->appendRoute(f->msg.src, f->msg.dst, f->path);
-  engine_->scheduleAt(injected, [this, f] { hop(f); });
+  if (injected == engine_->now()) {
+    // The head is ready now (cost models with sendOverheadUs == 0 and an
+    // idle CPU): fuse the injection event into the first hop instead of
+    // a scheduleAt(now, …) round-trip through the queue.
+    hop(f);
+  } else {
+    engine_->scheduleAt(injected, [this, f] { hop(f); });
+  }
   return injected;
 }
 
 void Network::hop(Flight* f) {
   const Hop& h = f->path[f->idx];
   sim::Time& linkFree = linkFreeAt_[h.link];
+#if defined(__GNUC__) || defined(__clang__)
+  // The next hop event fires microseconds of simulated time later but
+  // often nanoseconds of host time later: warm its link state now, while
+  // this flight's path entry is already in hand.
+  if (f->idx + 1 < f->path.size()) {
+    const Hop& nh = f->path[f->idx + 1];
+    __builtin_prefetch(&linkFreeAt_[nh.link]);
+    __builtin_prefetch(&linkUsPerByte_[nh.link]);
+  }
+#endif
   const sim::Time start = std::max(f->headReady, linkFree);
-  const std::uint64_t wire = f->msg.payloadBytes + cost_.headerBytes;
+  const std::uint64_t wire = f->wire;
   const double streamTime = static_cast<double>(wire) * linkUsPerByte_[h.link];
   linkFree = start + streamTime;
   stats_->record(h.link, wire);
@@ -116,6 +144,7 @@ void Network::hop(Flight* f) {
 }
 
 void Network::dispatchOrEnqueue(Message&& msg) {
+  if (deliveryProbe_) deliveryProbe_(engine_->now(), msg.dst, msg.channel);
   if (msg.channel < handlerChannels_) {
     Handler& h = handlers_[slotOf(msg.dst, msg.channel)];
     if (h) {

@@ -105,15 +105,29 @@ class Network {
   /// Total messages injected (diagnostics).
   std::uint64_t messagesSent() const { return messagesSent_; }
 
+  /// Diagnostic tap on message delivery, invoked as (time, dst, channel)
+  /// immediately before every handler dispatch / mailbox append. Used by
+  /// the determinism regression test to hash the delivery trace; costs
+  /// one predictable null check per delivery when unset.
+  using DeliveryProbe = std::function<void(sim::Time, NodeId, Channel)>;
+  void setDeliveryProbe(DeliveryProbe probe) { deliveryProbe_ = std::move(probe); }
+
   /// Frame recycling for the `recv` coroutines (see sim/task.hpp).
   support::FramePool& coroFramePool() { return framePool_; }
 
  private:
-  struct Flight {  // in-flight message state, pooled and recycled
-    Message msg;
-    RouteVec path;
+  /// In-flight message state, pooled and recycled. Field order is the hot
+  /// path's: a hop event reads headReady/idx/wire and one route entry, so
+  /// they share the flight's first cache line (with the route's inline
+  /// header and first hops right behind); the message — only needed again
+  /// at delivery — sits last, its wire size cached in `wire` so the hops
+  /// never touch it.
+  struct Flight {
+    sim::Time headReady = 0;   ///< when the head is ready to enter path[idx]
     std::size_t idx = 0;
-    sim::Time headReady = 0;  ///< when the head is ready to enter path[idx]
+    std::uint64_t wire = 0;    ///< payloadBytes + headerBytes, cached at inject
+    RouteVec path;
+    Message msg;
   };
 
   struct Mailbox {
@@ -157,6 +171,7 @@ class Network {
   support::ObjectPool<Message> messagePool_;
   support::FramePool framePool_;
   std::uint64_t messagesSent_ = 0;
+  DeliveryProbe deliveryProbe_;  ///< empty unless a trace consumer taps in
 };
 
 }  // namespace diva::net

@@ -4,11 +4,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <utility>
-#include <vector>
 
-#include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
-#include "support/object_pool.hpp"
 
 namespace diva::sim {
 
@@ -19,39 +17,18 @@ namespace diva::sim {
 /// protocol handlers, coroutine resumptions — runs inside events, so a
 /// run is a pure function of its inputs and seeds.
 ///
-/// ## Queue design
-///
-/// The seed used `std::priority_queue<std::function>`: one heap node per
-/// event, a (double, sequence) comparison per sift level, a `const_cast`
-/// move-out of `top()`, and a heap allocation for every capture over
-/// libstdc++'s 16-byte SBO. Profiling the rework showed the comparison
-/// sifts themselves dominate long before allocation does, so the queue
-/// exploits the structure of simulation schedules instead: *timestamps
-/// repeat heavily* (cost models quantize time — a 500 µs startup, a 5 µs
-/// hop — and lock-step protocols resume many actors at the same instant).
-///
-/// Pending events at the same timestamp form an intrusive FIFO list of
-/// pooled callback slots hanging off one "time group"; a hand-rolled
-/// binary min-heap orders only the *distinct* timestamps (16-byte POD
-/// nodes, one integer compare — the bit pattern of a non-negative double
-/// orders identically to its value); an open-addressing hash table maps
-/// timestamp → live group so a repeated-time push is O(1) with no heap
-/// traffic at all. FIFO-among-equals holds by construction (list append),
-/// so no sequence numbers are stored or compared. A schedule of all-
-/// distinct timestamps degrades to the plain heap plus one hash probe.
-///
-/// Callbacks live in `EventFn` slots (48-byte inline capture storage, see
-/// event_fn.hpp) drawn from recycling slab pools, so in steady state —
-/// once pools, heap and table have grown to the simulation's working
-/// set — scheduling and dispatching an event allocates nothing, and
-/// destroying the engine mid-run reclaims every pending capture.
+/// The pending-event structure lives in `sim::EventQueue` (see
+/// event_queue.hpp): a calendar-style bucket ring for the densely
+/// clustered near future, with a distinct-timestamp heap + hash front
+/// tier for exact ordering and an overflow tier for the far-future tail.
+/// Callbacks live in pooled `EventFn` slots (40-byte inline capture
+/// storage, see event_fn.hpp), so in steady state — once pools, heaps and
+/// table have grown to the simulation's working set — scheduling and
+/// dispatching an event allocates nothing, and destroying the engine
+/// mid-run reclaims every pending capture.
 class Engine {
  public:
-  Engine() {
-    heap_.reserve(kInitialCapacity);
-    table_.resize(kInitialTableSize);
-    tableShift_ = 64 - std::countr_zero(std::uint64_t{kInitialTableSize});
-  }
+  Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -65,10 +42,7 @@ class Engine {
   template <typename F>
   void scheduleAt(Time t, F&& fn) {
     if (t <= now_) t = now_;
-    Slot* slot = slots_.acquire();
-    slot->fn.emplace(std::forward<F>(fn));
-    slot->next = nullptr;
-    enqueue(std::bit_cast<std::uint64_t>(t), slot);
+    queue_.push(t, std::forward<F>(fn));
   }
 
   /// Schedule `fn` `dt` microseconds from now.
@@ -82,32 +56,26 @@ class Engine {
     scheduleAt(t, [h] { h.resume(); });
   }
 
-  /// Pre-size the distinct-timestamp heap for a known burst of scheduling.
-  void reserve(std::size_t distinctTimes) { heap_.reserve(distinctTimes); }
+  /// Pre-size the queue for a known burst of `events` pending events
+  /// (worst case: all timestamps distinct): sorted heaps, hash table and
+  /// slot/group pools all grow up front (the bucket ring is fixed-size),
+  /// so the burst never grows a structure mid-run.
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
   /// Run until the event queue drains. Returns the final simulated time.
   Time run() {
-    while (pending_ != 0) {
-      // Peek the minimum time group and detach its FIFO head. All queue
-      // mutations happen before the callback runs, so the callback is
-      // free to schedule — including at the current time, which re-forms
-      // a fresh group behind this one.
-      const Node top = heap_.front();
-      Group* g = top.group;
-      Slot* slot = g->head;
-      g->head = slot->next;
-      if (g->head == nullptr) {
-        tableEraseAt(g->tableIdx);
-        groups_.release(g);
-        heapPopRoot();
-      }
-      --pending_;
-      now_ = std::bit_cast<Time>(top.timeBits);
+    EventFn fn;
+    while (!queue_.empty()) {
+      // The callback is moved out and its slot recycled before it runs,
+      // so it is free to schedule — including at the current time, which
+      // re-forms a fresh group behind this one. If it throws (fail-fast
+      // checks propagate out of run()), invokeAndReset still destroys
+      // the capture and the queue stays consistent.
+      std::uint64_t timeBits;
+      queue_.popFrontInto(fn, timeBits);
+      now_ = std::bit_cast<Time>(timeBits);
       ++processed_;
-      // Recycle the slot even if the callback throws (fail-fast checks
-      // propagate out of run(); the queue stays consistent either way).
-      const SlotRelease release{&slots_, slot};
-      slot->fn.invokeAndReset();
+      fn.invokeAndReset();
     }
     return now_;
   }
@@ -116,9 +84,19 @@ class Engine {
   std::uint64_t eventsProcessed() const { return processed_; }
 
   /// Number of events currently pending (diagnostics).
-  std::size_t pendingEvents() const { return pending_; }
+  std::size_t pendingEvents() const { return queue_.pending(); }
 
-  bool idle() const { return pending_ == 0; }
+  bool idle() const { return queue_.empty(); }
+
+  /// Queue tier traffic and tuned bucket width (diagnostics / bench).
+  /// Ring pushes are derived here — every event ever scheduled that went
+  /// through neither sorted tier — so the O(1) ring path carries no
+  /// counter of its own.
+  EventQueue::Stats queueStats() const {
+    EventQueue::Stats s = queue_.stats();
+    s.ringPushes = processed_ + queue_.pending() - s.sortedPushes - s.overflowPushes;
+    return s;
+  }
 
   /// Awaitable that suspends the current task until `now() + dt`.
   auto delay(Time dt) { return DelayAwaiter{this, now_ + dt}; }
@@ -127,160 +105,6 @@ class Engine {
   auto delayUntil(Time t) { return DelayAwaiter{this, t}; }
 
  private:
-  static constexpr std::size_t kInitialCapacity = 256;
-  static constexpr std::size_t kInitialTableSize = 256;  // power of two
-
-  /// One pending event: its callback and the link to the next event
-  /// scheduled for the same timestamp (FIFO within the time group).
-  struct Slot {
-    EventFn fn;
-    Slot* next;
-  };
-
-  /// All pending events at one distinct timestamp, as an intrusive queue.
-  /// Pool-stable: the heap and hash table point at it while it lives.
-  /// `tableIdx` tracks the group's current hash-table position (kept up to
-  /// date by backward-shift moves and growth) so the pop-side erase needs
-  /// no find-walk of its own.
-  struct Group {
-    Slot* head;
-    Slot* tail;
-    std::size_t tableIdx;
-  };
-
-  /// Heap node: POD, 16 bytes, four per cache line. One node per distinct
-  /// pending timestamp; ordering needs a single integer compare.
-  struct Node {
-    std::uint64_t timeBits;
-    Group* group;
-  };
-
-  struct TableEntry {
-    std::uint64_t key;
-    Group* group;  ///< nullptr marks an empty slot
-  };
-
-  void enqueue(std::uint64_t timeBits, Slot* slot) {
-    ++pending_;
-    // One fused probe walk: find the live group for this timestamp or
-    // claim the empty slot the walk ends on. (Growing first may be
-    // spurious when the key turns out to exist — harmless and rare.)
-    if ((tableCount_ + 1) * 2 > table_.size()) tableGrow();
-    const std::size_t mask = table_.size() - 1;
-    std::size_t i = tableHome(timeBits);
-    while (table_[i].group != nullptr) {
-      if (table_[i].key == timeBits) {
-        Group* g = table_[i].group;
-        g->tail->next = slot;
-        g->tail = slot;
-        return;
-      }
-      i = (i + 1) & mask;
-    }
-    Group* g = groups_.acquire();
-    g->head = g->tail = slot;
-    g->tableIdx = i;
-    table_[i] = TableEntry{timeBits, g};
-    ++tableCount_;
-    heapPush(timeBits, g);
-  }
-
-  // --- binary min-heap over distinct timestamps ---
-
-  /// Hole insertion: append a hole at the back, shift larger parents down
-  /// into it, then write the new node into place — one move per level.
-  void heapPush(std::uint64_t timeBits, Group* g) {
-    heap_.emplace_back();
-    std::size_t i = heap_.size() - 1;
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (timeBits >= heap_[parent].timeBits) break;
-      heap_[i] = heap_[parent];
-      i = parent;
-    }
-    heap_[i] = Node{timeBits, g};
-  }
-
-  /// Remove the root via Floyd's trick: sift the hole to the leaf level
-  /// choosing the smaller child branchlessly (sibling order is random, a
-  /// conditional branch would mispredict half the time), then bubble the
-  /// detached last node up from there (almost always 0–2 steps).
-  void heapPopRoot() {
-    const Node last = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
-    if (n == 0) return;
-    std::size_t hole = 0;
-    std::size_t child = 1;
-    while (child + 1 < n) {
-      child += static_cast<std::size_t>(heap_[child + 1].timeBits <
-                                        heap_[child].timeBits);
-      heap_[hole] = heap_[child];
-      hole = child;
-      child = 2 * hole + 1;
-    }
-    if (child < n) {
-      heap_[hole] = heap_[child];
-      hole = child;
-    }
-    std::size_t i = hole;
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (last.timeBits >= heap_[parent].timeBits) break;
-      heap_[i] = heap_[parent];
-      i = parent;
-    }
-    heap_[i] = last;
-  }
-
-  // --- open-addressing hash: live timestamp → its group ---
-  // Linear probing with Fibonacci hashing and backward-shift deletion
-  // (no tombstones), so the table only reallocates on growth and steady
-  // state is allocation-free.
-
-  std::size_t tableHome(std::uint64_t key) const {
-    return (key * 0x9E3779B97F4A7C15ull) >> tableShift_;
-  }
-
-  void tableEraseAt(std::size_t i) {
-    const std::size_t mask = table_.size() - 1;
-    std::size_t hole = i;
-    std::size_t j = i;
-    for (;;) {
-      j = (j + 1) & mask;
-      if (table_[j].group == nullptr) break;
-      const std::size_t home = tableHome(table_[j].key);
-      // Entry j may fill the hole iff its probe path passes through it.
-      if (((j - home) & mask) >= ((j - hole) & mask)) {
-        table_[hole] = table_[j];
-        table_[hole].group->tableIdx = hole;
-        hole = j;
-      }
-    }
-    table_[hole].group = nullptr;
-    --tableCount_;
-  }
-
-  void tableGrow() {
-    std::vector<TableEntry> old = std::move(table_);
-    table_.assign(old.size() * 2, TableEntry{});
-    --tableShift_;
-    const std::size_t mask = table_.size() - 1;
-    for (const TableEntry& e : old) {
-      if (e.group == nullptr) continue;
-      std::size_t i = tableHome(e.key);
-      while (table_[i].group != nullptr) i = (i + 1) & mask;
-      table_[i] = e;
-      e.group->tableIdx = i;
-    }
-  }
-
-  struct SlotRelease {
-    support::ObjectPool<Slot, 256>* pool;
-    Slot* slot;
-    ~SlotRelease() { pool->release(slot); }
-  };
-
   struct DelayAwaiter {
     Engine* engine;
     Time when;
@@ -289,15 +113,7 @@ class Engine {
     void await_resume() const noexcept {}
   };
 
-  std::vector<Node> heap_;          ///< min-heap keyed on distinct timeBits
-  std::vector<TableEntry> table_;   ///< timestamp → group, while pending
-  int tableShift_ = 0;
-  std::size_t tableCount_ = 0;
-  /// Slab pools; their teardown destroys any captures still pending when
-  /// the engine dies (heap/table/lists hold only raw pointers).
-  support::ObjectPool<Slot, 256> slots_;
-  support::ObjectPool<Group, 256> groups_;
-  std::size_t pending_ = 0;
+  EventQueue queue_;
   Time now_ = kTimeZero;
   std::uint64_t processed_ = 0;
 };

@@ -10,9 +10,11 @@
 namespace diva::sim {
 
 /// Move-only `void()` callable with small-buffer optimization, built for
-/// the event heap: every closure the simulator schedules (a coroutine
-/// handle, a `this` pointer plus in-flight state) fits in the 48-byte
-/// inline buffer, so pushing an event performs no heap allocation. Larger
+/// the event queue: every closure the simulator schedules (a coroutine
+/// handle, a `this` pointer plus in-flight state) fits in the 40-byte
+/// inline buffer, so pushing an event performs no heap allocation. The
+/// size is chosen so a pooled `EventQueue::Slot` (buffer + ops pointer +
+/// FIFO link + timestamp) is exactly 64 bytes — one cache line. Larger
 /// or throwing-move callables transparently fall back to the heap — they
 /// still work, they just pay the allocation the hot path avoids.
 ///
@@ -22,7 +24,7 @@ namespace diva::sim {
 /// the compiler unrolls.
 class EventFn {
  public:
-  static constexpr std::size_t kInlineBytes = 48;
+  static constexpr std::size_t kInlineBytes = 40;
 
   EventFn() noexcept = default;
 

@@ -58,6 +58,18 @@ class ObjectPool {
   /// come from this pool's `acquire()`.
   void release(T* p) { free_.push_back(p); }
 
+  /// Pre-construct `n` objects so a burst of that many concurrent
+  /// acquires — and the free-list traffic of recycling them — performs
+  /// no allocation. Counts from the pool's current state: the `n`
+  /// objects are acquired (recycling any free ones first) and released
+  /// again, which also grows the free list's capacity to at least `n`.
+  void reserve(std::size_t n) {
+    std::vector<T*> held;
+    held.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) held.push_back(acquire());
+    for (T* p : held) release(p);
+  }
+
   /// Objects currently constructed (live + free), for diagnostics.
   std::size_t constructedCount() const {
     std::size_t n = 0;

@@ -87,7 +87,8 @@ TEST(Alloc, EngineEventChurnIsAllocationFreeInSteadyState) {
     }
   };
   sim::Engine e;
-  // Warm-up: grows the heap, hash table and slot pool to working depth.
+  // Warm-up: grows the heaps, hash table and slot pool to working depth
+  // (and calibrates the bucket ring).
   std::uint64_t budget = 50'000;
   for (std::uint64_t i = 0; i < 512; ++i) {
     e.scheduleAt(static_cast<double>(i % 17), Churn{&e, &budget, i});
@@ -95,7 +96,8 @@ TEST(Alloc, EngineEventChurnIsAllocationFreeInSteadyState) {
   e.run();
 
   // Steady state: the same churn again, at the same working depth, must
-  // not allocate at all — schedule, sift, dispatch and recycle included.
+  // not allocate at all — schedule, bucket, sift, dispatch and recycle
+  // included.
   budget = 100'000;
   for (std::uint64_t i = 0; i < 512; ++i) {
     e.scheduleAt(e.now() + static_cast<double>(i % 17), Churn{&e, &budget, i});
@@ -104,6 +106,93 @@ TEST(Alloc, EngineEventChurnIsAllocationFreeInSteadyState) {
   e.run();
   EXPECT_EQ(allocCount() - before, 0u) << "event hot path allocated";
   EXPECT_EQ(e.eventsProcessed(), 50'000u + 512u + 100'000u + 512u);
+}
+
+TEST(Alloc, BothQueueTiersAreAllocationFreeInSteadyState) {
+  // Like the churn above, but the delta distribution deliberately mixes
+  // dense near-future times (bucket ring), re-entrant zero deltas (sorted
+  // front tier) and far-future spikes well beyond the ring window
+  // (overflow tier + migration), so steady state is proven across every
+  // tier transition, not just the ring.
+  struct Churn {
+    sim::Engine* e;
+    std::uint64_t* budget;
+    std::uint64_t rng;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      const std::uint64_t next = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      double delta;
+      switch (next % 8) {
+        case 0: delta = 0.0; break;
+        case 1: delta = 50'000.0 + static_cast<double>(next % 1000); break;
+        default: delta = static_cast<double>(next % 97); break;
+      }
+      e->scheduleAfter(delta, Churn{e, budget, next});
+    }
+  };
+  sim::Engine e;
+  std::uint64_t budget = 50'000;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    e.scheduleAt(static_cast<double>(i % 17), Churn{&e, &budget, i});
+  }
+  e.run();
+  const auto warm = e.queueStats();
+  ASSERT_GT(warm.bucketWidthUs, 0.0) << "ring never calibrated";
+  ASSERT_GT(warm.overflowPushes, 0u) << "workload never reached the overflow tier";
+  ASSERT_GT(warm.migratedEvents, 0u) << "overflow events never migrated into the ring";
+
+  budget = 100'000;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    e.scheduleAt(e.now() + static_cast<double>(i % 17), Churn{&e, &budget, i});
+  }
+  const std::uint64_t before = allocCount();
+  e.run();
+  EXPECT_EQ(allocCount() - before, 0u) << "two-tier churn allocated";
+}
+
+TEST(Alloc, UncalibratedSameInstantChainsStayAllocationFree) {
+  // A schedule with no positive inter-event spacing never activates the
+  // bucket ring; the run-array front tier must still recycle its storage
+  // (O(1) memory) rather than retiring a dead run per event.
+  struct Chain {
+    sim::Engine* e;
+    std::uint64_t* budget;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      e->scheduleAt(e->now(), Chain{e, budget});  // same instant, forever
+    }
+  };
+  sim::Engine e;
+  std::uint64_t budget = 10'000;
+  e.scheduleAt(0.0, Chain{&e, &budget});
+  e.run();  // warm-up
+  ASSERT_EQ(e.queueStats().bucketWidthUs, 0.0) << "ring unexpectedly calibrated";
+  budget = 100'000;
+  e.scheduleAt(e.now(), Chain{&e, &budget});
+  const std::uint64_t before = allocCount();
+  e.run();
+  EXPECT_EQ(allocCount() - before, 0u) << "uncalibrated same-instant chain allocated";
+}
+
+TEST(Alloc, ReservePreSizesQueueForColdBurst) {
+  // Engine::reserve must pre-size everything growable — both sorted
+  // heaps, the hash table, and the slot/group pools — so a known burst
+  // on a *cold* engine allocates nothing at all, warm-up included.
+  sim::Engine e;
+  e.reserve(4096);
+  int fired = 0;
+  const std::uint64_t before = allocCount();
+  for (int i = 0; i < 4096; ++i) {
+    // All-distinct timestamps spanning quantized near times and a sparse
+    // far tail: the worst case for every structure reserve() pre-sizes.
+    const double t = (i % 2 == 0) ? 1.0 + 0.5 * i : 100'000.0 + 3.0 * i;
+    e.scheduleAt(t, [&fired] { ++fired; });
+  }
+  e.run();
+  EXPECT_EQ(allocCount() - before, 0u) << "reserved burst still allocated";
+  EXPECT_EQ(fired, 4096);
 }
 
 // Relay churn: every node forwards each arriving message to a

@@ -182,6 +182,53 @@ TEST(Network, ReserveCpuAccumulatesWithoutBlocking) {
   EXPECT_TRUE(f.engine.idle());
 }
 
+TEST(Network, ZeroOverheadCostModelTakesInlineFastPaths) {
+  // With sendOverheadUs == 0 / stateLookupUs == 0 and idle CPUs, the
+  // injection event fuses into the first hop and local messages dispatch
+  // inline (no pooled box, no queue round-trip). Timing and delivery
+  // semantics must be unchanged: the remote message still pays wire and
+  // hop costs, the local one arrives at the posting instant.
+  CostModel cm;
+  cm.sendOverheadUs = 0.0;
+  cm.recvOverheadUs = 0.0;
+  cm.stateLookupUs = 0.0;
+  Fixture f(1, 4, cm);
+  double remoteAt = -1, localAt = -1;
+  int localHops = -1;
+  f.net.setHandler(2, kFirstAppChannel, [&](Message&&) { remoteAt = f.engine.now(); });
+  f.net.setHandler(0, kFirstAppChannel + 1, [&](Message&&) {
+    localAt = f.engine.now();
+    localHops = static_cast<int>(f.stats.totalMessages());
+  });
+  f.net.post(Message{0, 0, kFirstAppChannel + 1, 64, 0});
+  f.net.post(Message{0, 2, kFirstAppChannel, 68, 0});  // 68 + 32 header = 100 B
+  f.engine.run();
+  // Local: delivered inline at t = 0, before any link crossing happened.
+  EXPECT_DOUBLE_EQ(localAt, 0.0);
+  EXPECT_EQ(localHops, 0);
+  // Remote: two links at 100 µs stream each, cut-through after 5 µs hop
+  // latency: head enters link 2 at t = 5, tail arrives 5 + 100.
+  EXPECT_DOUBLE_EQ(remoteAt, 105.0);
+  EXPECT_EQ(f.stats.totalMessages(), 2u);
+}
+
+TEST(Network, InlineFastPathsPreserveFifoWithDefaultCosts) {
+  // With the default (non-zero) cost model the fast paths must never
+  // trigger: a local post still dispatches strictly after already-queued
+  // same-time events, exactly as before the fuse existed.
+  Fixture f;
+  std::vector<int> order;
+  f.net.setHandler(3, kFirstAppChannel, [&](Message&&) {
+    f.engine.scheduleAt(f.engine.now() + CostModel{}.stateLookupUs,
+                        [&] { order.push_back(0); });
+    f.net.post(Message{3, 3, kFirstAppChannel + 1, 8, 0});
+  });
+  f.net.setHandler(3, kFirstAppChannel + 1, [&](Message&&) { order.push_back(1); });
+  f.net.post(Message{0, 3, kFirstAppChannel, 64, 0});
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
 TEST(Network, BandwidthScalesDeliveryTime) {
   CostModel fast;
   fast.bytesPerUs = 10.0;

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Assert a BENCH_engine.json entry stays above generous throughput floors.
+
+CI smoke guard: catches order-of-magnitude engine regressions (an
+accidental O(n log n) -> O(n^2), a lost fast path), NOT run-to-run noise —
+the floors sit far below every number ever recorded, including the seed
+engine on a loaded CI VM.
+
+Usage: check_bench_floor.py <bench.json> [label]     (default label: ci-smoke)
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    label = sys.argv[2] if len(sys.argv) > 2 else "ci-smoke"
+    floors = {
+        # Seed engine recorded 7.47M events/s and 1.13M msgs/s on the dev
+        # box; current numbers are far higher. One order of magnitude of
+        # headroom absorbs any plausible CI-VM slowness.
+        "events_per_sec": 4_000_000,
+        "messages_per_sec": 250_000,
+    }
+    with open(path) as f:
+        doc = json.load(f)
+    if label not in doc:
+        print(f"label '{label}' missing from {path}", file=sys.stderr)
+        return 2
+    entry = doc[label]
+    failures = [
+        f"{key}={entry[key]:,} below floor {floor:,}"
+        for key, floor in floors.items()
+        if entry[key] < floor
+    ]
+    if failures:
+        print("bench floor violated: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("bench floors ok: " +
+          ", ".join(f"{key}={entry[key]:,}" for key in floors))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
