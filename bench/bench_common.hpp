@@ -20,6 +20,7 @@
 #include "diva/machine.hpp"
 #include "diva/runtime.hpp"
 #include "net/graph_topology.hpp"
+#include "net/topology_env.hpp"
 #include "support/table.hpp"
 
 namespace diva::bench {
@@ -65,32 +66,13 @@ inline std::string ratioCell(double value, double baseline) {
 /// The machine shape for a rows×cols sweep point, selected by
 /// DIVA_TOPOLOGY. Grid shapes (mesh2d — the default — and torus2d) work
 /// for every bench; the non-grid shapes (hypercube, ring, star,
-/// random-regular) — built over P = rows·cols processors — only for
-/// benches whose application is not grid-structured (bitonic,
+/// random-regular, graph:<file>) — built over P = rows·cols processors —
+/// only for benches whose application is not grid-structured (bitonic,
 /// Barnes–Hut). Benches that require a grid pass requireGrid = true and
-/// fail fast with a clear message otherwise.
+/// fail fast with a clear message otherwise. Name parsing lives in
+/// net::topologyFromEnv, shared with the examples and scenario_runner.
 inline net::TopologySpec topoForShape(int rows, int cols, bool requireGrid = false) {
-  const char* env = std::getenv("DIVA_TOPOLOGY");
-  const std::string name = (env && *env) ? env : "mesh2d";
-  const int procs = rows * cols;
-  if (name == "mesh2d") return net::TopologySpec::mesh2d(rows, cols);
-  if (name == "torus2d") return net::TopologySpec::torus2d(rows, cols);
-  DIVA_CHECK_MSG(!requireGrid, "this bench is grid-structured: DIVA_TOPOLOGY must be "
-                               "mesh2d or torus2d (got '"
-                                   << name << "')");
-  if (name == "hypercube") {
-    int d = 0;
-    while ((1 << d) < procs) ++d;
-    DIVA_CHECK_MSG((1 << d) == procs,
-                   rows << "x" << cols << " is not a hypercube-compatible size");
-    return net::TopologySpec::hypercube(d);
-  }
-  if (name == "ring") return net::TopologySpec::graph(net::ringGraph(procs));
-  if (name == "star") return net::TopologySpec::graph(net::starGraph(procs));
-  if (name == "random-regular")
-    return net::TopologySpec::graph(net::randomRegularGraph(procs, 4, 1));
-  DIVA_CHECK_MSG(false, "unknown DIVA_TOPOLOGY '" << name << "'");
-  return {};
+  return net::topologyFromEnv(rows, cols, requireGrid);
 }
 
 /// Square-machine shorthand for the side×side sweeps.

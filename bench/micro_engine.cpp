@@ -9,6 +9,7 @@
 #include "diva/runtime.hpp"
 #include "mesh/route.hpp"
 #include "net/graph_topology.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -126,6 +127,34 @@ void BM_NetworkMessageChurnGraph(benchmark::State& state) {
   messageChurn(state, spec);
 }
 BENCHMARK(BM_NetworkMessageChurnGraph);
+
+// Zipf-churn workload: end-to-end DIVA traffic (strategy reads, locked
+// writes, invalidations, barriers) generated by the synthetic-workload
+// subsystem on an 8×8 mesh — a hot-set phase plus a drifted phase. Where
+// the relay churn above measures the raw message pipeline, this measures
+// the full protocol stack the figure benches and scenario runner
+// exercise. Items = messages injected; this is the
+// `workload_messages_per_sec` series in BENCH_engine.json.
+void BM_WorkloadZipfChurn(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.name = "bench-zipf-churn";
+  spec.numObjects = 128;
+  spec.objectBytes = 256;
+  spec.seed = 1;
+  spec.phases.push_back(
+      workload::PhaseSpec{"hot", 16, 0.9, 1.0, 0, 0.0, true});
+  spec.phases.push_back(
+      workload::PhaseSpec{"drift", 16, 0.9, 1.0, 64, 0.0, true});
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    Machine m(net::TopologySpec::mesh2d(8, 8));
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1, spec.seed));
+    (void)workload::run(m, rt, spec);
+    sent += m.net.messagesSent();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_WorkloadZipfChurn);
 
 void BM_DimensionOrderRouting(benchmark::State& state) {
   mesh::Mesh m(32, 32);

@@ -53,7 +53,8 @@ reps = os.environ["REPS"]
 cmd = [
     bin_path,
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
-    "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph",
+    "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
+    "|BM_WorkloadZipfChurn",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -93,6 +94,9 @@ entry = {
     "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
     "torus_messages_per_sec": round(rate("BM_NetworkMessageChurnTorus")),
     "graph_messages_per_sec": round(rate("BM_NetworkMessageChurnGraph")),
+    # Full-protocol-stack churn (strategy + locks + barriers) driven by
+    # the synthetic-workload subsystem; see bench/micro_engine.cpp.
+    "workload_messages_per_sec": round(rate("BM_WorkloadZipfChurn")),
     # Derived pipeline metric + event-queue tier occupancy, from the mesh
     # churn's benchmark counters (see docs/benchmarks.md).
     "events_per_message": round(mesh["events_per_message"], 2),
@@ -107,6 +111,7 @@ entry = {
         "messages_per_sec": "mesh2d-8x8",
         "torus_messages_per_sec": "torus2d-8x8",
         "graph_messages_per_sec": "graph-rr64d3s1",
+        "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
     },
     "figures": figures,
     "git_sha": os.environ.get("GIT_SHA", "unknown"),

@@ -1,42 +1,72 @@
-// Congestion heat map: visualizes the paper's central claim. We run the
-// matrix-multiplication read phase under the fixed home strategy and the
-// 4-ary access tree on a 16×16 mesh and print per-node ASCII heat maps of
-// link traffic. The fixed home strategy concentrates traffic around the
-// random homes; the access tree spreads it across the hierarchy.
+// Congestion map: visualizes the paper's central claim on any topology.
+// We run a read-mostly Zipf hotspot workload (the synthetic-workload
+// subsystem, src/workload/) under the fixed home strategy and the 4-ary
+// access tree and show where the traffic went. The fixed home strategy
+// concentrates traffic around the hot objects' random homes; the access
+// tree spreads it across the decomposition hierarchy.
 //
-//   $ ./example_congestion_map
+//   $ ./example_congestion_map                          # 16×16 mesh
+//   $ DIVA_TOPOLOGY=torus2d ./example_congestion_map    # 16×16 torus
+//   $ DIVA_TOPOLOGY=random-regular ./example_congestion_map
+//
+// Grid shapes print an ASCII heat map of per-node outgoing-link bytes;
+// non-grid shapes print the most-loaded nodes as a bar list.
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
+#include <vector>
 
-#include "apps/matmul/matmul.hpp"
+#include "net/topology_env.hpp"
+#include "workload/workload.hpp"
 
 using namespace diva;
-namespace mm = diva::apps::matmul;
 
 namespace {
 
-void printHeatMap(Machine& m, const char* title) {
-  // Aggregate the four outgoing links of every node.
-  const int rows = m.mesh().rows(), cols = m.mesh().cols();
-  std::vector<std::uint64_t> load(static_cast<std::size_t>(rows) * cols, 0);
-  std::uint64_t peak = 1;
-  for (NodeId n = 0; n < m.mesh().numNodes(); ++n) {
-    std::uint64_t sum = 0;
-    for (int d = 0; d < mesh::Mesh::kDirs; ++d)
-      sum += m.stats.links.linkBytes(m.mesh().linkIndex(n, static_cast<mesh::Mesh::Dir>(d)));
-    load[static_cast<std::size_t>(n)] = sum;
-    peak = std::max(peak, sum);
-  }
-  static const char shades[] = " .:-=+*#%@";
+/// Per-node traffic: bytes through every outgoing link slot of the node.
+std::vector<std::uint64_t> nodeLoads(Machine& m) {
+  const net::Topology& topo = m.topo();
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(topo.numNodes()), 0);
+  for (NodeId n = 0; n < topo.numNodes(); ++n)
+    for (int d = 0; d < topo.degree(); ++d)
+      load[static_cast<std::size_t>(n)] += m.stats.links.linkBytes(topo.linkIndex(n, d));
+  return load;
+}
+
+void printLoads(Machine& m, const char* title) {
+  const std::vector<std::uint64_t> load = nodeLoads(m);
+  const std::uint64_t peak = std::max<std::uint64_t>(
+      1, *std::max_element(load.begin(), load.end()));
   std::printf("%s (peak node traffic: %.0f KB)\n", title, peak / 1e3);
-  for (int r = 0; r < rows; ++r) {
-    std::printf("    ");
-    for (int c = 0; c < cols; ++c) {
-      const double frac =
-          static_cast<double>(load[static_cast<std::size_t>(r * cols + c)]) / peak;
-      std::printf("%c", shades[static_cast<int>(frac * 9.0)]);
+
+  const net::TopologySpec spec = m.topo().spec();
+  const bool grid =
+      spec.kind == net::TopologyKind::Mesh2D || spec.kind == net::TopologyKind::Torus2D;
+  if (grid) {
+    static const char shades[] = " .:-=+*#%@";
+    const int rows = spec.a, cols = spec.b;
+    for (int r = 0; r < rows; ++r) {
+      std::printf("    ");
+      for (int c = 0; c < cols; ++c) {
+        const double frac =
+            static_cast<double>(load[static_cast<std::size_t>(r * cols + c)]) / peak;
+        std::printf("%c", shades[static_cast<int>(frac * 9.0)]);
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
+  } else {
+    // No 2-D embedding to draw: list the ten most-loaded nodes instead.
+    std::vector<NodeId> order(load.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](NodeId a, NodeId b) { return load[a] > load[b]; });
+    for (std::size_t i = 0; i < order.size() && i < 10; ++i) {
+      const NodeId n = order[i];
+      const int bar = static_cast<int>(load[n] * 40 / peak);
+      std::printf("    node %3d %7.0f KB |%.*s\n", n, load[n] / 1e3, bar,
+                  "########################################");
+    }
   }
   std::printf("\n");
 }
@@ -44,23 +74,33 @@ void printHeatMap(Machine& m, const char* title) {
 }  // namespace
 
 int main() {
-  const int side = 16;
-  mm::Config cfg;
-  cfg.blockInts = 1024;
+  // A read-mostly Zipf hotspot over 128 objects — communication only (no
+  // application compute), like the paper's matmul congestion study.
+  workload::WorkloadSpec spec;
+  spec.name = "hotspot-map";
+  spec.numObjects = 128;
+  spec.objectBytes = 1024;
+  spec.seed = 42;
+  spec.phases.push_back(
+      workload::PhaseSpec{"hot", /*rounds=*/24, /*readFraction=*/0.9,
+                          /*zipfS=*/1.0, /*hotShift=*/0, /*thinkMeanUs=*/0.0,
+                          /*barrier=*/true});
 
+  const net::TopologySpec shape = net::topologyFromEnv(16, 16);
   for (const bool fixedHome : {true, false}) {
-    Machine m(side, side, net::CostModel::gcel().withoutCompute());
-    Runtime rt(m, fixedHome ? RuntimeConfig::fixedHome() : RuntimeConfig::accessTree(4));
-    (void)mm::runDiva(m, rt, cfg);
-    char title[128];
+    Machine m(shape, net::CostModel::gcel().withoutCompute());
+    Runtime rt(m, fixedHome ? RuntimeConfig::fixedHome(spec.seed)
+                            : RuntimeConfig::accessTree(4, 1, spec.seed));
+    const workload::WorkloadReport rep = workload::run(m, rt, spec);
+    char title[160];
     std::snprintf(title, sizeof title,
-                  "matmul link traffic, %s  (congestion %.0f KB / total %.1f MB)",
-                  rt.strategyName().c_str(), m.stats.links.congestionBytes() / 1e3,
-                  m.stats.links.totalBytes() / 1e6);
-    printHeatMap(m, title);
+                  "hotspot link traffic, %s on %s  (congestion %.0f KB / total %.1f MB)",
+                  rep.strategy.c_str(), rep.topology.c_str(),
+                  rep.congestionBytes / 1e3, rep.linkBytes / 1e6);
+    printLoads(m, title);
   }
-  std::printf("darker = more bytes through that node's outgoing links.\n");
-  std::printf("the fixed home strategy shows hot spots at random home nodes;\n");
+  std::printf("darker / longer bar = more bytes through that node's outgoing links.\n");
+  std::printf("the fixed home strategy shows hot spots at the hot objects' homes;\n");
   std::printf("the access tree spreads load along the decomposition hierarchy.\n");
   return 0;
 }

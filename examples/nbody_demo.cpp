@@ -1,13 +1,16 @@
-// Barnes–Hut demo (paper §3.3): a small N-body simulation on an 8×8 mesh
+// Barnes–Hut demo (paper §3.3): a small N-body simulation on 64 nodes
 // with per-phase statistics, verified bit-for-bit against the sequential
-// reference simulator.
+// reference simulator. DIVA_TOPOLOGY selects the machine shape (mesh2d
+// default; torus2d, hypercube, ring, star, random-regular, graph:<file>).
 //
 //   $ ./example_nbody_demo
+//   $ DIVA_TOPOLOGY=hypercube ./example_nbody_demo
 
 #include <cstdio>
 
 #include "apps/barneshut/barneshut.hpp"
 #include "apps/barneshut/plummer.hpp"
+#include "net/topology_env.hpp"
 
 using namespace diva;
 namespace bh = diva::apps::barneshut;
@@ -18,10 +21,11 @@ int main() {
   cfg.steps = 4;
   cfg.warmupSteps = 1;
 
-  Machine machine(8, 8);
+  Machine machine(net::topologyFromEnv(8, 8));
   Runtime rt(machine, RuntimeConfig::accessTree(4));
-  std::printf("Barnes-Hut, %d bodies, %d steps on an 8x8 mesh (%s)\n\n",
-              cfg.numBodies, cfg.steps, rt.strategyName().c_str());
+  std::printf("Barnes-Hut, %d bodies, %d steps on %s (%s)\n\n",
+              cfg.numBodies, cfg.steps, machine.topo().name().c_str(),
+              rt.strategyName().c_str());
 
   const auto r = bh::run(machine, rt, cfg);
 

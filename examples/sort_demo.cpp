@@ -1,13 +1,16 @@
-// Bitonic sorting demo (paper §3.2): sorts 64×512 random keys on an 8×8
-// mesh with every strategy and shows how the 2-ary tree's match with the
-// sorting circuit's locality plays out.
+// Bitonic sorting demo (paper §3.2): sorts 64×512 random keys on 64
+// nodes with every strategy and shows how the 2-ary tree's match with
+// the sorting circuit's locality plays out. DIVA_TOPOLOGY selects the
+// machine shape (mesh2d default).
 //
 //   $ ./example_sort_demo
+//   $ DIVA_TOPOLOGY=torus2d ./example_sort_demo
 
 #include <algorithm>
 #include <cstdio>
 
 #include "apps/bitonic/bitonic.hpp"
+#include "net/topology_env.hpp"
 
 using namespace diva;
 namespace bs = diva::apps::bitonic;
@@ -16,13 +19,15 @@ int main() {
   const int side = 8;
   bs::Config cfg;
   cfg.keysPerProc = 512;
+  const net::TopologySpec shape = net::topologyFromEnv(side, side);
 
-  std::printf("bitonic sorting of %d keys on an %dx%d mesh (%d keys/processor)\n\n",
-              side * side * cfg.keysPerProc, side, side, cfg.keysPerProc);
+  std::printf("bitonic sorting of %d keys on %s (%d keys/processor)\n\n",
+              side * side * cfg.keysPerProc, shape.describe().c_str(),
+              cfg.keysPerProc);
   std::printf("%-22s %12s %16s %10s\n", "strategy", "time [ms]", "congestion [KB]",
               "sorted?");
 
-  Machine mh(side, side);
+  Machine mh(shape);
   const auto ho = bs::runHandOptimized(mh, cfg);
   std::printf("%-22s %12.1f %16.1f %10s\n", "hand-optimized", ho.timeUs / 1e3,
               ho.congestionBytes / 1e3,
@@ -36,7 +41,7 @@ int main() {
                         Entry{RuntimeConfig::accessTree(2, 4), "2-4-ary access tree"},
                         Entry{RuntimeConfig::accessTree(4), "4-ary access tree"},
                         Entry{RuntimeConfig::fixedHome(), "fixed home"}}) {
-    Machine m(side, side);
+    Machine m(shape);
     Runtime rt(m, e.rc);
     const auto r = bs::runDiva(m, rt, cfg);
     const bool ok = std::is_sorted(r.keys.begin(), r.keys.end());

@@ -178,7 +178,7 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       he.owner = kHomeOwner;
       caches_[self].put(b.var, b.value).copyCount = 1;  // home's copy
       maybeEvictAt(self);
-      // Resume the read that triggered the fetch.
+      // Resume the read or write that triggered the fetch.
       DIVA_CHECK(!he.queue.empty());
       net::Message original = std::move(he.queue.front());
       he.queue.pop_front();
@@ -262,23 +262,29 @@ void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
   const NodeId home = msg.dst;
   he.busy = true;
 
+  if (he.owner != kHomeOwner && he.owner != b.requester) {
+    // A node-owner holds the only current copy. Reads need its value;
+    // writes must reclaim ownership before the invalidation round (the
+    // owner's copy may not be invalidated in place — it is authoritative
+    // until ceded). Both cases: fetch from the owner and park this
+    // request at the queue front so FetchData can resume it. This path
+    // is what makes *blind* writes (no prior read, e.g. synthetic
+    // workloads) safe under the ownership scheme.
+    FhBody f;
+    f.k = FhBody::K::Fetch;
+    f.var = b.var;
+    const NodeId owner = he.owner;
+    net::Message parked;
+    parked.src = msg.src;
+    parked.dst = msg.dst;
+    parked.channel = msg.channel;
+    parked.body = std::move(b);
+    he.queue.push_front(std::move(parked));
+    sendBody(home, owner, std::move(f), 0);
+    return;
+  }
+
   if (b.k == FhBody::K::ReadReq) {
-    if (he.owner != kHomeOwner && he.owner != b.requester) {
-      // Must first fetch the value from the owner; park this request at
-      // the queue front so FetchData can resume it.
-      FhBody f;
-      f.k = FhBody::K::Fetch;
-      f.var = b.var;
-      const NodeId owner = he.owner;
-      net::Message parked;
-      parked.src = msg.src;
-      parked.dst = msg.dst;
-      parked.channel = msg.channel;
-      parked.body = std::move(b);
-      he.queue.push_front(std::move(parked));
-      sendBody(home, owner, std::move(f), 0);
-      return;
-    }
     // Home (or the requester itself — cannot happen on the miss path)
     // holds a current copy: serve directly.
     NodeCache::Entry* e = caches_[home].touch(b.var);

@@ -1,7 +1,8 @@
 #pragma once
 
-#include <array>
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "mesh/link_stats.hpp"
 #include "net/topology.hpp"
@@ -14,9 +15,13 @@ namespace diva {
 /// time. Everything here is an observer — it never influences the run.
 class Stats {
  public:
+  /// Phases available without growth; `ensurePhases` extends past this.
   static constexpr int kMaxPhases = 8;
 
-  explicit Stats(const net::Topology& topo) : links(topo.numLinkSlots(), kMaxPhases) {}
+  explicit Stats(const net::Topology& topo)
+      : links(topo.numLinkSlots(), kMaxPhases),
+        computeUs_(kMaxPhases, 0.0),
+        wallUs_(kMaxPhases, 0.0) {}
 
   mesh::LinkStats links;
 
@@ -42,6 +47,17 @@ class Stats {
     links.setPhase(p);
   }
   int currentPhase() const { return phase_; }
+  int numPhases() const { return static_cast<int>(wallUs_.size()); }
+
+  /// Grow phase-scoped storage (link cells, wall/compute accumulators) to
+  /// at least `n` phases. Workloads with more phases than kMaxPhases call
+  /// this once up front; growth appends zeroed slots, never moves counts.
+  void ensurePhases(int n) {
+    if (n <= numPhases()) return;
+    links.ensurePhases(n);
+    computeUs_.resize(static_cast<std::size_t>(n), 0.0);
+    wallUs_.resize(static_cast<std::size_t>(n), 0.0);
+  }
 
   /// Charge `us` of application compute to the current phase.
   void addCompute(double us) { computeUs_[phase_] += us; }
@@ -66,16 +82,16 @@ class Stats {
   void reset(sim::Time now) {
     links.reset();
     ops = Counters{};
-    computeUs_.fill(0.0);
-    wallUs_.fill(0.0);
+    std::fill(computeUs_.begin(), computeUs_.end(), 0.0);
+    std::fill(wallUs_.begin(), wallUs_.end(), 0.0);
     phaseStart_ = now;
   }
 
  private:
   int phase_ = 0;
   sim::Time phaseStart_ = 0;
-  std::array<double, kMaxPhases> computeUs_{};
-  std::array<double, kMaxPhases> wallUs_{};
+  std::vector<double> computeUs_;
+  std::vector<double> wallUs_;
 };
 
 }  // namespace diva

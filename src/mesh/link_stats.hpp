@@ -34,6 +34,16 @@ class LinkStats {
     phase_ = p;
   }
 
+  /// Grow the phase dimension to at least `n` phases. The cell layout is
+  /// phase-major, so growth appends zeroed cells without moving existing
+  /// counts. Lets long multi-phase workloads exceed the default phase
+  /// budget the Stats object was built with.
+  void ensurePhases(int n) {
+    if (n <= phases_) return;
+    phases_ = n;
+    cells_.resize(static_cast<std::size_t>(phases_) * slots_, Cell{});
+  }
+
   /// Hot path (once per link crossing): message count and byte count live
   /// in one interleaved cell, so recording touches a single cache line.
   void record(int link, std::uint64_t wireBytes) {

@@ -36,7 +36,13 @@ GraphTopology::GraphTopology(std::shared_ptr<const GraphSpec> spec,
 
 void GraphTopology::buildAdjacency() {
   const int n = numNodes_;
-  std::vector<std::vector<std::pair<NodeId, double>>> nbrs(static_cast<std::size_t>(n));
+  struct Nbr {
+    NodeId to;
+    double weight;
+    double latency;
+    bool operator<(const Nbr& o) const { return to < o.to; }
+  };
+  std::vector<std::vector<Nbr>> nbrs(static_cast<std::size_t>(n));
   for (const GraphSpec::Edge& e : spec_->edges) {
     DIVA_CHECK_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
                    "graph '" << spec_->name << "': edge " << e.u << "-" << e.v
@@ -46,8 +52,11 @@ void GraphTopology::buildAdjacency() {
     DIVA_CHECK_MSG(e.weight > 0.0, "graph '" << spec_->name << "': edge " << e.u << "-"
                                              << e.v << " has non-positive weight "
                                              << e.weight);
-    nbrs[e.u].emplace_back(e.v, e.weight);
-    nbrs[e.v].emplace_back(e.u, e.weight);
+    DIVA_CHECK_MSG(e.latency > 0.0, "graph '" << spec_->name << "': edge " << e.u << "-"
+                                              << e.v << " has non-positive latency "
+                                              << e.latency);
+    nbrs[e.u].push_back(Nbr{e.v, e.weight, e.latency});
+    nbrs[e.v].push_back(Nbr{e.u, e.weight, e.latency});
   }
 
   degree_ = 0;
@@ -57,19 +66,21 @@ void GraphTopology::buildAdjacency() {
     // the routing tie-breaks and the partitioner's BFS both rely on.
     std::sort(list.begin(), list.end());
     for (std::size_t i = 1; i < list.size(); ++i) {
-      DIVA_CHECK_MSG(list[i].first != list[i - 1].first,
+      DIVA_CHECK_MSG(list[i].to != list[i - 1].to,
                      "graph '" << spec_->name << "': duplicate edge " << u << "-"
-                               << list[i].first);
+                               << list[i].to);
     }
     degree_ = std::max(degree_, static_cast<int>(list.size()));
   }
 
   adj_.assign(static_cast<std::size_t>(n) * degree_, -1);
   weightOfSlot_.assign(static_cast<std::size_t>(n) * degree_, 1.0);
+  latencyOfSlot_.assign(static_cast<std::size_t>(n) * degree_, 1.0);
   for (int u = 0; u < n; ++u) {
     for (std::size_t i = 0; i < nbrs[u].size(); ++i) {
-      adj_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].first;
-      weightOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].second;
+      adj_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].to;
+      weightOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].weight;
+      latencyOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].latency;
     }
   }
 }
@@ -496,11 +507,24 @@ GraphSpec parseGraph(const std::string& text) {
                        "graph file line " << lineNo << ": malformed edge weight '"
                                           << wtok << "'");
       }
+      if (ls >> wtok) {
+        std::istringstream lt(wtok);
+        DIVA_CHECK_MSG(static_cast<bool>(lt >> e.latency) && lt.eof(),
+                       "graph file line " << lineNo << ": malformed edge latency '"
+                                          << wtok << "'");
+      }
       g.edges.push_back(e);
     } else {
       DIVA_CHECK_MSG(false, "graph file line " << lineNo << ": unknown directive '"
                                                << word << "'");
     }
+    // After a directive's declared arguments, any trailing token is an
+    // error (same policy as the scenario format): a stray column must
+    // not silently build a different network than the file describes.
+    std::string extra;
+    DIVA_CHECK_MSG(!(ls >> extra), "graph file line "
+                                       << lineNo << ": unexpected trailing token '"
+                                       << extra << "' after '" << word << "'");
   }
   DIVA_CHECK_MSG(g.numNodes >= 0, "graph file has no 'nodes' line");
   return g;
@@ -521,7 +545,9 @@ std::string formatGraph(const GraphSpec& spec) {
   out << "nodes " << spec.numNodes << "\n";
   for (const GraphSpec::Edge& e : spec.edges) {
     out << "edge " << e.u << " " << e.v;
-    if (e.weight != 1.0) out << " " << e.weight;
+    // Fields are positional: a non-default latency forces the weight out.
+    if (e.weight != 1.0 || e.latency != 1.0) out << " " << e.weight;
+    if (e.latency != 1.0) out << " " << e.latency;
     out << "\n";
   }
   return out.str();

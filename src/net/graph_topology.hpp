@@ -135,6 +135,7 @@ class GraphTopology final : public Topology {
   }
 
   double linkWeight(int link) const override { return weightOfSlot_[link]; }
+  double linkLatency(int link) const override { return latencyOfSlot_[link]; }
 
   /// Weighted length of the deterministic route from `a` to `b` — the
   /// quantity the routing tables minimize. Computed by walking the route
@@ -168,6 +169,7 @@ class GraphTopology final : public Topology {
   int degree_ = 0;                      ///< max node degree = direction slots per node
   std::vector<NodeId> adj_;             ///< [n * degree_ + dir] → neighbor or -1
   std::vector<double> weightOfSlot_;    ///< [link slot] → edge weight (1.0 unused)
+  std::vector<double> latencyOfSlot_;   ///< [link slot] → edge latency (1.0 unused)
   std::vector<std::int16_t> nextDir_;   ///< [from * n + to] → direction, -1 on diagonal
   std::vector<std::uint16_t> hops_;     ///< [from * n + to] → hop count of the route
 };
@@ -201,9 +203,10 @@ GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed);
 // Text format — lets benches and tests load arbitrary graphs from file:
 //
 //   # comment (blank lines ignored)
-//   graph <name>          (optional; defaults to "file")
-//   nodes <N>             (required, before any edge)
-//   edge <u> <v> [weight] (one per line; undirected, weight defaults 1.0)
+//   graph <name>                    (optional; defaults to "file")
+//   nodes <N>                       (required, before any edge)
+//   edge <u> <v> [weight [latency]] (one per line; undirected; weight and
+//                                    latency default 1.0 — see GraphSpec)
 // ---------------------------------------------------------------------------
 
 /// Parse the text format; throws CheckError with a line number on errors.

@@ -19,8 +19,12 @@ Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
   cpuFreeAt_.assign(numNodes_, sim::kTimeZero);
   linkFreeAt_.assign(static_cast<std::size_t>(topology.numLinkSlots()), sim::kTimeZero);
   linkUsPerByte_.resize(linkFreeAt_.size());
-  for (int l = 0; l < topology.numLinkSlots(); ++l)
+  linkHopLatencyUs_.resize(linkFreeAt_.size());
+  for (int l = 0; l < topology.numLinkSlots(); ++l) {
     linkUsPerByte_[static_cast<std::size_t>(l)] = topology.linkWeight(l) / cost_.bytesPerUs;
+    linkHopLatencyUs_[static_cast<std::size_t>(l)] =
+        topology.linkLatency(l) * cost_.hopLatencyUs;
+  }
   // The library protocol channels exist on every machine; size for them up
   // front so the common dispatch never grows mid-run.
   handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
@@ -114,6 +118,7 @@ void Network::hop(Flight* f) {
     const Hop& nh = f->path[f->idx + 1];
     __builtin_prefetch(&linkFreeAt_[nh.link]);
     __builtin_prefetch(&linkUsPerByte_[nh.link]);
+    __builtin_prefetch(&linkHopLatencyUs_[nh.link]);
   }
 #endif
   const sim::Time start = std::max(f->headReady, linkFree);
@@ -138,7 +143,7 @@ void Network::hop(Flight* f) {
     });
   } else {
     ++f->idx;
-    f->headReady = start + cost_.hopLatencyUs;
+    f->headReady = start + linkHopLatencyUs_[h.link];
     engine_->scheduleAt(f->headReady, [this, f] { hop(f); });
   }
 }

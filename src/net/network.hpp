@@ -162,6 +162,10 @@ class Network {
   /// cached at construction so heterogeneous links cost one load and one
   /// multiply per hop (no virtual call on the hot path).
   std::vector<double> linkUsPerByte_;
+  /// Per-link hop latency = topology linkLatency × CostModel hopLatencyUs,
+  /// cached for the same reason (exactly hopLatencyUs on homogeneous
+  /// machines, so existing models are numerically unchanged).
+  std::vector<double> linkHopLatencyUs_;
   std::vector<Handler> handlers_;   ///< channel-major, empty = unregistered
   std::vector<Mailbox> mailboxes_;  ///< channel-major
   Channel handlerChannels_ = 0;     ///< channels covered by handlers_

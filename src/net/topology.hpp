@@ -56,7 +56,11 @@ const char* topologyKindName(TopologyKind kind);
 /// A weight is the *relative cost* of streaming a byte across the edge
 /// (1.0 = the CostModel's nominal link; 0.5 = a link twice as fast), so
 /// heterogeneous bandwidths plug into the one-parameter cost model
-/// without changing it.
+/// without changing it. The latency term is the analogous relative
+/// per-hop router latency (1.0 = the CostModel's nominal hopLatencyUs;
+/// 3.0 = a link whose head takes three times as long to forward — a long
+/// wide-area hop). Routing minimizes the bandwidth-weighted path length;
+/// latency shapes the time axis only, never route choice or congestion.
 ///
 /// Generators (ring/star/fat-tree/random-regular) and the text file
 /// format live in graph_topology.hpp.
@@ -64,7 +68,8 @@ struct GraphSpec {
   struct Edge {
     NodeId u = 0;
     NodeId v = 0;
-    double weight = 1.0;
+    double weight = 1.0;   ///< relative per-byte streaming cost
+    double latency = 1.0;  ///< relative per-hop head-forwarding latency
     bool operator==(const Edge&) const = default;
   };
 
@@ -247,6 +252,17 @@ class Topology {
   /// their per-edge weights here. Queried once per link at Network
   /// construction (cached into a dense table), never on the hot path.
   virtual double linkWeight(int link) const {
+    (void)link;
+    return 1.0;
+  }
+
+  /// Relative per-hop latency of directed link slot `link`: the router
+  /// forwards a message head after latency × CostModel::hopLatencyUs.
+  /// 1.0 on the homogeneous machines; general graphs report their
+  /// per-edge latency terms here. Like `linkWeight`, queried once per
+  /// link at Network construction and cached — never on the hot path.
+  /// Latency never influences routing or congestion, only the time axis.
+  virtual double linkLatency(int link) const {
     (void)link;
     return 1.0;
   }

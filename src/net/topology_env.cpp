@@ -1,0 +1,43 @@
+#include "net/topology_env.hpp"
+
+#include <cstdlib>
+
+#include "net/graph_topology.hpp"
+
+namespace diva::net {
+
+TopologySpec topologyByName(const std::string& name, int rows, int cols,
+                            bool requireGrid) {
+  DIVA_CHECK_MSG(rows >= 1 && cols >= 1,
+                 "topologyByName: rows/cols must be positive (got " << rows << "x"
+                                                                    << cols << ")");
+  const int procs = rows * cols;
+  if (name == "mesh2d") return TopologySpec::mesh2d(rows, cols);
+  if (name == "torus2d") return TopologySpec::torus2d(rows, cols);
+  DIVA_CHECK_MSG(!requireGrid, "this workload is grid-structured: the topology must be "
+                               "mesh2d or torus2d (got '"
+                                   << name << "')");
+  if (name == "hypercube") {
+    int d = 0;
+    while ((1 << d) < procs) ++d;
+    DIVA_CHECK_MSG((1 << d) == procs,
+                   rows << "x" << cols << " is not a hypercube-compatible size");
+    return TopologySpec::hypercube(d);
+  }
+  if (name == "ring") return TopologySpec::graph(ringGraph(procs));
+  if (name == "star") return TopologySpec::graph(starGraph(procs));
+  if (name == "random-regular")
+    return TopologySpec::graph(randomRegularGraph(procs, 4, 1));
+  if (name.rfind("graph:", 0) == 0)
+    return TopologySpec::graph(loadGraphFile(name.substr(6)));
+  DIVA_CHECK_MSG(false, "unknown topology name '" << name << "'");
+  return {};
+}
+
+TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid) {
+  const char* env = std::getenv("DIVA_TOPOLOGY");
+  const std::string name = (env && *env) ? env : "mesh2d";
+  return topologyByName(name, rows, cols, requireGrid);
+}
+
+}  // namespace diva::net

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace diva::net {
+
+/// Build a TopologySpec from a human-readable shape name over a
+/// rows×cols processor arrangement (P = rows·cols):
+///
+///   mesh2d | torus2d    — the 2-D grids (any rows×cols)
+///   hypercube           — P must be a power of two
+///   ring | star         — generated graphs on P nodes
+///   random-regular      — random 3-connected-style 4-regular graph on P
+///                         nodes (seed 1, the benches' shape)
+///   graph:<path>        — arbitrary graph loaded from a graph file; its
+///                         node count comes from the file, not rows·cols
+///
+/// Callers whose application is grid-structured pass requireGrid = true
+/// and get a fail-fast CheckError on non-grid names. Throws CheckError on
+/// unknown names and impossible sizes.
+TopologySpec topologyByName(const std::string& name, int rows, int cols,
+                            bool requireGrid = false);
+
+/// `topologyByName` on the DIVA_TOPOLOGY environment variable (default
+/// "mesh2d" when unset/empty) — the one shape knob shared by the figure
+/// benches, the examples and the scenario runner.
+TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid = false);
+
+}  // namespace diva::net

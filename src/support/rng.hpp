@@ -61,6 +61,16 @@ class SplitMix64 {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
+  /// Derive an independent child stream without advancing this generator:
+  /// the child is seeded from (current state, streamId) through the mixer,
+  /// so splits commute with later draws on the parent and the family
+  /// {split(0), split(1), …} is as independent as mix64 can make it.
+  /// This is what gives the workload generator one deterministic stream
+  /// per (node, phase) from a single scenario seed.
+  constexpr SplitMix64 split(std::uint64_t streamId) const {
+    return SplitMix64(mix64(hashCombine(state_, streamId)));
+  }
+
  private:
   std::uint64_t state_;
 };

@@ -1,0 +1,147 @@
+#include "workload/scenario.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+
+#include "support/check.hpp"
+
+namespace diva::workload {
+
+namespace {
+
+/// Parse exactly one value of type T from the rest of `ls`; CheckError
+/// with the line number and key name otherwise. Mirrors the strict
+/// token-at-a-time style of parseGraph. Unsigned fields reject negative
+/// literals explicitly — istream extraction would silently wrap them to
+/// huge values.
+template <typename T>
+T parseValue(std::istringstream& ls, int lineNo, const char* key) {
+  std::string tok;
+  DIVA_CHECK_MSG(static_cast<bool>(ls >> tok),
+                 "scenario file line " << lineNo << ": '" << key << "' needs a value");
+  if constexpr (std::is_unsigned_v<T>) {
+    DIVA_CHECK_MSG(tok[0] != '-', "scenario file line "
+                                      << lineNo << ": '" << key
+                                      << "' must be non-negative (got '" << tok << "')");
+  }
+  std::istringstream ts(tok);
+  T v{};
+  DIVA_CHECK_MSG(static_cast<bool>(ts >> v) && ts.eof(),
+                 "scenario file line " << lineNo << ": malformed '" << key << "' value '"
+                                       << tok << "'");
+  return v;
+}
+
+}  // namespace
+
+WorkloadSpec parseScenario(const std::string& text) {
+  WorkloadSpec spec;
+  spec.name = "file";
+  spec.phases.clear();
+  bool haveObjects = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  PhaseSpec* phase = nullptr;
+  auto needPhase = [&](const std::string& key) {
+    DIVA_CHECK_MSG(phase != nullptr, "scenario file line " << lineNo << ": '" << key
+                                                           << "' before any 'phase'");
+  };
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // '#' starts a comment anywhere on the line.
+    std::istringstream ls(line.substr(0, line.find('#')));
+    std::string word;
+    if (!(ls >> word)) continue;
+    if (word == "scenario") {
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> spec.name),
+                     "scenario file line " << lineNo << ": 'scenario' needs a name");
+    } else if (word == "seed") {
+      spec.seed = parseValue<std::uint64_t>(ls, lineNo, "seed");
+    } else if (word == "objects") {
+      DIVA_CHECK_MSG(!haveObjects,
+                     "scenario file line " << lineNo << ": duplicate 'objects' line");
+      haveObjects = true;
+      spec.numObjects = parseValue<int>(ls, lineNo, "objects");
+      if (!ls.eof() && (ls >> std::ws, ls.peek() != std::istringstream::traits_type::eof()))
+        spec.objectBytes = parseValue<std::uint64_t>(ls, lineNo, "object size");
+    } else if (word == "cache") {
+      spec.cacheBytes = parseValue<std::uint64_t>(ls, lineNo, "cache");
+    } else if (word == "procs") {
+      spec.procs = parseValue<int>(ls, lineNo, "procs");
+    } else if (word == "phase") {
+      PhaseSpec ph;
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> ph.name),
+                     "scenario file line " << lineNo << ": 'phase' needs a name");
+      spec.phases.push_back(ph);
+      phase = &spec.phases.back();
+    } else if (word == "rounds") {
+      needPhase(word);
+      phase->rounds = parseValue<int>(ls, lineNo, "rounds");
+    } else if (word == "reads") {
+      needPhase(word);
+      phase->readFraction = parseValue<double>(ls, lineNo, "reads");
+    } else if (word == "zipf") {
+      needPhase(word);
+      phase->zipfS = parseValue<double>(ls, lineNo, "zipf");
+    } else if (word == "hotshift") {
+      needPhase(word);
+      phase->hotShift = parseValue<int>(ls, lineNo, "hotshift");
+    } else if (word == "think") {
+      needPhase(word);
+      phase->thinkMeanUs = parseValue<double>(ls, lineNo, "think");
+    } else if (word == "barrier") {
+      needPhase(word);
+      const int b = parseValue<int>(ls, lineNo, "barrier");
+      DIVA_CHECK_MSG(b == 0 || b == 1,
+                     "scenario file line " << lineNo << ": 'barrier' must be 0 or 1");
+      phase->barrier = b == 1;
+    } else {
+      DIVA_CHECK_MSG(false, "scenario file line " << lineNo << ": unknown directive '"
+                                                  << word << "'");
+    }
+    // One consistent policy for every directive: after its declared
+    // arguments, anything but a comment is an error — a one-line typo
+    // ("rounds 5 reads 0.1") must not silently run a different workload.
+    std::string extra;
+    DIVA_CHECK_MSG(!(ls >> extra), "scenario file line "
+                                       << lineNo << ": unexpected trailing token '"
+                                       << extra << "' after '" << word << "'");
+  }
+  DIVA_CHECK_MSG(haveObjects, "scenario file has no 'objects' line");
+  DIVA_CHECK_MSG(!spec.phases.empty(), "scenario file has no 'phase' line");
+  spec.validate();
+  return spec;
+}
+
+WorkloadSpec loadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  DIVA_CHECK_MSG(in.good(), "cannot open scenario file '" << path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseScenario(text.str());
+}
+
+std::string formatScenario(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "scenario " << spec.name << "\n";
+  out << "seed " << spec.seed << "\n";
+  out << "objects " << spec.numObjects << " " << spec.objectBytes << "\n";
+  if (spec.cacheBytes != 0) out << "cache " << spec.cacheBytes << "\n";
+  if (spec.procs != 0) out << "procs " << spec.procs << "\n";
+  for (const PhaseSpec& ph : spec.phases) {
+    out << "phase " << ph.name << "\n";
+    out << "rounds " << ph.rounds << "\n";
+    out << "reads " << ph.readFraction << "\n";
+    if (ph.zipfS != 0.0) out << "zipf " << ph.zipfS << "\n";
+    if (ph.hotShift != 0) out << "hotshift " << ph.hotShift << "\n";
+    if (ph.thinkMeanUs != 0.0) out << "think " << ph.thinkMeanUs << "\n";
+    if (!ph.barrier) out << "barrier 0\n";
+  }
+  return out.str();
+}
+
+}  // namespace diva::workload

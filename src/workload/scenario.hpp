@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace diva::workload {
+
+// ---------------------------------------------------------------------------
+// Scenario text format — the workload twin of the PR 3 graph file format,
+// so experiments are declarative files, diffable and committable:
+//
+//   # comment — '#' starts a comment anywhere on a line; after a
+//                directive's declared arguments, any trailing token that
+//                is not a comment is an error (blank lines ignored)
+//   scenario <name>        (optional; defaults to "file")
+//   seed <u64>             (optional; default 1)
+//   objects <N> [bytes]    (required; object population, payload size
+//                           defaults to 64 simulated bytes)
+//   cache <bytes>          (optional; per-processor memory module bound,
+//                           0 = unlimited — the default)
+//   procs <P>              (optional; suggested machine size for runners,
+//                           0 = runner's choice)
+//   phase <name>           (starts a phase; later keys configure it)
+//   rounds <n>             (accesses per processor; default 1)
+//   reads <fraction>       (P(read) in [0,1]; default 1.0)
+//   zipf <s>               (popularity skew exponent; default 0 = uniform;
+//                           integral s is bit-stable across platforms)
+//   hotshift <objects>     (popularity-ranking rotation — hotspot drift)
+//   think <meanUs>         (mean think time, uniform in [0, 2·mean))
+//   barrier <0|1>          (synchronize processors at phase end; default 1)
+//
+// Phase keys before the first `phase` line are errors, like `edge` before
+// `nodes` in the graph format.
+// ---------------------------------------------------------------------------
+
+/// Parse the text format; throws CheckError with a line number on errors.
+/// The returned spec is validated.
+WorkloadSpec parseScenario(const std::string& text);
+
+/// Read a scenario file from disk; throws CheckError if unreadable.
+WorkloadSpec loadScenarioFile(const std::string& path);
+
+/// Serialize a WorkloadSpec to the text format (parseScenario round-trips
+/// it exactly: parse(format(spec)) == spec).
+std::string formatScenario(const WorkloadSpec& spec);
+
+}  // namespace diva::workload

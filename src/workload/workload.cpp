@@ -1,0 +1,287 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace diva::workload {
+
+namespace {
+
+/// Stream-id constants for SplitMix64::split — one label per purpose, so
+/// adding a new consumer can never silently correlate with an old one.
+constexpr std::uint64_t kPlacementStream = 0x91ace000u;  // "place"
+constexpr std::uint64_t kAccessStream = 0xacce55u;       // "access"
+
+std::string kb(std::uint64_t bytes) { return support::fmt(bytes / 1e3, 1); }
+
+/// Names appear as single whitespace-delimited tokens in scenario files,
+/// where '#' starts a comment; anything else could not round-trip
+/// through the text format.
+bool singleToken(const std::string& s) {
+  return !s.empty() && s.find_first_of(" \t\r\n#") == std::string::npos;
+}
+
+}  // namespace
+
+void WorkloadSpec::validate() const {
+  DIVA_CHECK_MSG(singleToken(name),
+                 "workload name '" << name << "' must be one whitespace-free token "
+                                      "(scenario files store names as single tokens)");
+  for (const PhaseSpec& ph : phases) {
+    DIVA_CHECK_MSG(singleToken(ph.name),
+                   "workload '" << name << "': phase name '" << ph.name
+                                << "' must be one whitespace-free token");
+  }
+  DIVA_CHECK_MSG(numObjects >= 1,
+                 "workload '" << name << "': numObjects must be positive (got "
+                              << numObjects << ")");
+  DIVA_CHECK_MSG(objectBytes >= 1,
+                 "workload '" << name << "': objectBytes must be positive");
+  DIVA_CHECK_MSG(procs >= 0, "workload '" << name << "': procs must be >= 0");
+  DIVA_CHECK_MSG(!phases.empty(), "workload '" << name << "': needs at least one phase");
+  DIVA_CHECK_MSG(phases.size() <= 64,
+                 "workload '" << name << "': too many phases (" << phases.size()
+                              << " > 64) — per-phase link cells would dominate memory");
+  for (const PhaseSpec& ph : phases) {
+    DIVA_CHECK_MSG(ph.rounds >= 0, "workload '" << name << "' phase '" << ph.name
+                                                << "': rounds must be >= 0");
+    DIVA_CHECK_MSG(ph.readFraction >= 0.0 && ph.readFraction <= 1.0,
+                   "workload '" << name << "' phase '" << ph.name
+                                << "': readFraction must be in [0, 1] (got "
+                                << ph.readFraction << ")");
+    // Bounded at kMaxZipfExponent so every accepted integral exponent
+    // takes the exact-arithmetic weight path (the bit-stability guarantee
+    // committed scenarios rely on); beyond it the distribution is
+    // degenerate anyway (rank 0 takes everything).
+    DIVA_CHECK_MSG(ph.zipfS >= 0.0 && ph.zipfS <= ZipfSampler::kMaxExponent,
+                   "workload '" << name << "' phase '" << ph.name
+                                << "': zipf exponent must be in [0, "
+                                << ZipfSampler::kMaxExponent << "] (got " << ph.zipfS
+                                << ")");
+    DIVA_CHECK_MSG(ph.hotShift >= 0, "workload '" << name << "' phase '" << ph.name
+                                                  << "': hotShift must be >= 0");
+    DIVA_CHECK_MSG(ph.thinkMeanUs >= 0.0, "workload '" << name << "' phase '" << ph.name
+                                                       << "': think time must be >= 0");
+  }
+}
+
+support::SplitMix64 accessStream(std::uint64_t seed, int phase, net::NodeId node) {
+  return support::SplitMix64(seed)
+      .split(kAccessStream)
+      .split(static_cast<std::uint64_t>(phase))
+      .split(static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  DIVA_CHECK_MSG(n >= 1, "ZipfSampler: population must be positive (got " << n << ")");
+  DIVA_CHECK_MSG(s >= 0.0, "ZipfSampler: exponent must be >= 0 (got " << s << ")");
+  cdf_.resize(static_cast<std::size_t>(n));
+  // Integral exponents by repeated multiplication: IEEE multiplication
+  // and division are correctly rounded, so the weights are identical on
+  // every platform (overflow to +inf at extreme s/r degrades gracefully
+  // to weight 0, still deterministically). This is what lets committed
+  // scenarios carry golden trace hashes; WorkloadSpec::validate bounds
+  // exponents at kMaxExponent so every accepted integral s lands here.
+  const bool integral = s == std::floor(s) && s <= kMaxExponent;
+  double acc = 0.0;
+  for (int r = 0; r < n; ++r) {
+    double w;
+    if (s == 0.0) {
+      w = 1.0;
+    } else if (integral) {
+      double p = 1.0;
+      for (int k = 0; k < static_cast<int>(s); ++k) p *= static_cast<double>(r + 1);
+      w = 1.0 / p;
+    } else {
+      w = std::pow(static_cast<double>(r + 1), -s);
+    }
+    acc += w;
+    cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding: uniform() < 1 always lands
+}
+
+int ZipfSampler::operator()(support::SplitMix64& rng) const {
+  const double u = rng.uniform();
+  return static_cast<int>(std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+}
+
+namespace {
+
+/// One processor's accesses for one phase. The RNG is the per-(phase,
+/// processor) split stream; everything else is shared driver state that
+/// outlives the phase's engine drain.
+sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
+                      const ZipfSampler& zipf, const std::vector<VarId>& objects,
+                      std::uint64_t objectBytes, support::SplitMix64 rng) {
+  const int n = static_cast<int>(objects.size());
+  for (int round = 0; round < ph.rounds; ++round) {
+    if (ph.thinkMeanUs > 0.0)
+      co_await m.net.compute(self, rng.uniform(0.0, 2.0 * ph.thinkMeanUs));
+    const int rank = zipf(rng);
+    const VarId x = objects[static_cast<std::size_t>((rank + ph.hotShift) % n)];
+    if (rng.uniform() < ph.readFraction) {
+      (void)co_await rt.read(self, x);
+    } else {
+      // Writers serialize through the object's lock: concurrent
+      // unsynchronized writes to one variable are outside the coherence
+      // contract, and lock traffic is part of what a contended
+      // write-heavy workload measures.
+      co_await rt.lock(self, x);
+      co_await rt.write(self, x, makeRawValue(objectBytes));
+      co_await rt.unlock(self, x);
+    }
+  }
+  if (ph.barrier) co_await rt.barrier(self);
+}
+
+}  // namespace
+
+WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
+  spec.validate();
+  DIVA_CHECK_MSG(m.engine.idle(), "workload::run requires a quiescent engine");
+  const int procs = m.numProcs();
+  const int numPhases = static_cast<int>(spec.phases.size());
+  m.stats.ensurePhases(numPhases);
+
+  const support::SplitMix64 master(spec.seed);
+
+  // Object population: owners drawn from the placement stream (setup is
+  // free, as in the figure benches). Every object carries a lock so any
+  // processor may write it.
+  support::SplitMix64 placement = master.split(kPlacementStream);
+  std::vector<VarId> objects;
+  objects.reserve(static_cast<std::size_t>(spec.numObjects));
+  for (int i = 0; i < spec.numObjects; ++i) {
+    const NodeId owner =
+        static_cast<NodeId>(placement.below(static_cast<std::uint64_t>(procs)));
+    objects.push_back(rt.createVarFree(owner, makeRawValue(spec.objectBytes),
+                                       /*withLock=*/true));
+  }
+
+  // The report covers exactly this run: measurement state starts clean.
+  m.stats.reset(m.engine.now());
+  m.stats.setPhase(0, m.engine.now());
+
+  WorkloadReport report;
+  report.workload = spec.name;
+  report.strategy = rt.strategyName();
+  report.topology = m.topo().name();
+  report.procs = procs;
+
+  const sim::Time startTime = m.engine.now();
+  const std::uint64_t sentBefore = m.net.messagesSent();
+
+  for (int p = 0; p < numPhases; ++p) {
+    const PhaseSpec& ph = spec.phases[static_cast<std::size_t>(p)];
+    if (p > 0) m.stats.setPhase(p, m.engine.now());
+    const Stats::Counters opsBefore = m.stats.ops;
+    const std::uint64_t phaseSentBefore = m.net.messagesSent();
+
+    const ZipfSampler zipf(spec.numObjects, ph.zipfS);
+    for (NodeId node = 0; node < procs; ++node) {
+      sim::spawn(nodePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
+                           accessStream(spec.seed, p, node)));
+    }
+    // Drain to quiescence: the engine acts as the zero-cost outer clock,
+    // so phase boundaries in the stats are exact instants (the in-model
+    // barrier above is still part of the measured protocol traffic).
+    m.run();
+
+    WorkloadReport::Phase pr;
+    pr.name = ph.name;
+    pr.wallUs = m.stats.wallUs(p);
+    pr.injected = m.net.messagesSent() - phaseSentBefore;
+    pr.linkMessages = m.stats.links.totalMessages(p);
+    pr.linkBytes = m.stats.links.totalBytes(p);
+    pr.congestionMessages = m.stats.links.congestionMessages(p);
+    pr.congestionBytes = m.stats.links.congestionBytes(p);
+    pr.reads = m.stats.ops.reads - opsBefore.reads;
+    pr.readHits = m.stats.ops.readHits - opsBefore.readHits;
+    pr.writes = m.stats.ops.writes - opsBefore.writes;
+    pr.invalidations = m.stats.ops.invalidations - opsBefore.invalidations;
+    pr.locks = m.stats.ops.locks - opsBefore.locks;
+    report.phases.push_back(std::move(pr));
+  }
+
+  report.completionUs = m.engine.now() - startTime;
+  report.injected = m.net.messagesSent() - sentBefore;
+  for (const WorkloadReport::Phase& pr : report.phases) {
+    report.linkMessages += pr.linkMessages;
+    report.linkBytes += pr.linkBytes;
+  }
+  // Overall congestion: max over links of the link's traffic summed over
+  // this run's phases (not the sum of per-phase maxima — different links
+  // may peak in different phases).
+  report.congestionMessages = m.stats.links.congestionMessages();
+  report.congestionBytes = m.stats.links.congestionBytes();
+  return report;
+}
+
+WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
+                     const WorkloadSpec& spec) {
+  Machine m(topo);
+  RuntimeConfig rc = config;
+  rc.seed = spec.seed;
+  rc.cacheCapacityBytes = spec.cacheBytes ? spec.cacheBytes : ~0ull;
+  Runtime rt(m, rc);
+  return run(m, rt, spec);
+}
+
+std::string formatReport(const WorkloadReport& r) {
+  std::ostringstream out;
+  out << "workload '" << r.workload << "' · strategy " << r.strategy << " · "
+      << r.topology << " (" << r.procs << " procs)\n";
+  support::Table t({"phase", "wall ms", "injected", "link msgs", "link KB", "cong msgs",
+                    "cong KB", "reads", "hits", "writes", "invals", "locks"});
+  for (const WorkloadReport::Phase& p : r.phases) {
+    t.addRow({p.name, support::fmt(p.wallUs / 1e3, 2), std::to_string(p.injected),
+              std::to_string(p.linkMessages), kb(p.linkBytes),
+              std::to_string(p.congestionMessages), kb(p.congestionBytes),
+              std::to_string(p.reads), std::to_string(p.readHits),
+              std::to_string(p.writes), std::to_string(p.invalidations),
+              std::to_string(p.locks)});
+  }
+  t.addRow({"total", support::fmt(r.completionUs / 1e3, 2), std::to_string(r.injected),
+            std::to_string(r.linkMessages), kb(r.linkBytes),
+            std::to_string(r.congestionMessages), kb(r.congestionBytes), "", "", "", "",
+            ""});
+  t.print(out);
+  return out.str();
+}
+
+std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
+  auto ratio = [](double x, double y) {
+    return y > 0.0 ? support::fmt(x / y, 2) : std::string("n/a");
+  };
+  std::ostringstream out;
+  out << "strategy A/B on " << a.topology << " · workload '" << a.workload << "'\n";
+  support::Table t({"metric", a.strategy, b.strategy,
+                    "ratio (" + a.strategy + " / " + b.strategy + ")"});
+  t.addRow({"completion ms", support::fmt(a.completionUs / 1e3, 2),
+            support::fmt(b.completionUs / 1e3, 2),
+            ratio(a.completionUs, b.completionUs)});
+  t.addRow({"injected messages", std::to_string(a.injected), std::to_string(b.injected),
+            ratio(static_cast<double>(a.injected), static_cast<double>(b.injected))});
+  t.addRow({"link crossings", std::to_string(a.linkMessages),
+            std::to_string(b.linkMessages),
+            ratio(static_cast<double>(a.linkMessages),
+                  static_cast<double>(b.linkMessages))});
+  t.addRow({"link traffic KB", kb(a.linkBytes), kb(b.linkBytes),
+            ratio(static_cast<double>(a.linkBytes), static_cast<double>(b.linkBytes))});
+  t.addRow({"max-link congestion msgs", std::to_string(a.congestionMessages),
+            std::to_string(b.congestionMessages),
+            ratio(static_cast<double>(a.congestionMessages),
+                  static_cast<double>(b.congestionMessages))});
+  t.addRow({"max-link congestion KB", kb(a.congestionBytes), kb(b.congestionBytes),
+            ratio(static_cast<double>(a.congestionBytes),
+                  static_cast<double>(b.congestionBytes))});
+  t.print(out);
+  return out.str();
+}
+
+}  // namespace diva::workload

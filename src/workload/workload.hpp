@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace diva::workload {
+
+/// One temporal phase of a synthetic workload: every processor performs
+/// `rounds` accesses against the shared object population, each access a
+/// read with probability `readFraction` (writes serialize through the
+/// object's lock — concurrent unsynchronized writes are illegal), the
+/// accessed object drawn by Zipf(zipfS) rank skew with the popularity
+/// ranking rotated by `hotShift` objects. Rotating the ranking between
+/// phases models hotspot drift; changing readFraction models
+/// read-mostly → write-heavy shifts. Think time between accesses is
+/// drawn uniformly from [0, 2·thinkMeanUs) — arithmetic-only sampling,
+/// so committed scenarios stay bit-deterministic across libm versions.
+struct PhaseSpec {
+  std::string name = "phase";
+  int rounds = 1;             ///< accesses per processor
+  double readFraction = 1.0;  ///< P(access is a read); rest are locked writes
+  double zipfS = 0.0;         ///< popularity skew exponent (0 = uniform)
+  int hotShift = 0;           ///< rotation of the popularity ranking
+  double thinkMeanUs = 0.0;   ///< mean think time between accesses
+  bool barrier = true;        ///< processors synchronize at phase end
+
+  bool operator==(const PhaseSpec&) const = default;
+};
+
+/// A complete declarative synthetic workload: an object population plus a
+/// sequence of phases. One spec runs unchanged under every strategy and
+/// on every topology — exactly what a strategy A/B needs. All randomness
+/// derives from `seed` through per-(phase, processor) split streams
+/// (support::SplitMix64::split), so the access sequence of a phase is a
+/// pure function of (seed, phase index, processor) — independent of
+/// machine shape, strategy, and of how many rounds earlier phases ran.
+struct WorkloadSpec {
+  std::string name = "workload";
+  int numObjects = 1;             ///< shared-variable population
+  std::uint64_t objectBytes = 64; ///< simulated payload size of each object
+  std::uint64_t cacheBytes = 0;   ///< per-processor module bound; 0 = unlimited
+  std::uint64_t seed = 1;
+  int procs = 0;                  ///< suggested machine size (scenario files); 0 = caller's choice
+  std::vector<PhaseSpec> phases;
+
+  /// Fail fast on nonsensical parameters; throws CheckError.
+  void validate() const;
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
+/// The access stream of (seed, phase, processor): the RNG that drives
+/// every draw (think time, object rank, read-vs-write) of that processor
+/// in that phase. A pure function of its arguments — deliberately NOT of
+/// earlier phases' contents — so editing one phase of a scenario never
+/// perturbs another phase's access sequence (phase-boundary determinism;
+/// pinned by tests). Used by the driver; exposed for tests and for
+/// external tooling that wants to predict a scenario's accesses.
+support::SplitMix64 accessStream(std::uint64_t seed, int phase, net::NodeId node);
+
+/// Samples ranks 0..n-1 with P(r) ∝ 1/(r+1)^s by inverse-CDF lookup;
+/// s = 0 is uniform. Integral exponents are computed by exact repeated
+/// multiplication (bit-stable across libm versions — committed golden
+/// scenarios use those); fractional exponents go through std::pow
+/// (deterministic per build, last-ulp differences possible across libms).
+class ZipfSampler {
+ public:
+  /// Largest exponent WorkloadSpec::validate accepts — every integral
+  /// exponent up to it uses the exact path (see the constructor).
+  static constexpr double kMaxExponent = 64.0;
+
+  ZipfSampler(int n, double s);
+  int operator()(support::SplitMix64& rng) const;
+  int numRanks() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Measurements of one workload run, per phase and in total. Congestion
+/// is the paper's metric: the maximum over directed links of that link's
+/// traffic. `injected` counts messages entering the network (including
+/// node-local ones); `linkMessages`/`linkBytes` count per-link crossings,
+/// so one multi-hop message contributes once per hop.
+struct WorkloadReport {
+  struct Phase {
+    std::string name;
+    double wallUs = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t linkMessages = 0;
+    std::uint64_t linkBytes = 0;
+    std::uint64_t congestionMessages = 0;
+    std::uint64_t congestionBytes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t locks = 0;
+  };
+
+  std::string workload;
+  std::string strategy;
+  std::string topology;
+  int procs = 0;
+  std::vector<Phase> phases;
+  double completionUs = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t linkMessages = 0;
+  std::uint64_t linkBytes = 0;
+  std::uint64_t congestionMessages = 0;  ///< max over links, all phases summed
+  std::uint64_t congestionBytes = 0;
+};
+
+/// Run `spec` on an existing machine/runtime. Creates the object
+/// population (free setup), then drives every processor through the
+/// phases; the engine drains between phases, so per-phase metrics have
+/// exact boundaries. The runtime's own configuration (strategy, cache
+/// bound, seed) is taken as-is — `spec.cacheBytes` only applies through
+/// `runOn`. Requires a quiescent engine; leaves it quiescent.
+WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec);
+
+/// Build a machine of shape `topo` and a runtime from `config` (with the
+/// spec's seed and cache bound applied), run `spec`, and return the
+/// report. The one-call form the A/B harness and tests use.
+WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
+                     const WorkloadSpec& spec);
+
+/// Deterministic text rendering of a report (fixed-precision numbers):
+/// same seed → byte-identical output.
+std::string formatReport(const WorkloadReport& r);
+
+/// Strategy A/B table: per-metric columns for `a` and `b` plus the a/b
+/// ratio — the access-tree vs fixed-home comparison of the paper, on
+/// synthetic traffic. The two reports must come from the same spec.
+std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b);
+
+}  // namespace diva::workload

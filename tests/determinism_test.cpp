@@ -21,6 +21,8 @@
 #include "diva/runtime.hpp"
 #include "net/graph_topology.hpp"
 #include "support/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/workload.hpp"
 
 namespace diva {
 namespace {
@@ -93,6 +95,35 @@ TEST(DeterminismGolden, GraphEventTraceMatchesCommittedHash) {
   const std::uint64_t kGolden = 0x6abc3cd75895995aull;
   EXPECT_EQ(h, kGolden) << "graph trace hash changed: 0x" << std::hex << h
                         << " — the simulated model is no longer identical";
+}
+
+/// Delivery-trace hash of the committed hotspot scenario under the 4-ary
+/// access tree: pins the whole workload pipeline — scenario parser, split
+/// streams, Zipf sampler (integral exponent: exact arithmetic), driver,
+/// strategy, locks, barriers. Editing scenarios/hotspot.scenario or any
+/// generator implies regenerating this golden deliberately.
+std::uint64_t scenarioTraceHash(const net::TopologySpec& spec) {
+  const workload::WorkloadSpec wl =
+      workload::loadScenarioFile(std::string(DIVA_SCENARIO_DIR) + "/hotspot.scenario");
+  Machine m(spec);
+  RuntimeConfig rc = RuntimeConfig::accessTree(4, 1, wl.seed).on(spec);
+  Runtime rt(m, rc);
+  std::uint64_t hash = 14695981039346656037ull;
+  m.net.setDeliveryProbe([&hash](sim::Time t, NodeId node, net::Channel ch) {
+    hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t));
+    hash = fnv1a(hash, static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+    hash = fnv1a(hash, static_cast<std::uint64_t>(ch));
+  });
+  (void)workload::run(m, rt, wl);
+  rt.checkAllInvariants();
+  return hash;
+}
+
+TEST(DeterminismGolden, HotspotScenarioTraceMatchesCommittedHash) {
+  const std::uint64_t h = scenarioTraceHash(net::TopologySpec::mesh2d(8, 8));
+  const std::uint64_t kGolden = 0x22c46d1f015b5bc6ull;
+  EXPECT_EQ(h, kGolden) << "hotspot scenario trace hash changed: 0x" << std::hex << h
+                        << " — workload generation or the simulated model moved";
 }
 
 TEST(DeterminismGolden, TraceHashIsRunToRunStable) {

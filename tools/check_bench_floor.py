@@ -25,6 +25,9 @@ def main() -> int:
         # headroom absorbs any plausible CI-VM slowness.
         "events_per_sec": 4_000_000,
         "messages_per_sec": 250_000,
+        # Full-protocol-stack churn (synthetic-workload subsystem over the
+        # access tree, locks and barriers): ~1.8M msgs/s on the dev box.
+        "workload_messages_per_sec": 100_000,
     }
     with open(path) as f:
         doc = json.load(f)

@@ -1,0 +1,112 @@
+// Scenario runner: the strategy A/B harness over declarative synthetic
+// workloads. Loads a scenario file (src/workload/scenario.hpp format),
+// runs it under the access-tree strategy and the fixed-home baseline on
+// the same machine shape and seed, and prints per-phase reports plus the
+// A/B comparison table — the paper's access-tree vs fixed-home congestion
+// and traffic ratios, measurable on arbitrary synthetic traffic.
+//
+//   $ scenario_runner scenarios/hotspot.scenario
+//   $ DIVA_TOPOLOGY=random-regular scenario_runner scenarios/hotspot.scenario
+//   $ DIVA_TOPOLOGY=graph:mynet.graph scenario_runner s.scenario --arity 2
+//
+// Options:
+//   --procs N   machine size (default: the scenario's `procs`, else 64;
+//               ignored for graph:<file> shapes, whose size is the file's)
+//   --arity N   access-tree arity ℓ ∈ {2, 4, 16}   (default 4)
+//   --leaf K    access-tree leaf cluster size      (default 1)
+// Shape comes from DIVA_TOPOLOGY (mesh2d | torus2d | hypercube | ring |
+// star | random-regular | graph:<path>; default mesh2d).
+//
+// Output is deterministic: same scenario, shape and build → byte-identical
+// text (the determinism suite pins one committed scenario by trace hash).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/topology_env.hpp"
+#include "support/check.hpp"
+#include "workload/scenario.hpp"
+#include "workload/workload.hpp"
+
+using namespace diva;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario-file> [--procs N] [--arity N] [--leaf K]\n"
+               "       (machine shape from DIVA_TOPOLOGY; see file header)\n",
+               argv0);
+  return 2;
+}
+
+/// rows×cols ≈ square factorization of P, rows ≤ cols (1×P when prime —
+/// still a valid mesh).
+void gridShape(int procs, int& rows, int& cols) {
+  rows = 1;
+  for (int r = 1; r * r <= procs; ++r)
+    if (procs % r == 0) rows = r;
+  cols = procs / rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int procsFlag = 0;
+  int arity = 4;
+  int leaf = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto intFlag = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (arg == "--procs") {
+      if (!intFlag(procsFlag)) return usage(argv[0]);
+    } else if (arg == "--arity") {
+      if (!intFlag(arity)) return usage(argv[0]);
+    } else if (arg == "--leaf") {
+      if (!intFlag(leaf)) return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  try {
+    const workload::WorkloadSpec spec = workload::loadScenarioFile(path);
+    const int procs = procsFlag > 0 ? procsFlag : spec.procs > 0 ? spec.procs : 64;
+    int rows = 0, cols = 0;
+    gridShape(procs, rows, cols);
+    const net::TopologySpec topo = net::topologyFromEnv(rows, cols);
+
+    std::printf("scenario '%s' (%s): %d objects × %llu B, %zu phase(s), seed %llu\n",
+                spec.name.c_str(), path.c_str(), spec.numObjects,
+                static_cast<unsigned long long>(spec.objectBytes), spec.phases.size(),
+                static_cast<unsigned long long>(spec.seed));
+    std::printf("machine: %s\n\n", topo.describe().c_str());
+
+    const workload::WorkloadReport at =
+        workload::runOn(topo, RuntimeConfig::accessTree(arity, leaf), spec);
+    const workload::WorkloadReport fh =
+        workload::runOn(topo, RuntimeConfig::fixedHome(), spec);
+
+    std::fputs(workload::formatReport(at).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(workload::formatReport(fh).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(workload::formatComparison(at, fh).c_str(), stdout);
+    return 0;
+  } catch (const support::CheckError& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+}
