@@ -156,6 +156,50 @@ void BM_WorkloadZipfChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadZipfChurn);
 
+// Faulted variant of the workload churn: the same 8×8-mesh zipf traffic
+// with a link flap and a processor crash/recover per phase, so the
+// detour BFS, crash repair, re-homing and availability retry paths are
+// all on the measured path. This is the `workload_churn_messages_per_sec`
+// series in BENCH_engine.json; its floor in tools/check_bench_floor.py
+// guards the fault machinery against order-of-magnitude regressions.
+void BM_WorkloadChurn(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.name = "bench-fault-churn";
+  spec.numObjects = 128;
+  spec.objectBytes = 256;
+  spec.seed = 1;
+  auto fault = [](net::FaultEvent::Kind k, double offsetUs, net::NodeId a,
+                  net::NodeId b = 0) {
+    net::FaultEvent ev;
+    ev.kind = k;
+    ev.offsetUs = offsetUs;
+    ev.a = a;
+    ev.b = b;
+    return ev;
+  };
+  workload::PhaseSpec hot{"hot", 16, 0.9, 1.0, 0, 0.0, true, {}};
+  hot.faults.push_back(fault(net::FaultEvent::Kind::LinkDown, 10.0, 10, 11));
+  hot.faults.push_back(fault(net::FaultEvent::Kind::NodeDown, 20.0, 27));
+  hot.faults.push_back(fault(net::FaultEvent::Kind::LinkUp, 60.0, 10, 11));
+  hot.faults.push_back(fault(net::FaultEvent::Kind::NodeUp, 120.0, 27));
+  spec.phases.push_back(hot);
+  workload::PhaseSpec drift{"drift", 16, 0.9, 1.0, 64, 0.0, true, {}};
+  drift.faults.push_back(fault(net::FaultEvent::Kind::LinkDown, 15.0, 33, 41));
+  drift.faults.push_back(fault(net::FaultEvent::Kind::NodeDown, 25.0, 9));
+  drift.faults.push_back(fault(net::FaultEvent::Kind::LinkUp, 70.0, 33, 41));
+  drift.faults.push_back(fault(net::FaultEvent::Kind::NodeUp, 130.0, 9));
+  spec.phases.push_back(drift);
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    Machine m(net::TopologySpec::mesh2d(8, 8));
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1, spec.seed));
+    (void)workload::run(m, rt, spec);
+    sent += m.net.messagesSent();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_WorkloadChurn);
+
 void BM_DimensionOrderRouting(benchmark::State& state) {
   mesh::Mesh m(32, 32);
   std::vector<mesh::Hop> hops;

@@ -54,7 +54,7 @@ cmd = [
     bin_path,
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
     "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
-    "|BM_WorkloadZipfChurn",
+    "|BM_WorkloadZipfChurn|BM_WorkloadChurn",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -97,6 +97,10 @@ entry = {
     # Full-protocol-stack churn (strategy + locks + barriers) driven by
     # the synthetic-workload subsystem; see bench/micro_engine.cpp.
     "workload_messages_per_sec": round(rate("BM_WorkloadZipfChurn")),
+    # Same workload with per-phase link flaps and a processor
+    # crash/recover: detour BFS, crash repair and availability retries on
+    # the measured path (docs/faults.md).
+    "workload_churn_messages_per_sec": round(rate("BM_WorkloadChurn")),
     # Derived pipeline metric + event-queue tier occupancy, from the mesh
     # churn's benchmark counters (see docs/benchmarks.md).
     "events_per_message": round(mesh["events_per_message"], 2),
@@ -112,6 +116,8 @@ entry = {
         "torus_messages_per_sec": "torus2d-8x8",
         "graph_messages_per_sec": "graph-rr64d3s1",
         "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
+        "workload_churn_messages_per_sec":
+            "mesh2d-8x8 zipf-churn + link flaps + node crash (access tree)",
     },
     "figures": figures,
     "git_sha": os.environ.get("GIT_SHA", "unknown"),

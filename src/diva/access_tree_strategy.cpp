@@ -95,7 +95,7 @@ sim::Task<Value> AccessTreeStrategy::read(NodeId p, VarId x) {
 
   Value v = co_await done.wait();
   pending_.erase(txn);
-  --states_.at(x).activeOps;
+  if (--states_.at(x).activeOps == 0) drainRepairs(x);
   co_return v;
 }
 
@@ -117,16 +117,16 @@ sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
 
   (void)co_await done.wait();
   pending_.erase(txn);
-  --states_.at(x).activeOps;
+  if (--states_.at(x).activeOps == 0) drainRepairs(x);
   co_return;
 }
 
-void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
-  DIVA_CHECK_MSG(!states_.contains(x), "variable registered twice");
-  VarState& vs = states_[x];
+void AccessTreeStrategy::seedComponent(VarState& vs, VarId x, NodeId owner,
+                                       Value init) {
   const std::int32_t leaf = tree_->leafOf(owner);
   TreeState& st = vs.nodes[leaf];
   st.kind = TreeState::Kind::Copy;
+  st.downChild = -1;
   NodeCache::Entry& e = caches_[owner].put(x, std::move(init));
   e.copyCount = 1;
   // Mark the path from the root to the component (data tracking invariant).
@@ -137,6 +137,11 @@ void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
     as.downChild = child;
     child = a;
   }
+}
+
+void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
+  DIVA_CHECK_MSG(!states_.contains(x), "variable registered twice");
+  seedComponent(states_[x], x, owner, std::move(init));
 }
 
 sim::Task<void> AccessTreeStrategy::registerVar(VarId x, NodeId owner, Value init) {
@@ -172,6 +177,7 @@ void AccessTreeStrategy::destroyVarFree(VarId x) {
     }
   }
   states_.erase(it);
+  pendingRepairs_.erase(x);
 }
 
 Value AccessTreeStrategy::peek(VarId x) const {
@@ -208,6 +214,11 @@ void AccessTreeStrategy::handleMessage(net::Message&& msg) {
       break;
     }
     case AtBody::K::CopyDrop: onCopyDrop(std::move(b)); break;
+    case AtBody::K::Recover:
+      // Cost-only: repair mutates tree state and caches synchronously at
+      // drain time (see repairVar); this message charges the salvage and
+      // scrub traffic so congestion-during-repair is visible.
+      break;
   }
 }
 
@@ -658,6 +669,122 @@ void AccessTreeStrategy::maybeEvictAt(NodeId p) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash repair (docs/faults.md)
+// ---------------------------------------------------------------------------
+
+NodeId AccessTreeStrategy::nextLiveAfter(NodeId p) const {
+  const int n = net_.numNodes();
+  NodeId q = static_cast<NodeId>((p + 1) % n);
+  while (!net_.nodeUp(q)) q = static_cast<NodeId>((q + 1) % n);
+  return q;  // terminates: the network forbids crashing the last live node
+}
+
+bool AccessTreeStrategy::varQuiet(const VarState& vs) const {
+  // activeOps covers every read/write from issue to coroutine retirement,
+  // which subsumes in-flight Climb/Data; coord/relays cover invalidation
+  // floods. Cost-only traffic (Mark/CopyDrop/Recover) never needs quiet.
+  return !vs.coord && vs.relays.empty() && vs.activeOps == 0;
+}
+
+void AccessTreeStrategy::onNodeDown(NodeId p) {
+  // Collect every variable whose copy component touches the dead host —
+  // via a hosted Copy tree node or a stray cache entry — and repair in
+  // sorted order so traffic is independent of hash-map iteration order.
+  std::vector<VarId> affected;
+  for (const auto& [x, vs] : states_) {
+    bool touches = caches_[p].peek(x) != nullptr;
+    for (auto it = vs.nodes.begin(); !touches && it != vs.nodes.end(); ++it)
+      touches = it->second.kind == TreeState::Kind::Copy && hostOf(it->first, x) == p;
+    if (touches) affected.push_back(x);
+  }
+  std::sort(affected.begin(), affected.end());
+  for (VarId x : affected) scheduleRepair(x, p);
+}
+
+void AccessTreeStrategy::scheduleRepair(VarId x, NodeId deadNode) {
+  if (varQuiet(states_.at(x))) {
+    repairVar(x, deadNode);
+    return;
+  }
+  std::vector<NodeId>& parked = pendingRepairs_[x];
+  if (std::find(parked.begin(), parked.end(), deadNode) == parked.end())
+    parked.push_back(deadNode);
+}
+
+void AccessTreeStrategy::drainRepairs(VarId x) {
+  if (pendingRepairs_.empty()) return;
+  const auto it = pendingRepairs_.find(x);
+  if (it == pendingRepairs_.end() || !varQuiet(states_.at(x))) return;
+  std::vector<NodeId> dead = std::move(it->second);
+  pendingRepairs_.erase(it);
+  // Repair even if the node recovered meanwhile: the crash destroyed its
+  // application state, so its pre-crash copies are scrubbed regardless.
+  for (NodeId p : dead) repairVar(x, p);
+}
+
+void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
+  VarState& vs = states_.at(x);
+  // Salvage the committed value before scrubbing. The dead host's memory
+  // module is still reachable by its protocol agent (always-on-agent
+  // fault model), which justifies recovering a value whose topmost copy
+  // sat at p.
+  const Value v = peek(x);
+  DIVA_CHECK_MSG(v, "repair of variable " << x << " found no value");
+
+  // Wipe the whole component in sorted tree-node order (determinism:
+  // cache LRU mutation order must not depend on hash-map layout).
+  std::vector<std::int32_t> copies;
+  for (const auto& [n, st] : vs.nodes)
+    if (st.kind == TreeState::Kind::Copy) copies.push_back(n);
+  std::sort(copies.begin(), copies.end());
+  std::vector<NodeId> hosts;
+  for (std::int32_t n : copies) {
+    hosts.push_back(hostOf(n, x));
+    clearCopy(x, n);
+  }
+  vs.nodes.clear();
+  caches_[p].erase(x);  // stray safety: a dead node keeps no entry for x
+
+  // Reseed a fresh one-copy component at the deterministic successor.
+  const NodeId s = nextLiveAfter(p);
+  seedComponent(vs, x, s, v);
+  ++vs.committedVersion;  // any still-queued deposit version is stale now
+  maybeEvictAt(s);
+  ++stats_.ops.repairedVars;
+
+  // Charge the repair traffic: the salvaged value streams from the dead
+  // host to the seed, each surviving copy host gets a scrub notice, and
+  // the root path is re-marked hop by hop (real Mark messages).
+  auto recover = [&](NodeId src, NodeId dst, std::uint64_t bytes) {
+    ++stats_.ops.recoveryMessages;
+    stats_.ops.recoveryBytes += bytes;
+    AtBody r;
+    r.k = AtBody::K::Recover;
+    r.var = x;
+    net_.post(net::Message{src, dst, net::kProtocolChannel, bytes, std::move(r)});
+  };
+  recover(p, s, v->size());
+  std::vector<NodeId> notified;
+  for (NodeId h : hosts) {
+    if (h == s || h == p) continue;
+    if (std::find(notified.begin(), notified.end(), h) != notified.end()) continue;
+    notified.push_back(h);
+    recover(s, h, 0);
+  }
+  const std::int32_t leaf = tree_->leafOf(s);
+  if (tree_->parent(leaf) >= 0) {
+    ++stats_.ops.recoveryMessages;
+    AtBody m;
+    m.k = AtBody::K::Mark;
+    m.var = x;
+    m.requester = s;
+    m.atNode = tree_->parent(leaf);
+    m.fromNode = leaf;
+    net_.post(net::Message{s, hostOf(m.atNode, x), net::kProtocolChannel, 0, std::move(m)});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Invariant checking (tests / debugging)
 // ---------------------------------------------------------------------------
 
@@ -668,6 +795,8 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   DIVA_CHECK_MSG(!vs.coord, "write still in flight");
   DIVA_CHECK_MSG(vs.relays.empty(), "invalidation relays still in flight");
   DIVA_CHECK_MSG(vs.activeOps == 0, "operations still in flight");
+  DIVA_CHECK_MSG(!pendingRepairs_.contains(x),
+                 "repair still parked for variable " << x << " at quiescence");
 
   // Collect the copy component.
   std::vector<std::int32_t> copies;

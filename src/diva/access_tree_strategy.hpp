@@ -78,6 +78,8 @@ class AccessTreeStrategy final : public Strategy {
   /// last copy). Returns true if evicted.
   bool tryEvict(NodeId p, VarId x) override;
 
+  void onNodeDown(NodeId p) override;
+
  private:
   /// Per-(variable, tree-node) protocol state.
   struct TreeState {
@@ -130,6 +132,7 @@ class AccessTreeStrategy final : public Strategy {
       Mark,      ///< creation: mark Down pointers on the root path
       MarkAck,   ///< creation complete
       CopyDrop,  ///< eviction: neighbour lost its copy
+      Recover,   ///< repair traffic: salvage/invalidate after a crash
     };
     K k = K::Climb;
     VarId var = kInvalidVar;
@@ -181,6 +184,23 @@ class AccessTreeStrategy final : public Strategy {
   int copyNeighborCount(VarId x, std::int32_t node) const;
   void clearCopy(VarId x, std::int32_t node);
   void eraseIfDefault(VarId x, std::int32_t node);
+  /// Install the one-copy component at `owner`'s leaf and mark the root
+  /// path — shared by free registration and crash repair.
+  void seedComponent(VarState& vs, VarId x, NodeId owner, Value init);
+
+  // --- crash repair (docs/faults.md) ---
+  // Losing an arbitrary subset of a variable's copy component can
+  // disconnect it, which no local rule repairs safely; repair therefore
+  // wipes the whole component and reseeds a fresh single-copy component
+  // (holding the salvaged committed value) at the deterministic
+  // next-live successor of the crashed host — invariant-correct by
+  // construction, conservative in traffic. Deferred until the variable
+  // is quiet, like the fixed-home repair.
+  NodeId nextLiveAfter(NodeId p) const;
+  bool varQuiet(const VarState& vs) const;
+  void scheduleRepair(VarId x, NodeId deadNode);
+  void drainRepairs(VarId x);
+  void repairVar(VarId x, NodeId deadNode);
 
   net::Network& net_;
   Stats& stats_;
@@ -189,6 +209,7 @@ class AccessTreeStrategy final : public Strategy {
   std::unique_ptr<net::ClusterTree> tree_;
   std::unordered_map<VarId, VarState> states_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::unordered_map<VarId, std::vector<NodeId>> pendingRepairs_;
   std::uint64_t nextTxn_ = 1;
 
   static constexpr int kMaxRetries = 64;

@@ -11,6 +11,10 @@ FixedHomeStrategy::FixedHomeStrategy(net::Network& net, Stats& stats,
     : net_(net), stats_(stats), caches_(caches), params_(params) {}
 
 NodeId FixedHomeStrategy::homeOf(VarId x) const {
+  if (!rehome_.empty()) {
+    const auto it = rehome_.find(x);
+    if (it != rehome_.end()) return it->second;
+  }
   return static_cast<NodeId>(support::hashBelow(
       support::hashCombine(params_.seed, x, 0xf1bedull),
       static_cast<std::uint64_t>(net_.numNodes())));
@@ -40,7 +44,7 @@ sim::Task<Value> FixedHomeStrategy::read(NodeId p, VarId x) {
 
   const std::uint64_t txn = nextTxn_++;
   sim::OneShot<Value> done(net_.engine());
-  pending_[txn] = PendingOp{&done};
+  pending_[txn] = PendingOp{&done, x, p};
 
   FhBody b;
   b.k = FhBody::K::ReadReq;
@@ -51,6 +55,7 @@ sim::Task<Value> FixedHomeStrategy::read(NodeId p, VarId x) {
 
   Value v = co_await done.wait();
   pending_.erase(txn);
+  drainRepairs(x);
   co_return v;
 }
 
@@ -64,7 +69,7 @@ sim::Task<void> FixedHomeStrategy::write(NodeId p, VarId x, Value v) {
 
   const std::uint64_t txn = nextTxn_++;
   sim::OneShot<Value> done(net_.engine());
-  pending_[txn] = PendingOp{&done};
+  pending_[txn] = PendingOp{&done, x, p};
 
   FhBody b;
   b.k = FhBody::K::WriteReq;
@@ -81,6 +86,7 @@ sim::Task<void> FixedHomeStrategy::write(NodeId p, VarId x, Value v) {
   mine.copyCount = 1;
   mine.owned = true;
   maybeEvictAt(p);
+  drainRepairs(x);
   co_return;
 }
 
@@ -128,6 +134,8 @@ void FixedHomeStrategy::destroyVarFree(VarId x) {
   for (NodeId p : he.copyHolders) caches_[p].erase(x);
   if (he.owner == kHomeOwner) caches_[homeOf(x)].erase(x);
   homes_.erase(it);
+  rehome_.erase(x);
+  pendingRepairs_.erase(x);
 }
 
 Value FixedHomeStrategy::peek(VarId x) const {
@@ -242,6 +250,11 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       // Directory already updated at eviction time (see tryEvict); the
       // message only accounts for the notification traffic.
       return;
+    case FhBody::K::Recover:
+      // Cost-only: repair mutates directory and caches synchronously at
+      // crash/drain time (see repairVar); this message charges the
+      // salvage traffic so congestion-during-repair is visible.
+      return;
     default:
       DIVA_CHECK_MSG(false, "unhandled fixed-home message kind");
   }
@@ -249,6 +262,17 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
 
 void FixedHomeStrategy::serveAtHome(net::Message&& msg) {
   const FhBody& b = msg.as<FhBody>();
+  const NodeId home = homeOf(b.var);
+  if (msg.dst != home) [[unlikely]] {
+    // The request was addressed to a home that crashed and was re-homed
+    // while the message was in flight: forward to the current home
+    // (classic directory-migration forwarding), charged as repair
+    // traffic.
+    ++stats_.ops.recoveryMessages;
+    FhBody fwd = msg.take<FhBody>();
+    sendBody(msg.dst, home, std::move(fwd), 0);
+    return;
+  }
   HomeEntry& he = homes_.at(b.var);
   if (he.busy) {
     he.queue.push_back(std::move(msg));
@@ -332,7 +356,10 @@ void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
 void FixedHomeStrategy::finishTransaction(VarId x) {
   HomeEntry& he = homes_.at(x);
   he.busy = false;
-  if (he.queue.empty()) return;
+  if (he.queue.empty()) {
+    drainRepairs(x);
+    return;
+  }
   net::Message next = std::move(he.queue.front());
   he.queue.pop_front();
   processTransaction(he, std::move(next));
@@ -368,6 +395,134 @@ bool FixedHomeStrategy::tryEvict(NodeId p, VarId x) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash repair (docs/faults.md)
+// ---------------------------------------------------------------------------
+
+NodeId FixedHomeStrategy::nextLiveAfter(NodeId p) const {
+  const int n = net_.numNodes();
+  NodeId q = static_cast<NodeId>((p + 1) % n);
+  while (!net_.nodeUp(q)) q = static_cast<NodeId>((q + 1) % n);
+  return q;  // terminates: the network forbids crashing the last live node
+}
+
+bool FixedHomeStrategy::varQuiet(VarId x) const {
+  const HomeEntry& he = homes_.at(x);
+  if (he.busy || !he.queue.empty()) return false;
+  // An op that already got its Data/WriteAck still installs a copy at the
+  // requester after this point; repair must not run under it. pending_ is
+  // bounded by the processor count — a linear scan on the cold path.
+  for (const auto& [txn, op] : pending_)
+    if (op.var == x) return false;
+  return true;
+}
+
+void FixedHomeStrategy::onNodeDown(NodeId p) {
+  // Collect every variable the dead node touches — as home, owner, copy
+  // holder or stray cache entry — and repair in sorted order so the
+  // repair traffic is independent of hash-map iteration order.
+  std::vector<VarId> affected;
+  for (const auto& [x, he] : homes_) {
+    const bool touches =
+        homeOf(x) == p || he.owner == p ||
+        std::find(he.copyHolders.begin(), he.copyHolders.end(), p) !=
+            he.copyHolders.end() ||
+        caches_[p].peek(x) != nullptr;
+    if (touches) affected.push_back(x);
+  }
+  // An op p issued before crashing will still install a copy at p when it
+  // retires; schedule its variable too (the repair defers until then).
+  for (const auto& [txn, op] : pending_)
+    if (op.issuer == p &&
+        std::find(affected.begin(), affected.end(), op.var) == affected.end())
+      affected.push_back(op.var);
+  std::sort(affected.begin(), affected.end());
+  for (VarId x : affected) scheduleRepair(x, p);
+}
+
+void FixedHomeStrategy::scheduleRepair(VarId x, NodeId deadNode) {
+  if (varQuiet(x)) {
+    repairVar(x, deadNode);
+    return;
+  }
+  std::vector<NodeId>& parked = pendingRepairs_[x];
+  if (std::find(parked.begin(), parked.end(), deadNode) == parked.end())
+    parked.push_back(deadNode);
+}
+
+void FixedHomeStrategy::drainRepairs(VarId x) {
+  if (pendingRepairs_.empty()) return;
+  const auto it = pendingRepairs_.find(x);
+  if (it == pendingRepairs_.end() || !varQuiet(x)) return;
+  std::vector<NodeId> dead = std::move(it->second);
+  pendingRepairs_.erase(it);
+  // Repair even if the node recovered meanwhile: the crash destroyed its
+  // application state, so its pre-crash copies are scrubbed regardless.
+  for (NodeId p : dead) repairVar(x, p);
+}
+
+void FixedHomeStrategy::sendRecover(NodeId src, NodeId dst, VarId x,
+                                    std::uint64_t payloadBytes) {
+  ++stats_.ops.recoveryMessages;
+  stats_.ops.recoveryBytes += payloadBytes;
+  FhBody b;
+  b.k = FhBody::K::Recover;
+  b.var = x;
+  sendBody(src, dst, std::move(b), payloadBytes);
+}
+
+void FixedHomeStrategy::repairVar(VarId x, NodeId p) {
+  HomeEntry& he = homes_.at(x);
+  // The last committed value, captured before any scrubbing. The dead
+  // node's memory module is still reachable by its protocol agent (the
+  // always-on-agent fault model), which is what physically justifies
+  // salvaging a value whose only copy sat at p.
+  const Value v = peek(x);
+  DIVA_CHECK_MSG(v, "repair of variable " << x << " found no value");
+
+  if (homeOf(x) == p) {
+    // The home itself died: migrate the directory to the deterministic
+    // successor. The home's own copy (when home-owned) moves with it.
+    const NodeId s = nextLiveAfter(p);
+    rehome_[x] = s;
+    std::uint64_t bytes = 0;
+    if (he.owner == kHomeOwner) {
+      caches_[p].erase(x);
+      NodeCache::Entry& e = caches_[s].put(x, v);
+      e.copyCount = 1;
+      e.owned = false;
+      bytes = v->size();
+    }
+    sendRecover(p, s, x, bytes);
+    maybeEvictAt(s);
+  }
+
+  const NodeId home = homeOf(x);  // post-migration
+  if (he.owner == p) {
+    // The owner died holding the only authoritative copy: ownership
+    // reverts to the home, which reinstalls the salvaged value.
+    he.owner = kHomeOwner;
+    dropCopyHolder(he, p);
+    caches_[p].erase(x);
+    if (!caches_[home].peek(x)) {
+      NodeCache::Entry& e = caches_[home].put(x, v);
+      e.copyCount = 1;
+      e.owned = false;
+    }
+    sendRecover(p, home, x, v->size());
+    maybeEvictAt(home);
+  } else if (std::find(he.copyHolders.begin(), he.copyHolders.end(), p) !=
+             he.copyHolders.end()) {
+    // A plain copy died with the node: drop it from the directory. The
+    // notification mirrors the eviction Drop message.
+    dropCopyHolder(he, p);
+    caches_[p].erase(x);
+    sendRecover(p, home, x, 0);
+  }
+  caches_[p].erase(x);  // stray safety: a dead node keeps no entry for x
+  ++stats_.ops.repairedVars;
+}
+
+// ---------------------------------------------------------------------------
 // Invariant checking
 // ---------------------------------------------------------------------------
 
@@ -377,10 +532,16 @@ void FixedHomeStrategy::checkInvariants(VarId x) const {
   const HomeEntry& he = it->second;
   DIVA_CHECK_MSG(!he.busy && he.queue.empty() && he.pendingInvalAcks == 0,
                  "transaction still in flight for variable " << x);
+  DIVA_CHECK_MSG(!pendingRepairs_.contains(x),
+                 "repair still parked for variable " << x << " at quiescence");
 
   const NodeId home = homeOf(x);
+  DIVA_CHECK_MSG(net_.nodeUp(home), "home of variable " << x << " is down");
+  DIVA_CHECK_MSG(he.owner == kHomeOwner || net_.nodeUp(he.owner),
+                 "owner of variable " << x << " is down");
   const Value ref = peek(x);
   for (NodeId p : he.copyHolders) {
+    DIVA_CHECK_MSG(net_.nodeUp(p), "dead copy holder " << p << " for variable " << x);
     const NodeCache::Entry* e = caches_[p].peek(x);
     DIVA_CHECK_MSG(e && e->value, "copy holder " << p << " missing entry");
     DIVA_CHECK_MSG(e->value == ref || *e->value == *ref, "incoherent copy at " << p);

@@ -49,8 +49,11 @@ class FixedHomeStrategy final : public Strategy {
   void checkInvariants(VarId x) const override;
   void handleMessage(net::Message&& msg) override;
   bool tryEvict(NodeId p, VarId x) override;
+  void onNodeDown(NodeId p) override;
 
-  /// The home processor of a variable (uniform hash of the id).
+  /// The home processor of a variable: a uniform hash of the id, unless
+  /// the hash home crashed — then the re-homing map names the successor
+  /// (deterministic next-live-processor rule, permanent for the run).
   NodeId homeOf(VarId x) const;
 
  private:
@@ -80,6 +83,7 @@ class FixedHomeStrategy final : public Strategy {
       Reg,        ///< creator → home (measured variable creation)
       RegAck,     ///< home → creator
       Drop,       ///< holder → home: copy evicted (LRU replacement)
+      Recover,    ///< repair traffic: directory/value salvage after a crash
     };
     K k = K::ReadReq;
     VarId var = kInvalidVar;
@@ -90,6 +94,8 @@ class FixedHomeStrategy final : public Strategy {
 
   struct PendingOp {
     sim::OneShot<Value>* done = nullptr;
+    VarId var = kInvalidVar;   ///< lets repair defer until the op retires
+    NodeId issuer = -1;        ///< lets repair scrub a mid-op crasher's copy
   };
 
   void serveAtHome(net::Message&& msg);
@@ -100,12 +106,26 @@ class FixedHomeStrategy final : public Strategy {
   void addCopyHolder(HomeEntry& he, NodeId p);
   void dropCopyHolder(HomeEntry& he, NodeId p);
 
+  // Crash repair (docs/faults.md). A repair scrubs one dead node from one
+  // variable: re-home if the hash home died, recover ownership to the
+  // home if the owner died, drop dead copies. Runs only while the
+  // variable is quiet; otherwise parks in pendingRepairs_ and drains when
+  // the last in-flight transaction or pending op retires.
+  NodeId nextLiveAfter(NodeId p) const;
+  bool varQuiet(VarId x) const;
+  void scheduleRepair(VarId x, NodeId deadNode);
+  void drainRepairs(VarId x);
+  void repairVar(VarId x, NodeId deadNode);
+  void sendRecover(NodeId src, NodeId dst, VarId x, std::uint64_t payloadBytes);
+
   net::Network& net_;
   Stats& stats_;
   std::vector<NodeCache>& caches_;
   Params params_;
   std::unordered_map<VarId, HomeEntry> homes_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::unordered_map<VarId, NodeId> rehome_;  ///< vars whose hash home crashed
+  std::unordered_map<VarId, std::vector<NodeId>> pendingRepairs_;
   std::uint64_t nextTxn_ = 1;
 };
 

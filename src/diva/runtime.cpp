@@ -46,6 +46,16 @@ Runtime::Runtime(Machine& machine, RuntimeConfig config)
   }
   barrier_ = std::make_unique<BarrierService>(machine.net, machine.stats, config.seed);
 
+  // Crash/recover transitions drive the strategy's protocol repair
+  // (docs/faults.md); never fires on fault-free runs.
+  livenessToken_ = machine.net.addLivenessListener([this](NodeId n, bool up) {
+    if (up) {
+      strategy_->onNodeUp(n);
+    } else {
+      strategy_->onNodeDown(n);
+    }
+  });
+
   for (NodeId n = 0; n < machine.numProcs(); ++n) {
     machine.net.setHandler(n, net::kProtocolChannel,
                            [this](net::Message&& m) { strategy_->handleMessage(std::move(m)); });
@@ -56,7 +66,9 @@ Runtime::Runtime(Machine& machine, RuntimeConfig config)
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (livenessToken_ >= 0) machine_.net.removeLivenessListener(livenessToken_);
+}
 
 sim::Task<Value> Runtime::read(NodeId p, VarId x) {
   ++machine_.stats.ops.reads;

@@ -132,6 +132,7 @@ class Runtime {
   std::unique_ptr<LockService> locks_;
   std::unordered_set<VarId> liveVars_;
   VarId nextVar_ = 1;
+  int livenessToken_ = -1;  ///< network liveness listener, removed in ~Runtime
 };
 
 }  // namespace diva

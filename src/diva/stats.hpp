@@ -38,6 +38,12 @@ class Stats {
     std::uint64_t evictions = 0;
     std::uint64_t evictionFailures = 0;
     std::uint64_t protocolRetries = 0;
+    // Fault/repair accounting (docs/faults.md); all zero on healthy runs.
+    std::uint64_t failedOps = 0;        ///< ops abandoned because the issuer was down
+    std::uint64_t retriedOps = 0;       ///< op retries while the issuer was down
+    std::uint64_t repairedVars = 0;     ///< per-variable repair actions after crashes
+    std::uint64_t recoveryMessages = 0; ///< messages attributable to repair
+    std::uint64_t recoveryBytes = 0;    ///< payload bytes moved by repair
   } ops;
 
   void setPhase(int p, sim::Time now) {

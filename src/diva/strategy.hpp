@@ -59,6 +59,18 @@ class Strategy {
   /// LRU replacement hook: attempt to evict `x` from `p`'s memory module
   /// if the strategy's invariants allow it. Returns true on success.
   virtual bool tryEvict(NodeId p, VarId x) = 0;
+
+  /// Node `p` crashed: its application state (cached copies, directory
+  /// authority) is lost and the strategy must repair every variable it
+  /// touched — re-home directories, salvage authoritative values, scrub
+  /// dead copies — so that no variable is lost or dually owned once the
+  /// machine quiesces (docs/faults.md). Repairs for variables with a
+  /// transaction in flight are deferred until that variable is quiet.
+  /// Default: strategies without fault support ignore liveness.
+  virtual void onNodeDown(NodeId p) { (void)p; }
+
+  /// Node `p` recovered (cold caches — crash state was already scrubbed).
+  virtual void onNodeUp(NodeId p) { (void)p; }
 };
 
 }  // namespace diva

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace diva::net {
+
+class Network;
+
+// ---------------------------------------------------------------------------
+// Scripted fault injection (docs/faults.md).
+//
+// A FaultPlan is a list of timestamped events applied to the Network
+// through the ordinary event queue, so faults interleave with protocol
+// traffic deterministically: same plan, same seed, same trace. Events
+// carry offsets relative to a base instant chosen by the scheduler (the
+// workload driver uses the enclosing phase's start time), which keeps a
+// plan reusable across phases and runs.
+// ---------------------------------------------------------------------------
+
+/// One scripted fault.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { LinkDown, LinkUp, NodeDown, NodeUp, Degrade };
+
+  Kind kind = Kind::LinkDown;
+  double offsetUs = 0.0;   ///< firing time relative to the plan's base instant
+  NodeId a = 0;            ///< the node (node events) or first link endpoint
+  NodeId b = 0;            ///< second link endpoint (ignored for node events)
+  double weightMul = 1.0;  ///< Degrade: streaming-cost multiplier (1.0 = nominal)
+  double latencyMul = 1.0; ///< Degrade: hop-latency multiplier (1.0 = nominal)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// A fault script: events applied at base + offsetUs. Events sharing an
+/// instant apply in plan order (the event queue is FIFO within a time).
+using FaultPlan = std::vector<FaultEvent>;
+
+/// Scenario-format keyword for a fault kind ("link-down", "node-up", …).
+const char* faultKindName(FaultEvent::Kind kind);
+
+/// Apply one fault to the network immediately. Validates endpoints:
+/// throws CheckError on out-of-range nodes, non-adjacent link endpoints
+/// or non-positive degrade multipliers.
+void applyFault(Network& net, const FaultEvent& ev);
+
+/// Schedule every event of `plan` at `base + offsetUs` on the engine.
+/// Offsets must be non-negative; application order within an instant is
+/// plan order.
+void scheduleFaultPlan(sim::Engine& engine, Network& net, const FaultPlan& plan,
+                       sim::Time base);
+
+}  // namespace diva::net

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 #include <sstream>
+#include <unordered_set>
 
 #include "support/rng.hpp"
 
@@ -481,6 +482,10 @@ GraphSpec parseGraph(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int lineNo = 0;
+  // Undirected pairs already declared, for line-numbered duplicate
+  // diagnostics — GraphTopology would reject them too, but only after
+  // parsing, without saying which line to fix.
+  std::unordered_set<std::uint64_t> seenEdges;
   while (std::getline(in, line)) {
     ++lineNo;
     std::istringstream ls(line);
@@ -500,6 +505,17 @@ GraphSpec parseGraph(const std::string& text) {
       GraphSpec::Edge e;
       DIVA_CHECK_MSG(static_cast<bool>(ls >> e.u >> e.v),
                      "graph file line " << lineNo << ": 'edge' needs two node ids");
+      DIVA_CHECK_MSG(e.u >= 0 && e.u < g.numNodes && e.v >= 0 && e.v < g.numNodes,
+                     "graph file line " << lineNo << ": edge " << e.u << "-" << e.v
+                                        << " out of range for " << g.numNodes
+                                        << " nodes");
+      DIVA_CHECK_MSG(e.u != e.v,
+                     "graph file line " << lineNo << ": self-loop at node " << e.u);
+      const auto lo = static_cast<std::uint64_t>(std::min(e.u, e.v));
+      const auto hi = static_cast<std::uint64_t>(std::max(e.u, e.v));
+      DIVA_CHECK_MSG(seenEdges.insert((hi << 32) | lo).second,
+                     "graph file line " << lineNo << ": duplicate edge " << e.u << "-"
+                                        << e.v);
       std::string wtok;
       if (ls >> wtok) {
         std::istringstream ws(wtok);
@@ -535,7 +551,14 @@ GraphSpec loadGraphFile(const std::string& path) {
   DIVA_CHECK_MSG(in.good(), "cannot open graph file '" << path << "'");
   std::ostringstream text;
   text << in.rdbuf();
-  return parseGraph(text.str());
+  // Parser errors carry line numbers but not the file name (parseGraph
+  // also serves in-memory text); add the path so a failing multi-file
+  // experiment names its culprit.
+  try {
+    return parseGraph(text.str());
+  } catch (const support::CheckError& e) {
+    throw support::CheckError(path + ": " + e.what());
+  }
 }
 
 std::string formatGraph(const GraphSpec& spec) {

@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 namespace diva::net {
 
 namespace {
@@ -25,6 +27,9 @@ Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
     linkHopLatencyUs_[static_cast<std::size_t>(l)] =
         topology.linkLatency(l) * cost_.hopLatencyUs;
   }
+  linkAlive_.assign(linkFreeAt_.size(), 1);
+  nodeAlive_.assign(numNodes_, 1);
+  liveNodes_ = static_cast<int>(numNodes_);
   // The library protocol channels exist on every machine; size for them up
   // front so the common dispatch never grows mid-run.
   handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
@@ -109,6 +114,10 @@ sim::Time Network::postInternal(Message&& msg) {
 
 void Network::hop(Flight* f) {
   const Hop& h = f->path[f->idx];
+  if (!linkAlive_[static_cast<std::size_t>(h.link)]) [[unlikely]] {
+    rerouteOrPark(f);
+    return;
+  }
   sim::Time& linkFree = linkFreeAt_[h.link];
 #if defined(__GNUC__) || defined(__clang__)
   // The next hop event fires microseconds of simulated time later but
@@ -145,6 +154,125 @@ void Network::hop(Flight* f) {
     ++f->idx;
     f->headReady = start + linkHopLatencyUs_[h.link];
     engine_->scheduleAt(f->headReady, [this, f] { hop(f); });
+  }
+}
+
+int Network::linkSlotToward(NodeId from, NodeId to) const {
+  if (from < 0 || static_cast<std::size_t>(from) >= numNodes_) return -1;
+  const int deg = topo_->degree();
+  for (int dir = 0; dir < deg; ++dir)
+    if (topo_->neighbor(from, dir) == to) return topo_->linkIndex(from, dir);
+  return -1;
+}
+
+bool Network::linkBetweenUp(NodeId u, NodeId v) const {
+  const int slot = linkSlotToward(u, v);
+  return slot >= 0 && linkAlive_[static_cast<std::size_t>(slot)] != 0;
+}
+
+void Network::setNodeUp(NodeId n, bool up) {
+  DIVA_CHECK(n >= 0 && static_cast<std::size_t>(n) < numNodes_);
+  const std::uint8_t want = up ? 1 : 0;
+  if (nodeAlive_[static_cast<std::size_t>(n)] == want) return;
+  nodeAlive_[static_cast<std::size_t>(n)] = want;
+  liveNodes_ += up ? 1 : -1;
+  DIVA_CHECK_MSG(liveNodes_ > 0, "crashing node " << n << " would kill the whole machine");
+  for (const LivenessListener& fn : livenessListeners_)
+    if (fn) fn(n, up);
+}
+
+void Network::setLinkUp(NodeId u, NodeId v, bool up) {
+  const int uv = linkSlotToward(u, v);
+  const int vu = linkSlotToward(v, u);
+  DIVA_CHECK_MSG(uv >= 0 && vu >= 0,
+                 "setLinkUp: nodes " << u << " and " << v << " are not adjacent");
+  const std::uint8_t want = up ? 1 : 0;
+  if (linkAlive_[static_cast<std::size_t>(uv)] == want &&
+      linkAlive_[static_cast<std::size_t>(vu)] == want)
+    return;
+  linkAlive_[static_cast<std::size_t>(uv)] = want;
+  linkAlive_[static_cast<std::size_t>(vu)] = want;
+  if (up) retryParked();
+}
+
+void Network::degradeLink(NodeId u, NodeId v, double weightMul, double latencyMul) {
+  DIVA_CHECK_MSG(weightMul > 0.0 && latencyMul > 0.0,
+                 "degradeLink: multipliers must be positive");
+  const int uv = linkSlotToward(u, v);
+  const int vu = linkSlotToward(v, u);
+  DIVA_CHECK_MSG(uv >= 0 && vu >= 0,
+                 "degradeLink: nodes " << u << " and " << v << " are not adjacent");
+  for (const int slot : {uv, vu}) {
+    linkUsPerByte_[static_cast<std::size_t>(slot)] =
+        topo_->linkWeight(slot) / cost_.bytesPerUs * weightMul;
+    linkHopLatencyUs_[static_cast<std::size_t>(slot)] =
+        topo_->linkLatency(slot) * cost_.hopLatencyUs * latencyMul;
+  }
+}
+
+int Network::addLivenessListener(LivenessListener fn) {
+  livenessListeners_.push_back(std::move(fn));
+  return static_cast<int>(livenessListeners_.size()) - 1;
+}
+
+void Network::removeLivenessListener(int token) {
+  DIVA_CHECK(token >= 0 && static_cast<std::size_t>(token) < livenessListeners_.size());
+  livenessListeners_[static_cast<std::size_t>(token)] = nullptr;
+}
+
+void Network::rerouteOrPark(Flight* f) {
+  // BFS from the flight's current node over live links only, expanding
+  // neighbor slots in direction order — fully deterministic. O(P·degree)
+  // per reroute, which only ever runs while links are down.
+  const NodeId cur = flightAt(f);
+  const NodeId dst = f->msg.dst;
+  const int deg = topo_->degree();
+  bfsPrevNode_.assign(numNodes_, -1);
+  bfsPrevLink_.assign(numNodes_, -1);
+  bfsQueue_.clear();
+  bfsPrevNode_[static_cast<std::size_t>(cur)] = cur;
+  bfsQueue_.push_back(cur);
+  bool found = false;
+  for (std::size_t head = 0; head < bfsQueue_.size() && !found; ++head) {
+    const NodeId n = bfsQueue_[head];
+    for (int dir = 0; dir < deg && !found; ++dir) {
+      const NodeId nb = topo_->neighbor(n, dir);
+      if (nb < 0 || bfsPrevNode_[static_cast<std::size_t>(nb)] != -1) continue;
+      const int link = topo_->linkIndex(n, dir);
+      if (!linkAlive_[static_cast<std::size_t>(link)]) continue;
+      bfsPrevNode_[static_cast<std::size_t>(nb)] = n;
+      bfsPrevLink_[static_cast<std::size_t>(nb)] = link;
+      bfsQueue_.push_back(nb);
+      found = nb == dst;
+    }
+  }
+  if (!found) {
+    // No live path: park. Lossless semantics — the flight resumes from
+    // this exact node when a heal reconnects it (a plan that partitions
+    // the machine forever simply strands the messages that need the cut).
+    ++parkedFlights_;
+    limbo_.push_back(f);
+    return;
+  }
+  // Rewrite the rest of the route in place: keep the hops already
+  // crossed (they position `cur`), splice the detour in reverse from dst.
+  ++reroutedFlights_;
+  f->path.truncate(f->idx);
+  const std::size_t spliceAt = f->path.size();
+  for (NodeId n = dst; n != cur; n = bfsPrevNode_[static_cast<std::size_t>(n)])
+    f->path.push_back(Hop{bfsPrevLink_[static_cast<std::size_t>(n)], n});
+  std::reverse(f->path.begin() + spliceAt, f->path.end());
+  hop(f);  // the spliced next link is live; link state is static within an event
+}
+
+void Network::retryParked() {
+  if (limbo_.empty()) return;
+  std::vector<Flight*> parked;
+  parked.swap(limbo_);
+  const sim::Time now = engine_->now();
+  for (Flight* f : parked) {
+    f->headReady = std::max(f->headReady, now);
+    rerouteOrPark(f);  // re-parks into limbo_ when still unreachable
   }
 }
 

@@ -105,6 +105,47 @@ class Network {
   /// Total messages injected (diagnostics).
   std::uint64_t messagesSent() const { return messagesSent_; }
 
+  // --- liveness & faults (cold path; see docs/faults.md) -------------------
+  //
+  // Fault model: a crashed node loses its *application* state — the
+  // strategies scrub its caches and directories via liveness listeners —
+  // but its router and protocol agent keep running (the GCel's wormhole
+  // routers are separate from the T805 CPUs), so in-flight protocol
+  // exchanges always complete and only *link* state affects routing. A
+  // flight that reaches a dead link detours over live links (deterministic
+  // BFS, neighbor slots in direction order); with no live path it parks
+  // and retries when a link heals — never silently dropped. Everything
+  // here is branch-guarded: fault-free runs schedule zero extra events and
+  // stay bit-identical.
+
+  bool nodeUp(NodeId n) const { return nodeAlive_[static_cast<std::size_t>(n)] != 0; }
+  /// Liveness of the directed link u→v; false when not adjacent.
+  bool linkBetweenUp(NodeId u, NodeId v) const;
+  int numLiveNodes() const { return liveNodes_; }
+
+  /// Crash (`up == false`) or recover a node, notifying liveness
+  /// listeners. Idempotent: re-declaring the current state is a no-op.
+  void setNodeUp(NodeId n, bool up);
+
+  /// Fail or heal the undirected link between adjacent nodes u and v —
+  /// both directed slots change together. Healing retries parked flights.
+  void setLinkUp(NodeId u, NodeId v, bool up);
+
+  /// Scale the link's streaming cost and hop latency (both directions) by
+  /// multipliers relative to the *topology's nominal* values, so repeated
+  /// degrades never compound and 1.0/1.0 restores the healthy link.
+  void degradeLink(NodeId u, NodeId v, double weightMul, double latencyMul);
+
+  /// Liveness listeners observe node crash/recover transitions, invoked
+  /// as (node, up) from inside setNodeUp. Returns a removal token.
+  using LivenessListener = std::function<void(NodeId, bool)>;
+  int addLivenessListener(LivenessListener fn);
+  void removeLivenessListener(int token);
+
+  std::uint64_t reroutedFlights() const { return reroutedFlights_; }  ///< detours taken
+  std::uint64_t parkedFlights() const { return parkedFlights_; }      ///< park events
+  std::size_t flightsInLimbo() const { return limbo_.size(); }        ///< parked now
+
   /// Diagnostic tap on message delivery, invoked as (time, dst, channel)
   /// immediately before every handler dispatch / mailbox append. Used by
   /// the determinism regression test to hash the delivery trace; costs
@@ -138,6 +179,15 @@ class Network {
   sim::Time postInternal(Message&& msg);
   void hop(Flight* f);
   void dispatchOrEnqueue(Message&& msg);
+  /// Directed link slot from → to, or -1 when not adjacent (dir scan —
+  /// cold path only).
+  int linkSlotToward(NodeId from, NodeId to) const;
+  /// Node a flight's head currently sits at (src before the first hop).
+  NodeId flightAt(const Flight* f) const {
+    return f->idx == 0 ? f->msg.src : f->path[f->idx - 1].to;
+  }
+  void rerouteOrPark(Flight* f);
+  void retryParked();
   /// Static (not a member) so the Network is the coroutine's first
   /// parameter: that is what routes the frame into `coroFramePool()`.
   static sim::Task<Message> recvOnSlot(Network& net, std::size_t slot);
@@ -176,6 +226,21 @@ class Network {
   support::FramePool framePool_;
   std::uint64_t messagesSent_ = 0;
   DeliveryProbe deliveryProbe_;  ///< empty unless a trace consumer taps in
+
+  // Fault state. linkAlive_/nodeAlive_ are all-ones on a healthy machine;
+  // the hot path reads linkAlive_ once per hop, everything else below is
+  // touched only by fault events.
+  std::vector<std::uint8_t> linkAlive_;
+  std::vector<std::uint8_t> nodeAlive_;
+  int liveNodes_ = 0;
+  std::vector<Flight*> limbo_;  ///< parked flights awaiting a live path
+  std::vector<LivenessListener> livenessListeners_;  ///< token-indexed; removed = empty
+  std::uint64_t reroutedFlights_ = 0;
+  std::uint64_t parkedFlights_ = 0;
+  // BFS scratch for detours, kept allocated across reroutes.
+  std::vector<NodeId> bfsPrevNode_;
+  std::vector<int> bfsPrevLink_;
+  std::vector<NodeId> bfsQueue_;
 };
 
 }  // namespace diva::net

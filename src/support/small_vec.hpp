@@ -63,6 +63,14 @@ class SmallVec {
     size_ = 0;
   }
 
+  /// Destroys every element past the first `n` (no-op when n ≥ size),
+  /// keeping capacity like `clear()`. Used to rewrite the tail of a
+  /// route in place when a flight detours around a dead link.
+  void truncate(std::size_t n) noexcept {
+    for (std::size_t i = n; i < size_; ++i) data_[i].~T();
+    if (n < size_) size_ = n;
+  }
+
   void reserve(std::size_t cap) {
     if (cap > cap_) grow(cap);
   }

@@ -98,6 +98,48 @@ WorkloadSpec parseScenario(const std::string& text) {
       DIVA_CHECK_MSG(b == 0 || b == 1,
                      "scenario file line " << lineNo << ": 'barrier' must be 0 or 1");
       phase->barrier = b == 1;
+    } else if (word == "fault") {
+      needPhase(word);
+      net::FaultEvent ev;
+      ev.offsetUs = parseValue<double>(ls, lineNo, "fault offset");
+      DIVA_CHECK_MSG(ev.offsetUs >= 0.0, "scenario file line "
+                                             << lineNo << ": fault offset must be >= 0");
+      std::string kind;
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> kind),
+                     "scenario file line " << lineNo << ": 'fault' needs a kind "
+                                              "(node-down/node-up/link-down/link-up/"
+                                              "degrade)");
+      const bool nodeKind = kind == "node-down" || kind == "node-up";
+      const bool linkKind =
+          kind == "link-down" || kind == "link-up" || kind == "degrade";
+      DIVA_CHECK_MSG(nodeKind || linkKind, "scenario file line "
+                                               << lineNo << ": unknown fault kind '"
+                                               << kind << "'");
+      ev.a = parseValue<net::NodeId>(ls, lineNo, "fault endpoint");
+      if (nodeKind) {
+        // `b` stays at its default: node faults have one endpoint, and
+        // leaving it untouched keeps parse(format(spec)) == spec for
+        // specs built in code (which leave `b` defaulted too).
+        ev.kind = kind == "node-down" ? net::FaultEvent::Kind::NodeDown
+                                      : net::FaultEvent::Kind::NodeUp;
+      } else {
+        ev.b = parseValue<net::NodeId>(ls, lineNo, "fault endpoint");
+        if (kind == "degrade") {
+          ev.kind = net::FaultEvent::Kind::Degrade;
+          ev.weightMul = parseValue<double>(ls, lineNo, "degrade weight multiplier");
+          ev.latencyMul = parseValue<double>(ls, lineNo, "degrade latency multiplier");
+          DIVA_CHECK_MSG(ev.weightMul > 0.0 && ev.latencyMul > 0.0,
+                         "scenario file line "
+                             << lineNo << ": degrade multipliers must be positive");
+        } else {
+          ev.kind = kind == "link-down" ? net::FaultEvent::Kind::LinkDown
+                                        : net::FaultEvent::Kind::LinkUp;
+        }
+      }
+      DIVA_CHECK_MSG(ev.a >= 0 && ev.b >= 0,
+                     "scenario file line " << lineNo
+                                           << ": fault endpoints must be >= 0");
+      phase->faults.push_back(ev);
     } else {
       DIVA_CHECK_MSG(false, "scenario file line " << lineNo << ": unknown directive '"
                                                   << word << "'");
@@ -121,7 +163,14 @@ WorkloadSpec loadScenarioFile(const std::string& path) {
   DIVA_CHECK_MSG(in.good(), "cannot open scenario file '" << path << "'");
   std::ostringstream text;
   text << in.rdbuf();
-  return parseScenario(text.str());
+  // Parser errors carry line numbers but not the file name (parseScenario
+  // also serves in-memory text); add the path so a failing multi-file
+  // experiment names its culprit.
+  try {
+    return parseScenario(text.str());
+  } catch (const support::CheckError& e) {
+    throw support::CheckError(path + ": " + e.what());
+  }
 }
 
 std::string formatScenario(const WorkloadSpec& spec) {
@@ -140,6 +189,24 @@ std::string formatScenario(const WorkloadSpec& spec) {
     if (ph.hotShift != 0) out << "hotshift " << ph.hotShift << "\n";
     if (ph.thinkMeanUs != 0.0) out << "think " << ph.thinkMeanUs << "\n";
     if (!ph.barrier) out << "barrier 0\n";
+    for (const net::FaultEvent& ev : ph.faults) {
+      out << "fault " << ev.offsetUs << " " << net::faultKindName(ev.kind);
+      switch (ev.kind) {
+        case net::FaultEvent::Kind::NodeDown:
+        case net::FaultEvent::Kind::NodeUp:
+          out << " " << ev.a;
+          break;
+        case net::FaultEvent::Kind::LinkDown:
+        case net::FaultEvent::Kind::LinkUp:
+          out << " " << ev.a << " " << ev.b;
+          break;
+        case net::FaultEvent::Kind::Degrade:
+          out << " " << ev.a << " " << ev.b << " " << ev.weightMul << " "
+              << ev.latencyMul;
+          break;
+      }
+      out << "\n";
+    }
   }
   return out.str();
 }

@@ -29,6 +29,17 @@ namespace diva::workload {
 //   hotshift <objects>     (popularity-ranking rotation — hotspot drift)
 //   think <meanUs>         (mean think time, uniform in [0, 2·mean))
 //   barrier <0|1>          (synchronize processors at phase end; default 1)
+//   fault <offsetUs> <kind> <args...>
+//                          (inject a fault `offsetUs` µs after the phase
+//                           starts — docs/faults.md. Kinds:
+//                             node-down <p>              crash processor p
+//                             node-up <p>                recover processor p
+//                             link-down <u> <v>          sever link u—v
+//                             link-up <u> <v>            restore link u—v
+//                             degrade <u> <v> <wM> <lM>  multiply u—v's
+//                                      bandwidth cost by wM, latency by lM
+//                           Repeatable; endpoints are range-checked against
+//                           the machine when the scenario runs.)
 //
 // Phase keys before the first `phase` line are errors, like `edge` before
 // `nodes` in the graph format.

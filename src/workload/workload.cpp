@@ -65,6 +65,16 @@ void WorkloadSpec::validate() const {
                                                   << "': hotShift must be >= 0");
     DIVA_CHECK_MSG(ph.thinkMeanUs >= 0.0, "workload '" << name << "' phase '" << ph.name
                                                        << "': think time must be >= 0");
+    for (const net::FaultEvent& ev : ph.faults) {
+      DIVA_CHECK_MSG(ev.offsetUs >= 0.0, "workload '" << name << "' phase '" << ph.name
+                                                      << "': fault offset must be >= 0");
+      DIVA_CHECK_MSG(ev.a >= 0 && ev.b >= 0,
+                     "workload '" << name << "' phase '" << ph.name
+                                  << "': fault endpoints must be >= 0");
+      DIVA_CHECK_MSG(ev.weightMul > 0.0 && ev.latencyMul > 0.0,
+                     "workload '" << name << "' phase '" << ph.name
+                                  << "': degrade multipliers must be positive");
+    }
   }
 }
 
@@ -112,9 +122,22 @@ int ZipfSampler::operator()(support::SplitMix64& rng) const {
 
 namespace {
 
+/// Availability retry policy (docs/faults.md): an operation issued while
+/// its processor is crashed backs off and retries, then fails. The
+/// budget (10 ms) comfortably covers the heal-within-phase churn the
+/// committed scenarios script; ops during longer outages count as
+/// failed, which is exactly what availability measures.
+constexpr double kRetryBackoffUs = 500.0;
+constexpr int kMaxOpRetries = 20;
+
 /// One processor's accesses for one phase. The RNG is the per-(phase,
 /// processor) split stream; everything else is shared driver state that
 /// outlives the phase's engine drain.
+///
+/// Crash handling: every RNG draw happens unconditionally BEFORE the
+/// liveness check, so a faulted run consumes the access stream exactly
+/// like a healthy one — crash timing can never shift which objects later
+/// rounds touch, and the fault-free path is untouched.
 sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
                       const ZipfSampler& zipf, const std::vector<VarId>& objects,
                       std::uint64_t objectBytes, support::SplitMix64 rng) {
@@ -124,7 +147,23 @@ sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
       co_await m.net.compute(self, rng.uniform(0.0, 2.0 * ph.thinkMeanUs));
     const int rank = zipf(rng);
     const VarId x = objects[static_cast<std::size_t>((rank + ph.hotShift) % n)];
-    if (rng.uniform() < ph.readFraction) {
+    const bool isRead = rng.uniform() < ph.readFraction;
+    if (!m.net.nodeUp(self)) [[unlikely]] {
+      bool recovered = false;
+      for (int r = 0; r < kMaxOpRetries; ++r) {
+        ++m.stats.ops.retriedOps;
+        co_await m.engine.delay(kRetryBackoffUs);
+        if (m.net.nodeUp(self)) {
+          recovered = true;
+          break;
+        }
+      }
+      if (!recovered) {
+        ++m.stats.ops.failedOps;
+        continue;
+      }
+    }
+    if (isRead) {
       (void)co_await rt.read(self, x);
     } else {
       // Writers serialize through the object's lock: concurrent
@@ -147,6 +186,19 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   const int procs = m.numProcs();
   const int numPhases = static_cast<int>(spec.phases.size());
   m.stats.ensurePhases(numPhases);
+
+  // Fault endpoints can only be range-checked against the actual machine
+  // (spec.procs is a suggestion); fail before anything is scheduled.
+  bool faulted = false;
+  for (const PhaseSpec& ph : spec.phases) {
+    for (const net::FaultEvent& ev : ph.faults) {
+      faulted = true;
+      DIVA_CHECK_MSG(ev.a < procs && ev.b < procs,
+                     "workload '" << spec.name << "' phase '" << ph.name << "': fault "
+                                  << net::faultKindName(ev.kind) << " endpoint out of "
+                                     "range for a " << procs << "-processor machine");
+    }
+  }
 
   const support::SplitMix64 master(spec.seed);
 
@@ -175,12 +227,18 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
 
   const sim::Time startTime = m.engine.now();
   const std::uint64_t sentBefore = m.net.messagesSent();
+  const std::uint64_t reroutedBefore = m.net.reroutedFlights();
+  const std::uint64_t parkedBefore = m.net.parkedFlights();
 
   for (int p = 0; p < numPhases; ++p) {
     const PhaseSpec& ph = spec.phases[static_cast<std::size_t>(p)];
     if (p > 0) m.stats.setPhase(p, m.engine.now());
     const Stats::Counters opsBefore = m.stats.ops;
     const std::uint64_t phaseSentBefore = m.net.messagesSent();
+
+    // Fault offsets are relative to the phase start; an empty plan
+    // schedules nothing, so fault-free runs are bit-identical.
+    net::scheduleFaultPlan(m.engine, m.net, ph.faults, m.engine.now());
 
     const ZipfSampler zipf(spec.numObjects, ph.zipfS);
     for (NodeId node = 0; node < procs; ++node) {
@@ -205,6 +263,10 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
     pr.writes = m.stats.ops.writes - opsBefore.writes;
     pr.invalidations = m.stats.ops.invalidations - opsBefore.invalidations;
     pr.locks = m.stats.ops.locks - opsBefore.locks;
+    pr.failedOps = m.stats.ops.failedOps - opsBefore.failedOps;
+    pr.retriedOps = m.stats.ops.retriedOps - opsBefore.retriedOps;
+    pr.recoveryMessages = m.stats.ops.recoveryMessages - opsBefore.recoveryMessages;
+    pr.recoveryBytes = m.stats.ops.recoveryBytes - opsBefore.recoveryBytes;
     report.phases.push_back(std::move(pr));
   }
 
@@ -219,6 +281,26 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   // may peak in different phases).
   report.congestionMessages = m.stats.links.congestionMessages();
   report.congestionBytes = m.stats.links.congestionBytes();
+
+  report.faulted = faulted;
+  report.servedOps = m.stats.ops.reads + m.stats.ops.writes;
+  report.failedOps = m.stats.ops.failedOps;
+  report.retriedOps = m.stats.ops.retriedOps;
+  const std::uint64_t attempted = report.servedOps + report.failedOps;
+  report.availability =
+      attempted ? static_cast<double>(report.servedOps) / static_cast<double>(attempted)
+                : 1.0;
+  report.recoveryMessages = m.stats.ops.recoveryMessages;
+  report.recoveryBytes = m.stats.ops.recoveryBytes;
+  report.repairedVars = m.stats.ops.repairedVars;
+  report.reroutedFlights = m.net.reroutedFlights() - reroutedBefore;
+  report.parkedFlights = m.net.parkedFlights() - parkedBefore;
+
+  // A faulted run must end with every object intact: nothing lost,
+  // nothing dually owned, no repair still parked (docs/faults.md).
+  // Fault-free runs skip the sweep — it is O(objects) and the healthy
+  // invariants are already pinned by the strategy test suites.
+  if (faulted) rt.checkAllInvariants();
   return report;
 }
 
@@ -251,6 +333,16 @@ std::string formatReport(const WorkloadReport& r) {
             std::to_string(r.congestionMessages), kb(r.congestionBytes), "", "", "", "",
             ""});
   t.print(out);
+  // Availability/recovery section only on faulted runs — a fault-free
+  // report renders byte-identically to earlier versions.
+  if (r.faulted) {
+    out << "availability " << support::fmt(r.availability, 4) << " · served "
+        << r.servedOps << " · failed " << r.failedOps << " · retried " << r.retriedOps
+        << "\n";
+    out << "recovery " << r.recoveryMessages << " msgs · " << kb(r.recoveryBytes)
+        << " KB · " << r.repairedVars << " vars repaired · " << r.reroutedFlights
+        << " flights rerouted · " << r.parkedFlights << " parked\n";
+  }
   return out.str();
 }
 
@@ -280,6 +372,24 @@ std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
   t.addRow({"max-link congestion KB", kb(a.congestionBytes), kb(b.congestionBytes),
             ratio(static_cast<double>(a.congestionBytes),
                   static_cast<double>(b.congestionBytes))});
+  if (a.faulted || b.faulted) {
+    t.addRow({"availability", support::fmt(a.availability, 4),
+              support::fmt(b.availability, 4),
+              ratio(a.availability, b.availability)});
+    t.addRow({"failed ops", std::to_string(a.failedOps), std::to_string(b.failedOps),
+              ratio(static_cast<double>(a.failedOps), static_cast<double>(b.failedOps))});
+    t.addRow({"recovery messages", std::to_string(a.recoveryMessages),
+              std::to_string(b.recoveryMessages),
+              ratio(static_cast<double>(a.recoveryMessages),
+                    static_cast<double>(b.recoveryMessages))});
+    t.addRow({"recovery KB", kb(a.recoveryBytes), kb(b.recoveryBytes),
+              ratio(static_cast<double>(a.recoveryBytes),
+                    static_cast<double>(b.recoveryBytes))});
+    t.addRow({"vars repaired", std::to_string(a.repairedVars),
+              std::to_string(b.repairedVars),
+              ratio(static_cast<double>(a.repairedVars),
+                    static_cast<double>(b.repairedVars))});
+  }
   t.print(out);
   return out.str();
 }

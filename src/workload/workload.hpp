@@ -6,6 +6,7 @@
 
 #include "diva/machine.hpp"
 #include "diva/runtime.hpp"
+#include "net/fault.hpp"
 #include "support/rng.hpp"
 
 namespace diva::workload {
@@ -28,6 +29,12 @@ struct PhaseSpec {
   int hotShift = 0;           ///< rotation of the popularity ranking
   double thinkMeanUs = 0.0;   ///< mean think time between accesses
   bool barrier = true;        ///< processors synchronize at phase end
+  /// Faults injected during this phase, offsets relative to phase start
+  /// (docs/faults.md). A crashed processor stops issuing operations
+  /// (retry, then fail — availability accounting) until it recovers;
+  /// phases with faults leave all RNG draws untouched, so the fault-free
+  /// access stream is bit-identical.
+  net::FaultPlan faults;
 
   bool operator==(const PhaseSpec&) const = default;
 };
@@ -101,6 +108,11 @@ struct WorkloadReport {
     std::uint64_t writes = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t locks = 0;
+    // Fault/repair accounting (phases without faults report zeros).
+    std::uint64_t failedOps = 0;
+    std::uint64_t retriedOps = 0;
+    std::uint64_t recoveryMessages = 0;
+    std::uint64_t recoveryBytes = 0;
   };
 
   std::string workload;
@@ -114,6 +126,20 @@ struct WorkloadReport {
   std::uint64_t linkBytes = 0;
   std::uint64_t congestionMessages = 0;  ///< max over links, all phases summed
   std::uint64_t congestionBytes = 0;
+  /// Availability & recovery (docs/faults.md). `faulted` is true iff the
+  /// spec injected faults — reports of fault-free runs render exactly as
+  /// before. availability = served / (served + failed), 1.0 when no op
+  /// ever failed.
+  bool faulted = false;
+  std::uint64_t servedOps = 0;
+  std::uint64_t failedOps = 0;
+  std::uint64_t retriedOps = 0;
+  double availability = 1.0;
+  std::uint64_t recoveryMessages = 0;
+  std::uint64_t recoveryBytes = 0;
+  std::uint64_t repairedVars = 0;
+  std::uint64_t reroutedFlights = 0;
+  std::uint64_t parkedFlights = 0;
 };
 
 /// Run `spec` on an existing machine/runtime. Creates the object

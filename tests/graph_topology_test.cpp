@@ -291,6 +291,44 @@ TEST(GraphFile, ParsesAndRoundTrips) {
   EXPECT_THROW((void)net::loadGraphFile("/nonexistent/graph.txt"), support::CheckError);
 }
 
+TEST(GraphFile, StructuralErrorsCarryLineNumbers) {
+  // Self-loops, duplicate and out-of-range edges are rejected at parse
+  // time naming the offending line — not later by GraphTopology with no
+  // file context. Round-trip of a valid graph is unaffected.
+  auto expectThrowContaining = [](const std::string& text, const std::string& needle) {
+    try {
+      (void)net::parseGraph(text);
+      FAIL() << "expected CheckError for: " << text;
+    } catch (const support::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  expectThrowContaining("nodes 3\nedge 1 1\n", "line 2: self-loop at node 1");
+  expectThrowContaining("nodes 3\nedge 0 1\nedge 1 0\n", "line 3: duplicate edge 1-0");
+  expectThrowContaining("nodes 3\nedge 0 1\n\nedge 0 1 2.0\n",
+                        "line 4: duplicate edge 0-1");
+  expectThrowContaining("nodes 3\nedge 0 3\n", "line 2: edge 0-3 out of range");
+  const GraphSpec g = net::parseGraph("nodes 3\nedge 0 1\nedge 1 2\nedge 2 0\n");
+  EXPECT_EQ(net::parseGraph(net::formatGraph(g)), g);
+}
+
+TEST(GraphFile, LoadErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "bad_selfloop.graph";
+  {
+    std::ofstream out(path);
+    out << "nodes 2\nedge 1 1\n";
+  }
+  try {
+    (void)net::loadGraphFile(path);
+    FAIL() << "expected CheckError";
+  } catch (const support::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Decomposition on non-uniform partitions
 // ---------------------------------------------------------------------------

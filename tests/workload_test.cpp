@@ -119,7 +119,7 @@ TEST(Zipf, RejectsBadParameters) {
   WorkloadSpec spec;
   spec.numObjects = 4;
   spec.phases.push_back(PhaseSpec{"p", 1, 1.0, ZipfSampler::kMaxExponent + 1.0, 0, 0.0,
-                                  true});
+                                  true, {}});
   EXPECT_THROW(spec.validate(), support::CheckError);
   spec.phases[0].zipfS = ZipfSampler::kMaxExponent;
   spec.validate();
@@ -163,9 +163,9 @@ WorkloadSpec sampleSpec() {
   spec.cacheBytes = 8192;
   spec.seed = 1234567;
   spec.procs = 16;
-  spec.phases.push_back(PhaseSpec{"warm", 3, 1.0, 0.0, 0, 0.0, true});
-  spec.phases.push_back(PhaseSpec{"hot", 9, 0.75, 1.0, 0, 250.0, true});
-  spec.phases.push_back(PhaseSpec{"drift", 7, 0.25, 2.0, 48, 125.5, false});
+  spec.phases.push_back(PhaseSpec{"warm", 3, 1.0, 0.0, 0, 0.0, true, {}});
+  spec.phases.push_back(PhaseSpec{"hot", 9, 0.75, 1.0, 0, 250.0, true, {}});
+  spec.phases.push_back(PhaseSpec{"drift", 7, 0.25, 2.0, 48, 125.5, false, {}});
   return spec;
 }
 
@@ -264,8 +264,8 @@ WorkloadSpec hotspotSpec() {
   spec.numObjects = 64;
   spec.objectBytes = 512;
   spec.seed = 42;
-  spec.phases.push_back(PhaseSpec{"warm", 2, 1.0, 0.0, 0, 0.0, true});
-  spec.phases.push_back(PhaseSpec{"hot", 12, 0.9, 1.0, 0, 100.0, true});
+  spec.phases.push_back(PhaseSpec{"warm", 2, 1.0, 0.0, 0, 0.0, true, {}});
+  spec.phases.push_back(PhaseSpec{"hot", 12, 0.9, 1.0, 0, 100.0, true, {}});
   return spec;
 }
 
@@ -310,7 +310,7 @@ TEST(WorkloadDriver, GrowsPastDefaultPhaseBudget) {
   for (int p = 0; p < Stats::kMaxPhases + 4; ++p) {
     std::string name = "p";  // two-step append sidesteps a GCC 12 -Wrestrict false positive
     name += std::to_string(p);
-    spec.phases.push_back(PhaseSpec{std::move(name), 1, 0.5, 0.0, 0, 0.0, true});
+    spec.phases.push_back(PhaseSpec{std::move(name), 1, 0.5, 0.0, 0, 0.0, true, {}});
   }
   const workload::WorkloadReport r =
       workload::runOn(net::TopologySpec::mesh2d(2, 2), RuntimeConfig::fixedHome(), spec);
@@ -324,7 +324,7 @@ TEST(WorkloadDriver, ValidatesSpec) {
   EXPECT_THROW(workload::runOn(net::TopologySpec::mesh2d(2, 2),
                                RuntimeConfig::fixedHome(), spec),
                support::CheckError);
-  spec.phases.push_back(PhaseSpec{"p", 1, 2.0, 0.0, 0, 0.0, true});  // bad fraction
+  spec.phases.push_back(PhaseSpec{"p", 1, 2.0, 0.0, 0, 0.0, true, {}});  // bad fraction
   EXPECT_THROW(spec.validate(), support::CheckError);
 }
 

@@ -28,6 +28,10 @@ def main() -> int:
         # Full-protocol-stack churn (synthetic-workload subsystem over the
         # access tree, locks and barriers): ~1.8M msgs/s on the dev box.
         "workload_messages_per_sec": 100_000,
+        # Same workload under link flaps and processor crashes (detour
+        # BFS + crash repair on the measured path); runs within a small
+        # factor of the fault-free series on the dev box.
+        "workload_churn_messages_per_sec": 50_000,
     }
     with open(path) as f:
         doc = json.load(f)

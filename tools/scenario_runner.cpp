@@ -14,6 +14,10 @@
 //               ignored for graph:<file> shapes, whose size is the file's)
 //   --arity N   access-tree arity ℓ ∈ {2, 4, 16}   (default 4)
 //   --leaf K    access-tree leaf cluster size      (default 1)
+//   --min-availability F
+//               exit 1 unless BOTH strategies serve at least fraction F of
+//               operations (faulted scenarios; docs/faults.md) — the CI
+//               gate for committed churn scenarios
 // Shape comes from DIVA_TOPOLOGY (mesh2d | torus2d | hypercube | ring |
 // star | random-regular | graph:<path>; default mesh2d).
 //
@@ -37,6 +41,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--procs N] [--arity N] [--leaf K]\n"
+               "       [--min-availability F]\n"
                "       (machine shape from DIVA_TOPOLOGY; see file header)\n",
                argv0);
   return 2;
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   int procsFlag = 0;
   int arity = 4;
   int leaf = 1;
+  double minAvailability = -1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto intFlag = [&](int& out) {
@@ -71,6 +77,10 @@ int main(int argc, char** argv) {
       if (!intFlag(arity)) return usage(argv[0]);
     } else if (arg == "--leaf") {
       if (!intFlag(leaf)) return usage(argv[0]);
+    } else if (arg == "--min-availability") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      minAvailability = std::atof(argv[++i]);
+      if (minAvailability < 0.0 || minAvailability > 1.0) return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (path.empty()) {
@@ -104,6 +114,19 @@ int main(int argc, char** argv) {
     std::fputs(workload::formatReport(fh).c_str(), stdout);
     std::fputs("\n", stdout);
     std::fputs(workload::formatComparison(at, fh).c_str(), stdout);
+
+    if (minAvailability >= 0.0) {
+      bool ok = true;
+      for (const workload::WorkloadReport* r : {&at, &fh}) {
+        if (r->availability < minAvailability) {
+          std::fprintf(stderr,
+                       "scenario_runner: %s availability %.4f below floor %.4f\n",
+                       r->strategy.c_str(), r->availability, minAvailability);
+          ok = false;
+        }
+      }
+      if (!ok) return 1;
+    }
     return 0;
   } catch (const support::CheckError& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());
