@@ -34,6 +34,7 @@ int main() {
   support::Table table({"block size", "strategy", "congestion ratio", "comm time ratio",
                         "congestion [KB]", "comm time [ms]"});
 
+  double lastAtOverFh = 0.0;
   for (const int block : blocks) {
     mm::Config cfg;
     cfg.blockInts = block;
@@ -44,6 +45,7 @@ int main() {
                   support::fmt(ho.congestionBytes / 1e3, 0),
                   support::fmt(ho.timeUs / 1e3, 0)});
 
+    double atTimeUs = 0.0;
     for (const auto& spec : {accessTree(4), fixedHome()}) {
       Machine m(topo, cm);
       Runtime rt(m, spec.config.on(topo));
@@ -54,8 +56,15 @@ int main() {
                     ratioCell(r.timeUs, ho.timeUs),
                     support::fmt(r.congestionBytes / 1e3, 0),
                     support::fmt(r.timeUs / 1e3, 0)});
+      if (spec.config.kind == StrategyKind::AccessTree)
+        atTimeUs = r.timeUs;
+      else
+        lastAtOverFh = atTimeUs / r.timeUs;
     }
   }
   table.print();
+  // Largest-block communication-time ratio, recorded in BENCH_engine.json
+  // next to the fig04 scaling point (paper: access tree ≈ 2× faster).
+  printDatapoint("fig03_matmul_blocksize", topo, lastAtOverFh);
   return 0;
 }

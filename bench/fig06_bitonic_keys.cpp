@@ -30,6 +30,7 @@ int main() {
   support::Table table({"keys/proc", "strategy", "congestion ratio", "exec time ratio",
                         "congestion [KB]", "time [s]"});
 
+  double lastAtOverFh = 0.0;
   for (const int keys : keyCounts) {
     bs::Config cfg;
     cfg.keysPerProc = keys;
@@ -40,6 +41,7 @@ int main() {
                   support::fmt(ho.congestionBytes / 1e3, 0),
                   support::fmt(ho.timeUs / 1e6, 2)});
 
+    double atTimeUs = 0.0;
     for (const auto& spec : {accessTree(2, 4), fixedHome()}) {
       Machine m(topo);
       Runtime rt(m, spec.config.on(topo));
@@ -50,8 +52,16 @@ int main() {
                     ratioCell(r.timeUs, ho.timeUs),
                     support::fmt(r.congestionBytes / 1e3, 0),
                     support::fmt(r.timeUs / 1e6, 2)});
+      if (spec.config.kind == StrategyKind::AccessTree)
+        atTimeUs = r.timeUs;
+      else
+        lastAtOverFh = atTimeUs / r.timeUs;
     }
   }
   table.print();
+  // Largest-keys execution-time ratio, recorded in BENCH_engine.json next
+  // to the fig07 scaling point (paper: time tracks congestion, access
+  // tree well ahead of fixed home).
+  printDatapoint("fig06_bitonic_keys", topo, lastAtOverFh);
   return 0;
 }

@@ -22,25 +22,37 @@ if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_engine fig04_matmul_scaling \
-  fig07_bitonic_scaling -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_engine fig03_matmul_blocksize \
+  fig04_matmul_scaling fig06_bitonic_keys fig07_bitonic_scaling \
+  scenario_runner -j >/dev/null
 
 GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)
 COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
 
-# Per-figure topology datapoints (the torus leg of the parameterized
-# figure benches): "DATAPOINT <fig> topology=<shape> at_fh_time=<x>"
-# lines, quick sweeps — a couple hundred ms each.
+# Per-figure topology datapoints: "DATAPOINT <fig> topology=<shape>
+# at_fh_time=<x>" lines, quick sweeps — a couple hundred ms each. The
+# scaling figures (4/7) run on the torus leg; the parameter figures (3/6)
+# on the paper's own 16×16 mesh, so their at/fh ratios are directly
+# comparable against the published bars (see docs/benchmarks.md).
 FIG_DATA=$(
   for fig in fig04_matmul_scaling fig07_bitonic_scaling; do
     DIVA_QUICK=1 DIVA_TOPOLOGY=torus2d "$BUILD_DIR/bench/$fig" | grep '^DATAPOINT'
   done
+  for fig in fig03_matmul_blocksize fig06_bitonic_keys; do
+    DIVA_QUICK=1 DIVA_TOPOLOGY=mesh2d "$BUILD_DIR/bench/$fig" | grep '^DATAPOINT'
+  done
 )
+
+# Saturation sweep (docs/serving.md): open-loop Poisson rungs over the
+# committed hotspot scenario, both strategies — "SWEEP rung=..." lines
+# with achieved rate and p99 latency per offered rate.
+SWEEP_DATA=$("$BUILD_DIR/tools/scenario_runner" scenarios/hotspot.scenario \
+  --sweep 2e3:6.4e4:6 | grep '^SWEEP')
 
 BIN="$BUILD_DIR/bench/micro_engine" RAW="$BUILD_DIR/bench_raw.json" \
 OUT="$OUT" LABEL="$LABEL" REPS="$REPS" GIT_SHA="$GIT_SHA" COMPILER="$COMPILER" \
-FIG_DATA="$FIG_DATA" \
+FIG_DATA="$FIG_DATA" SWEEP_DATA="$SWEEP_DATA" \
 python3 - <<'EOF'
 import json, os, resource, subprocess, sys
 
@@ -54,7 +66,7 @@ cmd = [
     bin_path,
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
     "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
-    "|BM_WorkloadZipfChurn|BM_WorkloadChurn",
+    "|BM_WorkloadZipfChurn|BM_WorkloadChurn|BM_WorkloadOpenLoop",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -88,6 +100,22 @@ for line in os.environ.get("FIG_DATA", "").splitlines():
         "at_fh_time": float(fields["at_fh_time"]),
     }
 
+# Saturation-sweep rungs (offered vs achieved req/s + p99 latency per
+# strategy) from the scenario_runner --sweep run over hotspot.scenario.
+sweep = []
+for line in os.environ.get("SWEEP_DATA", "").splitlines():
+    parts = line.split()
+    if not parts or parts[0] != "SWEEP":
+        continue
+    fields = dict(kv.split("=", 1) for kv in parts[1:])
+    sweep.append({
+        "offered_per_sec": float(fields["offered"]),
+        "access_tree": {"achieved_per_sec": float(fields["at_achieved"]),
+                        "p99_us": float(fields["at_p99_us"])},
+        "fixed_home": {"achieved_per_sec": float(fields["fh_achieved"]),
+                       "p99_us": float(fields["fh_p99_us"])},
+    })
+
 mesh = bench("BM_NetworkMessageChurn")
 entry = {
     "events_per_sec": round(rate("BM_EngineEventChurn")),
@@ -101,6 +129,11 @@ entry = {
     # crash/recover: detour BFS, crash repair and availability retries on
     # the measured path (docs/faults.md).
     "workload_churn_messages_per_sec": round(rate("BM_WorkloadChurn")),
+    # Open-loop serving churn (scheduled Poisson arrivals below the knee,
+    # latency histogram on the hot path — docs/serving.md); the p99 is
+    # simulated µs, a model property pinned against drift, not host time.
+    "workload_openloop_messages_per_sec": round(rate("BM_WorkloadOpenLoop")),
+    "workload_openloop_p99_us": round(bench("BM_WorkloadOpenLoop")["p99_us"], 2),
     # Derived pipeline metric + event-queue tier occupancy, from the mesh
     # churn's benchmark counters (see docs/benchmarks.md).
     "events_per_message": round(mesh["events_per_message"], 2),
@@ -118,8 +151,13 @@ entry = {
         "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
         "workload_churn_messages_per_sec":
             "mesh2d-8x8 zipf-churn + link flaps + node crash (access tree)",
+        "workload_openloop_messages_per_sec":
+            "mesh2d-8x8 open-loop poisson 2k req/s (access tree)",
     },
     "figures": figures,
+    # Offered-rate ladder over scenarios/hotspot.scenario, both
+    # strategies (scenario_runner --sweep; docs/serving.md).
+    "saturation_sweep": sweep,
     "git_sha": os.environ.get("GIT_SHA", "unknown"),
     "compiler": os.environ.get("COMPILER", "unknown"),
 }

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace diva::serve {
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival schedules (docs/serving.md).
+//
+// Closed-loop drivers issue the next request when the previous one
+// completes, so a slow system quietly slows its own offered load down.
+// Open-loop serving inverts that: requests arrive on their own schedule
+// whether or not the system keeps up, which is what exposes queueing
+// delay and the saturation knee. All injection times are generated UP
+// FRONT from split RNG streams — a pure function of (spec, seed, phase,
+// node) — so the offered load is bit-deterministic and completely
+// independent of service progress.
+// ---------------------------------------------------------------------------
+
+/// One phase's arrival process. `ratePerSec` is the AGGREGATE offered
+/// load across the whole machine (requests per simulated second); every
+/// node carries an equal 1/procs share of it.
+struct ArrivalSpec {
+  enum class Kind : std::uint8_t {
+    None,     ///< closed loop (the pre-serve driver behavior)
+    Fixed,    ///< deterministic rate: aggregate arrivals exactly 1/rate apart
+    Poisson,  ///< exponential inter-arrivals via inverse CDF (portableLog)
+    Burst,    ///< on/off-modulated Poisson: rate during `onUs`, silence for `offUs`
+  };
+
+  Kind kind = Kind::None;
+  double ratePerSec = 0.0;  ///< aggregate offered load (requests / simulated s)
+  double burstOnUs = 0.0;   ///< Burst: length of each active window
+  double burstOffUs = 0.0;  ///< Burst: length of each silent window
+
+  bool open() const { return kind != Kind::None; }
+  /// Throws CheckError on nonsensical parameters (context names the caller).
+  void validate(const char* context) const;
+
+  bool operator==(const ArrivalSpec&) const = default;
+};
+
+/// Scenario-format token for a kind ("none"/"fixed"/"poisson"/"burst").
+const char* arrivalKindName(ArrivalSpec::Kind kind);
+
+/// Natural logarithm by exponent extraction + a fixed-length atanh series
+/// — nothing but IEEE +,-,*,/ (all correctly rounded), so the result is
+/// bit-identical on every platform and libm. Accurate to ~1 ulp over
+/// (0, 1e300]; requires x > 0 and finite. This is what lets committed
+/// open-loop scenarios with Poisson arrivals carry golden trace hashes.
+double portableLog(double x);
+
+/// The injection times (µs offsets from the phase start, strictly
+/// ascending) of node `node`'s `count` requests under `spec`, on a
+/// `procs`-node machine. Randomized kinds draw from the dedicated
+/// arrival stream of (seed, phase, node) — split off the same master
+/// seed as the workload access streams but under a distinct stream
+/// label, so arrival timing can never correlate with access content.
+std::vector<double> generateArrivals(const ArrivalSpec& spec, int count, int procs,
+                                     std::uint64_t seed, int phase, net::NodeId node);
+
+}  // namespace diva::serve

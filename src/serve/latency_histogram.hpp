@@ -1,0 +1,143 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace diva::serve {
+
+/// Fixed-bucket log-spaced latency histogram.
+///
+/// 2^kSubBits buckets per octave (power of two) over [2^kMinExp,
+/// 2^kMaxExp) µs, plus an underflow and an overflow bucket — all storage
+/// is a flat std::array, so recording is index arithmetic into fixed
+/// memory: zero heap allocation on the hot path (proven by the
+/// counting-allocator harness in tests/alloc_test.cpp), and merging two
+/// histograms is element-wise addition. The bucket index comes straight
+/// from the IEEE exponent and top mantissa bits — no libm call — so
+/// bucketing is bit-deterministic everywhere.
+///
+/// Sub-buckets split each octave linearly (the mantissa is linear), so a
+/// bucket spans 1/8 of its octave — at most 12.5% relative width.
+/// Quantiles report the bucket's UPPER bound: conservative by at most
+/// one bucket width, which is the right direction for SLO gates.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;            ///< 8 sub-buckets per octave
+  static constexpr int kMinExp = -6;            ///< 2^-6 µs ≈ 15.6 ns
+  static constexpr int kMaxExp = 26;            ///< 2^26 µs ≈ 67 s
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = (kMaxExp - kMinExp) * kSub;
+
+  /// Record one latency (µs). Values below the range (including 0 — a
+  /// same-instant completion) land in the underflow bucket, values at or
+  /// above 2^kMaxExp in the overflow bucket; exact min/max/sum are
+  /// tracked alongside so the extremes and the mean stay precise.
+  void record(double us) {
+    ++count_;
+    sum_ += us;
+    if (us < min_) min_ = us;
+    if (us > max_) max_ = us;
+    ++bucket_[indexOf(us)];
+  }
+
+  /// Element-wise merge (per-phase histograms into the run total).
+  void merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    for (std::size_t i = 0; i < bucket_.size(); ++i) bucket_[i] += other.bucket_[i];
+  }
+
+  /// The q-quantile (q ∈ [0, 1]) as the upper bound of the bucket that
+  /// holds the ⌈q·count⌉-th smallest sample. Returns 0 on an empty
+  /// histogram; q = 0 returns the exact minimum and samples that landed
+  /// in the overflow bucket report the exact maximum (both tracked
+  /// precisely), so the tails never silently saturate.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    // ⌈q·count⌉ without libm: integer arithmetic on the scaled target.
+    std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(target) < q * static_cast<double>(count_)) ++target;
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_.size(); ++i) {
+      seen += bucket_[i];
+      if (seen >= target) {
+        const double hi = upperBound(static_cast<int>(i));
+        // Clamp to the exact extremes: the top occupied bucket's bound
+        // can overshoot max_, and overflow samples have no bound at all.
+        return hi > max_ ? max_ : hi;
+      }
+    }
+    return max_;
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t overflowCount() const { return bucket_[bucket_.size() - 1]; }
+  std::uint64_t underflowCount() const { return bucket_[0]; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double sum() const { return sum_; }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+  /// Bucket index of a latency: 0 = underflow, 1..kBuckets = log-spaced
+  /// range buckets, kBuckets+1 = overflow. Exposed for tests.
+  static int indexOf(double us) {
+    if (!(us >= kMinValue())) return 0;  // also catches NaN and negatives
+    if (us >= kMaxValue()) return kBuckets + 1;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(us);
+    const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+    const int sub = static_cast<int>((bits >> (52 - kSubBits)) & (kSub - 1));
+    return (exp - kMinExp) * kSub + sub + 1;
+  }
+
+  /// Exclusive upper bound of a bucket (µs); +exact max for overflow.
+  static double upperBound(int index) {
+    if (index <= 0) return kMinValue();
+    if (index > kBuckets) return 1e308;  // overflow: callers clamp to max()
+    const int exp = (index - 1) / kSub + kMinExp;
+    const int sub = (index - 1) % kSub + 1;
+    return scalb2(exp) * (1.0 + static_cast<double>(sub) / kSub);
+  }
+
+  /// Inclusive lower bound of a bucket (µs).
+  static double lowerBound(int index) {
+    if (index <= 0) return 0.0;
+    if (index > kBuckets) return kMaxValue();
+    const int exp = (index - 1) / kSub + kMinExp;
+    const int sub = (index - 1) % kSub;
+    return scalb2(exp) * (1.0 + static_cast<double>(sub) / kSub);
+  }
+
+  static constexpr double kMinValue() { return scalb2(kMinExp); }
+  static constexpr double kMaxValue() { return scalb2(kMaxExp); }
+
+ private:
+  /// 2^e for the small exponent range we use, without libm.
+  static constexpr double scalb2(int e) {
+    double v = 1.0;
+    for (int i = 0; i < (e < 0 ? -e : e); ++i) v *= 2.0;
+    return e < 0 ? 1.0 / v : v;
+  }
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 1e308;
+  double max_ = -1e308;
+  std::array<std::uint64_t, kBuckets + 2> bucket_{};  ///< [under, range..., over]
+};
+
+}  // namespace diva::serve

@@ -1,5 +1,6 @@
 #include "workload/scenario.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -98,6 +99,39 @@ WorkloadSpec parseScenario(const std::string& text) {
       DIVA_CHECK_MSG(b == 0 || b == 1,
                      "scenario file line " << lineNo << ": 'barrier' must be 0 or 1");
       phase->barrier = b == 1;
+    } else if (word == "arrival") {
+      needPhase(word);
+      std::string kind;
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> kind),
+                     "scenario file line " << lineNo
+                                           << ": 'arrival' needs a kind "
+                                              "(fixed/poisson/burst)");
+      if (kind == "fixed") {
+        phase->arrival.kind = serve::ArrivalSpec::Kind::Fixed;
+      } else if (kind == "poisson") {
+        phase->arrival.kind = serve::ArrivalSpec::Kind::Poisson;
+      } else if (kind == "burst") {
+        phase->arrival.kind = serve::ArrivalSpec::Kind::Burst;
+      } else {
+        DIVA_CHECK_MSG(false, "scenario file line " << lineNo
+                                                    << ": unknown arrival kind '" << kind
+                                                    << "'");
+      }
+      phase->arrival.ratePerSec = parseValue<double>(ls, lineNo, "arrival rate");
+      if (phase->arrival.kind == serve::ArrivalSpec::Kind::Burst) {
+        phase->arrival.burstOnUs = parseValue<double>(ls, lineNo, "burst on-window");
+        phase->arrival.burstOffUs = parseValue<double>(ls, lineNo, "burst off-window");
+      }
+    } else if (word == "deadline") {
+      needPhase(word);
+      phase->deadlineUs = parseValue<double>(ls, lineNo, "deadline");
+    } else if (word == "queue") {
+      needPhase(word);
+      phase->queueLimit = parseValue<int>(ls, lineNo, "queue");
+    } else if (word == "trace") {
+      needPhase(word);
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> phase->tracePath),
+                     "scenario file line " << lineNo << ": 'trace' needs a file path");
     } else if (word == "fault") {
       needPhase(word);
       net::FaultEvent ev;
@@ -167,7 +201,20 @@ WorkloadSpec loadScenarioFile(const std::string& path) {
   // also serves in-memory text); add the path so a failing multi-file
   // experiment names its culprit.
   try {
-    return parseScenario(text.str());
+    WorkloadSpec spec = parseScenario(text.str());
+    // Resolve relative trace paths against the scenario file's directory,
+    // so a committed scenario works no matter the runner's cwd. In-memory
+    // parseScenario text has no anchor and keeps paths as written.
+    const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+    if (!dir.empty()) {
+      for (PhaseSpec& ph : spec.phases) {
+        if (!ph.tracePath.empty() &&
+            std::filesystem::path(ph.tracePath).is_relative()) {
+          ph.tracePath = (dir / ph.tracePath).string();
+        }
+      }
+    }
+    return spec;
   } catch (const support::CheckError& e) {
     throw support::CheckError(path + ": " + e.what());
   }
@@ -189,6 +236,16 @@ std::string formatScenario(const WorkloadSpec& spec) {
     if (ph.hotShift != 0) out << "hotshift " << ph.hotShift << "\n";
     if (ph.thinkMeanUs != 0.0) out << "think " << ph.thinkMeanUs << "\n";
     if (!ph.barrier) out << "barrier 0\n";
+    if (ph.arrival.open()) {
+      out << "arrival " << serve::arrivalKindName(ph.arrival.kind) << " "
+          << ph.arrival.ratePerSec;
+      if (ph.arrival.kind == serve::ArrivalSpec::Kind::Burst)
+        out << " " << ph.arrival.burstOnUs << " " << ph.arrival.burstOffUs;
+      out << "\n";
+    }
+    if (ph.deadlineUs != 0.0) out << "deadline " << ph.deadlineUs << "\n";
+    if (ph.queueLimit != 0) out << "queue " << ph.queueLimit << "\n";
+    if (!ph.tracePath.empty()) out << "trace " << ph.tracePath << "\n";
     for (const net::FaultEvent& ev : ph.faults) {
       out << "fault " << ev.offsetUs << " " << net::faultKindName(ev.kind);
       switch (ev.kind) {

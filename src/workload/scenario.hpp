@@ -40,6 +40,25 @@ namespace diva::workload {
 //                                      bandwidth cost by wM, latency by lM
 //                           Repeatable; endpoints are range-checked against
 //                           the machine when the scenario runs.)
+//   arrival <kind> <rate> [onUs offUs]
+//                          (open-loop arrival process — docs/serving.md.
+//                           Kinds: fixed | poisson | burst; `rate` is the
+//                           aggregate offered load in requests per
+//                           simulated second; burst additionally takes
+//                           the on/off window lengths in µs. Phases with
+//                           an arrival line run open loop: latency is
+//                           measured from the scheduled arrival and
+//                           `think` must stay 0.)
+//   deadline <us>          (SLO deadline — served requests slower than
+//                           this count as late; open-loop phases only)
+//   queue <n>              (per-processor backlog bound — requests with
+//                           more than n newer requests already due are
+//                           shed; open-loop phases only)
+//   trace <path>           (replay a request-trace file, docs/serving.md;
+//                           relative paths resolve against the scenario
+//                           file's directory. The phase's generator keys
+//                           — rounds/reads/zipf/hotshift/think/arrival —
+//                           must stay at their defaults.)
 //
 // Phase keys before the first `phase` line are errors, like `edge` before
 // `nodes` in the graph format.

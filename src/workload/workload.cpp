@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serve/latency_histogram.hpp"
+#include "serve/trace.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 
@@ -74,6 +76,30 @@ void WorkloadSpec::validate() const {
       DIVA_CHECK_MSG(ev.weightMul > 0.0 && ev.latencyMul > 0.0,
                      "workload '" << name << "' phase '" << ph.name
                                   << "': degrade multipliers must be positive");
+    }
+    // Open-loop serving parameters (docs/serving.md).
+    const std::string ctx = "workload '" + name + "' phase '" + ph.name + "'";
+    ph.arrival.validate(ctx.c_str());
+    DIVA_CHECK_MSG(ph.deadlineUs >= 0.0, ctx << ": deadline must be >= 0");
+    DIVA_CHECK_MSG(ph.queueLimit >= 0, ctx << ": queue limit must be >= 0");
+    DIVA_CHECK_MSG(ph.openLoop() || (ph.deadlineUs == 0.0 && ph.queueLimit == 0),
+                   ctx << ": 'deadline'/'queue' only apply to open-loop phases "
+                          "(set an 'arrival' or 'trace')");
+    if (ph.arrival.open()) {
+      // Pacing comes from the arrival schedule; think time would silently
+      // stretch service times and muddy the queueing-delay measurement.
+      DIVA_CHECK_MSG(ph.thinkMeanUs == 0.0,
+                     ctx << ": open-loop phases must not set think time "
+                            "(the arrival schedule is the pacing)");
+    }
+    if (!ph.tracePath.empty()) {
+      DIVA_CHECK_MSG(singleToken(ph.tracePath),
+                     ctx << ": trace path must be one whitespace-free token");
+      DIVA_CHECK_MSG(!ph.arrival.open() && ph.rounds == 1 && ph.readFraction == 1.0 &&
+                         ph.zipfS == 0.0 && ph.hotShift == 0 && ph.thinkMeanUs == 0.0,
+                     ctx << ": trace phases take arrivals and accesses from the trace "
+                            "file — rounds/reads/zipf/hotshift/think/arrival must stay "
+                            "at their defaults");
     }
   }
 }
@@ -178,7 +204,219 @@ sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
   if (ph.barrier) co_await rt.barrier(self);
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop serving (docs/serving.md). Requests arrive on a pre-generated
+// schedule whether or not the system keeps up; each node serves its own
+// arrivals FIFO, and latency is measured from the SCHEDULED arrival
+// instant, so queueing delay behind a slow service is part of every
+// recorded number — the knee this exposes is what closed-loop driving
+// structurally cannot see.
+// ---------------------------------------------------------------------------
+
+/// One node's share of a phase's offered load. For generated arrivals the
+/// content (object, read/write) is drawn from the same per-(phase, node)
+/// access stream as the closed loop; for trace replay the parallel
+/// content arrays pin it.
+struct NodeServePlan {
+  std::vector<double> timesUs;        ///< strictly ascending arrival offsets
+  std::vector<std::uint8_t> isRead;   ///< trace only (parallel to timesUs)
+  std::vector<int> object;            ///< trace only (parallel to timesUs)
+};
+
+struct PhaseServePlan {
+  bool active = false;
+  bool fromTrace = false;
+  double offeredPerSec = 0.0;  ///< nominal aggregate injection rate
+  std::vector<NodeServePlan> nodes;
+};
+
+/// Shared per-phase measurement state. `inFlight` counts requests whose
+/// scheduled instant has passed but which are not yet served or shed —
+/// the machine-wide backlog, sampled at every arrival for the peak.
+struct ServeState {
+  serve::LatencyHistogram hist;
+  std::uint64_t arrived = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t late = 0;
+  int inFlight = 0;
+  int maxInFlight = 0;
+};
+
+/// One processor's open-loop serving of one phase: wait for each
+/// scheduled arrival (or pick it up immediately if already due), shed it
+/// if the backlog bound says so, then perform the access exactly like the
+/// closed-loop driver. RNG draws happen unconditionally before any
+/// shed/liveness decision, so drops can never shift which objects later
+/// requests touch — the same stream-stability rule nodePhase follows.
+sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
+                           const ZipfSampler& zipf, const std::vector<VarId>& objects,
+                           std::uint64_t objectBytes, support::SplitMix64 rng,
+                           const NodeServePlan& plan, sim::Time phaseStart,
+                           ServeState& st) {
+  const int n = static_cast<int>(objects.size());
+  const int count = static_cast<int>(plan.timesUs.size());
+  // Trace plans carry their content in the parallel arrays; generated
+  // plans draw it from the access stream.
+  const bool fromTrace = !plan.object.empty();
+  for (int k = 0; k < count; ++k) {
+    VarId x;
+    bool isRead;
+    if (fromTrace) {
+      x = objects[static_cast<std::size_t>(plan.object[static_cast<std::size_t>(k)])];
+      isRead = plan.isRead[static_cast<std::size_t>(k)] != 0;
+    } else {
+      const int rank = zipf(rng);
+      x = objects[static_cast<std::size_t>((rank + ph.hotShift) % n)];
+      isRead = rng.uniform() < ph.readFraction;
+    }
+    const sim::Time due = phaseStart + plan.timesUs[static_cast<std::size_t>(k)];
+    if (due > m.engine.now()) co_await m.engine.delayUntil(due);
+    if (ph.queueLimit > 0) {
+      // Shed the oldest when the backlog bound is exceeded: more than
+      // `queueLimit` newer requests of this node are already due behind
+      // this one (their arrival instants have passed while it waited).
+      const double nowRel = m.engine.now() - phaseStart;
+      const auto begin = plan.timesUs.begin() + k + 1;
+      const auto firstNotDue = std::upper_bound(begin, plan.timesUs.end(), nowRel);
+      if (static_cast<int>(firstNotDue - begin) > ph.queueLimit) {
+        ++st.dropped;
+        --st.inFlight;
+        continue;
+      }
+    }
+    if (!m.net.nodeUp(self)) [[unlikely]] {
+      bool recovered = false;
+      for (int r = 0; r < kMaxOpRetries; ++r) {
+        ++m.stats.ops.retriedOps;
+        co_await m.engine.delay(kRetryBackoffUs);
+        if (m.net.nodeUp(self)) {
+          recovered = true;
+          break;
+        }
+      }
+      if (!recovered) {
+        // Lost to the outage: a failure for availability accounting AND
+        // a drop for serving accounting (the request was offered and
+        // never served).
+        ++m.stats.ops.failedOps;
+        ++st.dropped;
+        --st.inFlight;
+        continue;
+      }
+    }
+    if (isRead) {
+      (void)co_await rt.read(self, x);
+    } else {
+      co_await rt.lock(self, x);
+      co_await rt.write(self, x, makeRawValue(objectBytes));
+      co_await rt.unlock(self, x);
+    }
+    const double latencyUs = m.engine.now() - due;
+    st.hist.record(latencyUs);
+    ++st.served;
+    if (ph.deadlineUs > 0.0 && latencyUs > ph.deadlineUs) ++st.late;
+    --st.inFlight;
+  }
+  if (ph.barrier) co_await rt.barrier(self);
+}
+
+/// Build the per-node offered-load plans for every open-loop phase of
+/// `spec` on a `procs`-node machine. Pure function of (spec, procs):
+/// generated schedules come from the dedicated arrival streams, trace
+/// schedules from the file (node ids and object ids range-checked here,
+/// before anything is scheduled).
+std::vector<PhaseServePlan> buildServePlans(const WorkloadSpec& spec, int procs) {
+  std::vector<PhaseServePlan> plans(spec.phases.size());
+  for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+    const PhaseSpec& ph = spec.phases[p];
+    if (!ph.openLoop()) continue;
+    PhaseServePlan& plan = plans[p];
+    plan.active = true;
+    plan.nodes.resize(static_cast<std::size_t>(procs));
+    if (!ph.tracePath.empty()) {
+      plan.fromTrace = true;
+      const serve::Trace trace = serve::loadTraceFile(ph.tracePath);
+      DIVA_CHECK_MSG(trace.numObjects <= spec.numObjects,
+                     "workload '" << spec.name << "' phase '" << ph.name << "': trace '"
+                                  << ph.tracePath << "' uses " << trace.numObjects
+                                  << " objects but the workload only has "
+                                  << spec.numObjects);
+      double lastUs = 0.0;
+      for (const serve::TraceRequest& req : trace.requests) {
+        DIVA_CHECK_MSG(req.node < procs,
+                       "workload '" << spec.name << "' phase '" << ph.name
+                                    << "': trace node " << req.node
+                                    << " out of range for a " << procs
+                                    << "-processor machine");
+        NodeServePlan& np = plan.nodes[static_cast<std::size_t>(req.node)];
+        np.timesUs.push_back(req.timeUs);
+        np.isRead.push_back(req.isRead ? 1 : 0);
+        np.object.push_back(req.object);
+        lastUs = req.timeUs;
+      }
+      // Per-node strict ascent (the file only guarantees non-decreasing
+      // globally): FIFO serving needs distinct instants per node.
+      for (NodeServePlan& np : plan.nodes) {
+        for (std::size_t i = 1; i < np.timesUs.size(); ++i) {
+          if (np.timesUs[i] <= np.timesUs[i - 1])
+            np.timesUs[i] = np.timesUs[i - 1] + 1e-9;
+        }
+      }
+      plan.offeredPerSec =
+          lastUs > 0.0
+              ? static_cast<double>(trace.requests.size()) / lastUs * 1e6
+              : 0.0;
+    } else {
+      for (int node = 0; node < procs; ++node) {
+        plan.nodes[static_cast<std::size_t>(node)].timesUs = serve::generateArrivals(
+            ph.arrival, ph.rounds, procs, spec.seed, static_cast<int>(p),
+            static_cast<net::NodeId>(node));
+      }
+      // Burst offered load is the time-averaged rate over on+off windows.
+      plan.offeredPerSec =
+          ph.arrival.kind == serve::ArrivalSpec::Kind::Burst
+              ? ph.arrival.ratePerSec * ph.arrival.burstOnUs /
+                    (ph.arrival.burstOnUs + ph.arrival.burstOffUs)
+              : ph.arrival.ratePerSec;
+    }
+  }
+  return plans;
+}
+
+void fillServeMetrics(ServeMetrics& sv, const ServeState& st, double offeredPerSec,
+                      double wallUs) {
+  sv.active = true;
+  sv.offeredPerSec = offeredPerSec;
+  sv.achievedPerSec =
+      wallUs > 0.0 ? static_cast<double>(st.served) / wallUs * 1e6 : 0.0;
+  sv.p50Us = st.hist.p50();
+  sv.p90Us = st.hist.p90();
+  sv.p99Us = st.hist.p99();
+  sv.p999Us = st.hist.p999();
+  sv.maxUs = st.hist.max();
+  sv.meanUs = st.hist.mean();
+  sv.arrived = st.arrived;
+  sv.served = st.served;
+  sv.dropped = st.dropped;
+  sv.late = st.late;
+  sv.maxInFlight = st.maxInFlight;
+}
+
 }  // namespace
+
+WorkloadSpec openLoopAt(const WorkloadSpec& spec, double ratePerSec) {
+  WorkloadSpec open = spec;
+  for (PhaseSpec& ph : open.phases) {
+    ph.arrival.kind = serve::ArrivalSpec::Kind::Poisson;
+    ph.arrival.ratePerSec = ratePerSec;
+    ph.arrival.burstOnUs = ph.arrival.burstOffUs = 0.0;
+    ph.thinkMeanUs = 0.0;  // pacing comes from the schedule now
+    ph.tracePath.clear();
+  }
+  open.validate();
+  return open;
+}
 
 WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   spec.validate();
@@ -199,6 +437,10 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
                                      "range for a " << procs << "-processor machine");
     }
   }
+
+  // Offered-load plans for open-loop phases (generated schedules + trace
+  // files), built before anything runs so bad traces fail fast.
+  const std::vector<PhaseServePlan> servePlans = buildServePlans(spec, procs);
 
   const support::SplitMix64 master(spec.seed);
 
@@ -230,6 +472,12 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   const std::uint64_t reroutedBefore = m.net.reroutedFlights();
   const std::uint64_t parkedBefore = m.net.parkedFlights();
 
+  // Run-total open-loop accumulators (merged across open-loop phases).
+  serve::LatencyHistogram totalHist;
+  ServeState totalState;
+  double openWallUs = 0.0;
+  double offeredDotWall = 0.0;
+
   for (int p = 0; p < numPhases; ++p) {
     const PhaseSpec& ph = spec.phases[static_cast<std::size_t>(p)];
     if (p > 0) m.stats.setPhase(p, m.engine.now());
@@ -240,10 +488,35 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
     // schedules nothing, so fault-free runs are bit-identical.
     net::scheduleFaultPlan(m.engine, m.net, ph.faults, m.engine.now());
 
+    const PhaseServePlan& servePlan = servePlans[static_cast<std::size_t>(p)];
+    ServeState serveState;
     const ZipfSampler zipf(spec.numObjects, ph.zipfS);
-    for (NodeId node = 0; node < procs; ++node) {
-      sim::spawn(nodePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
-                           accessStream(spec.seed, p, node)));
+    if (servePlan.active) {
+      // Arrival markers: one zero-cost event per request at its scheduled
+      // instant, queued before the serving coroutines so that at equal
+      // timestamps (FIFO among equals) an arrival is counted before it
+      // can be picked up — `inFlight` is the machine-wide backlog.
+      const sim::Time phaseStart = m.engine.now();
+      for (NodeId node = 0; node < procs; ++node) {
+        for (const double t : servePlan.nodes[static_cast<std::size_t>(node)].timesUs) {
+          m.engine.scheduleAt(phaseStart + t, [&serveState] {
+            ++serveState.arrived;
+            if (++serveState.inFlight > serveState.maxInFlight)
+              serveState.maxInFlight = serveState.inFlight;
+          });
+        }
+      }
+      for (NodeId node = 0; node < procs; ++node) {
+        sim::spawn(nodeServePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
+                                  accessStream(spec.seed, p, node),
+                                  servePlan.nodes[static_cast<std::size_t>(node)],
+                                  phaseStart, serveState));
+      }
+    } else {
+      for (NodeId node = 0; node < procs; ++node) {
+        sim::spawn(nodePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
+                             accessStream(spec.seed, p, node)));
+      }
     }
     // Drain to quiescence: the engine acts as the zero-cost outer clock,
     // so phase boundaries in the stats are exact instants (the in-model
@@ -267,6 +540,17 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
     pr.retriedOps = m.stats.ops.retriedOps - opsBefore.retriedOps;
     pr.recoveryMessages = m.stats.ops.recoveryMessages - opsBefore.recoveryMessages;
     pr.recoveryBytes = m.stats.ops.recoveryBytes - opsBefore.recoveryBytes;
+    if (servePlan.active) {
+      fillServeMetrics(pr.serve, serveState, servePlan.offeredPerSec, pr.wallUs);
+      totalHist.merge(serveState.hist);
+      totalState.arrived += serveState.arrived;
+      totalState.served += serveState.served;
+      totalState.dropped += serveState.dropped;
+      totalState.late += serveState.late;
+      totalState.maxInFlight = std::max(totalState.maxInFlight, serveState.maxInFlight);
+      openWallUs += pr.wallUs;
+      offeredDotWall += servePlan.offeredPerSec * pr.wallUs;
+    }
     report.phases.push_back(std::move(pr));
   }
 
@@ -295,6 +579,13 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   report.repairedVars = m.stats.ops.repairedVars;
   report.reroutedFlights = m.net.reroutedFlights() - reroutedBefore;
   report.parkedFlights = m.net.parkedFlights() - parkedBefore;
+
+  if (std::any_of(servePlans.begin(), servePlans.end(),
+                  [](const PhaseServePlan& pl) { return pl.active; })) {
+    totalState.hist = totalHist;
+    fillServeMetrics(report.serve, totalState,
+                     openWallUs > 0.0 ? offeredDotWall / openWallUs : 0.0, openWallUs);
+  }
 
   // A faulted run must end with every object intact: nothing lost,
   // nothing dually owned, no repair still parked (docs/faults.md).
@@ -333,6 +624,26 @@ std::string formatReport(const WorkloadReport& r) {
             std::to_string(r.congestionMessages), kb(r.congestionBytes), "", "", "", "",
             ""});
   t.print(out);
+  // SLO table only when some phase ran open loop — closed-loop reports
+  // render byte-identically to earlier versions.
+  if (r.serve.active) {
+    out << "open-loop serving · latency from scheduled arrival (docs/serving.md)\n";
+    support::Table st({"phase", "offered/s", "achieved/s", "p50 µs", "p90 µs", "p99 µs",
+                       "p999 µs", "max µs", "served", "dropped", "late", "peak infl"});
+    auto serveRow = [&st](const std::string& name, const ServeMetrics& sv) {
+      st.addRow({name, support::fmt(sv.offeredPerSec, 0),
+                 support::fmt(sv.achievedPerSec, 0), support::fmt(sv.p50Us, 2),
+                 support::fmt(sv.p90Us, 2), support::fmt(sv.p99Us, 2),
+                 support::fmt(sv.p999Us, 2), support::fmt(sv.maxUs, 2),
+                 std::to_string(sv.served), std::to_string(sv.dropped),
+                 std::to_string(sv.late), std::to_string(sv.maxInFlight)});
+    };
+    for (const WorkloadReport::Phase& p : r.phases) {
+      if (p.serve.active) serveRow(p.name, p.serve);
+    }
+    serveRow("total", r.serve);
+    st.print(out);
+  }
   // Availability/recovery section only on faulted runs — a fault-free
   // report renders byte-identically to earlier versions.
   if (r.faulted) {
@@ -372,6 +683,25 @@ std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
   t.addRow({"max-link congestion KB", kb(a.congestionBytes), kb(b.congestionBytes),
             ratio(static_cast<double>(a.congestionBytes),
                   static_cast<double>(b.congestionBytes))});
+  if (a.serve.active || b.serve.active) {
+    t.addRow({"achieved req/s", support::fmt(a.serve.achievedPerSec, 0),
+              support::fmt(b.serve.achievedPerSec, 0),
+              ratio(a.serve.achievedPerSec, b.serve.achievedPerSec)});
+    t.addRow({"p50 latency µs", support::fmt(a.serve.p50Us, 2),
+              support::fmt(b.serve.p50Us, 2), ratio(a.serve.p50Us, b.serve.p50Us)});
+    t.addRow({"p99 latency µs", support::fmt(a.serve.p99Us, 2),
+              support::fmt(b.serve.p99Us, 2), ratio(a.serve.p99Us, b.serve.p99Us)});
+    t.addRow({"p999 latency µs", support::fmt(a.serve.p999Us, 2),
+              support::fmt(b.serve.p999Us, 2), ratio(a.serve.p999Us, b.serve.p999Us)});
+    t.addRow({"dropped requests", std::to_string(a.serve.dropped),
+              std::to_string(b.serve.dropped),
+              ratio(static_cast<double>(a.serve.dropped),
+                    static_cast<double>(b.serve.dropped))});
+    t.addRow({"late requests", std::to_string(a.serve.late),
+              std::to_string(b.serve.late),
+              ratio(static_cast<double>(a.serve.late),
+                    static_cast<double>(b.serve.late))});
+  }
   if (a.faulted || b.faulted) {
     t.addRow({"availability", support::fmt(a.availability, 4),
               support::fmt(b.availability, 4),

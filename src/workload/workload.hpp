@@ -7,6 +7,7 @@
 #include "diva/machine.hpp"
 #include "diva/runtime.hpp"
 #include "net/fault.hpp"
+#include "serve/arrival.hpp"
 #include "support/rng.hpp"
 
 namespace diva::workload {
@@ -35,6 +36,28 @@ struct PhaseSpec {
   /// phases with faults leave all RNG draws untouched, so the fault-free
   /// access stream is bit-identical.
   net::FaultPlan faults;
+  /// Open-loop serving (docs/serving.md). When the arrival kind is not
+  /// None the phase runs open loop: each processor issues `rounds`
+  /// requests at pre-generated arrival instants regardless of service
+  /// progress, and latency is measured from the SCHEDULED arrival —
+  /// queueing delay counts. Kind::None (the default) keeps the classic
+  /// closed loop; closed-loop runs are byte-identical to before.
+  serve::ArrivalSpec arrival;
+  /// SLO deadline in µs: served requests whose latency exceeds it count
+  /// as `late` in the report (0 = no deadline).
+  double deadlineUs = 0.0;
+  /// Per-processor backlog bound: a request is shed (counted `dropped`)
+  /// when more than this many newer requests are already due behind it
+  /// (0 = unbounded queue).
+  int queueLimit = 0;
+  /// Trace-replay phase (docs/serving.md): arrival times, issuing nodes
+  /// and accesses come from this request-trace file instead of the
+  /// generator — `rounds`, `zipfS`, `hotShift`, `readFraction`,
+  /// `thinkMeanUs` and `arrival` must stay at their defaults.
+  std::string tracePath;
+
+  /// True iff this phase runs open loop (generated arrivals or a trace).
+  bool openLoop() const { return arrival.open() || !tracePath.empty(); }
 
   bool operator==(const PhaseSpec&) const = default;
 };
@@ -89,6 +112,32 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// Open-loop serving measurements of one phase (or of the whole run —
+/// the totals merge the per-phase latency histograms, docs/serving.md).
+/// Latencies are measured from the scheduled arrival instant, so
+/// queueing delay is part of every percentile. `offeredPerSec` is the
+/// nominal aggregate injection rate (time-averaged for bursty arrivals,
+/// empirical for traces); `achievedPerSec` is served / phase wall time —
+/// the gap between the two opens at the saturation knee.
+struct ServeMetrics {
+  bool active = false;  ///< this phase (or some phase of the run) ran open loop
+  double offeredPerSec = 0.0;
+  double achievedPerSec = 0.0;
+  double p50Us = 0.0;
+  double p90Us = 0.0;
+  double p99Us = 0.0;
+  double p999Us = 0.0;
+  double maxUs = 0.0;
+  double meanUs = 0.0;
+  std::uint64_t arrived = 0;  ///< scheduled requests that reached their instant
+  std::uint64_t served = 0;   ///< completed (arrived = served + dropped)
+  std::uint64_t dropped = 0;  ///< shed at the queue bound or lost to a down node
+  std::uint64_t late = 0;     ///< served, but past the phase's deadline
+  int maxInFlight = 0;        ///< peak concurrent requests across the machine
+
+  bool operator==(const ServeMetrics&) const = default;
+};
+
 /// Measurements of one workload run, per phase and in total. Congestion
 /// is the paper's metric: the maximum over directed links of that link's
 /// traffic. `injected` counts messages entering the network (including
@@ -113,6 +162,9 @@ struct WorkloadReport {
     std::uint64_t retriedOps = 0;
     std::uint64_t recoveryMessages = 0;
     std::uint64_t recoveryBytes = 0;
+    /// Open-loop serving measurements; `serve.active` is false (and the
+    /// struct all zeros) for closed-loop phases.
+    ServeMetrics serve;
   };
 
   std::string workload;
@@ -140,6 +192,11 @@ struct WorkloadReport {
   std::uint64_t repairedVars = 0;
   std::uint64_t reroutedFlights = 0;
   std::uint64_t parkedFlights = 0;
+  /// Run-total open-loop metrics: per-phase latency histograms merged
+  /// (element-wise bucket addition), counters summed, offered/achieved
+  /// time-weighted over the open-loop phases. All zeros when every phase
+  /// ran closed loop.
+  ServeMetrics serve;
 };
 
 /// Run `spec` on an existing machine/runtime. Creates the object
@@ -155,6 +212,13 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec);
 /// report. The one-call form the A/B harness and tests use.
 WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
                      const WorkloadSpec& spec);
+
+/// Open-loop variant of `spec` for saturation sweeps: every phase's
+/// arrival process is replaced by Poisson at aggregate `ratePerSec`
+/// (think time cleared — the schedule is the pacing; trace phases become
+/// generated), content generation untouched. Each rung of the sweep
+/// ladder is one such spec; the returned spec is validated.
+WorkloadSpec openLoopAt(const WorkloadSpec& spec, double ratePerSec);
 
 /// Deterministic text rendering of a report (fixed-precision numbers):
 /// same seed → byte-identical output.

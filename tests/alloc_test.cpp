@@ -23,6 +23,7 @@
 
 #include "diva/machine.hpp"
 #include "net/graph_topology.hpp"
+#include "serve/latency_histogram.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -305,6 +306,27 @@ TEST(Alloc, RecvCoroutineFramesRecycleInSteadyState) {
   const std::uint64_t before = allocCount();
   m.engine.run();
   EXPECT_EQ(allocCount() - before, 0u) << "recv coroutine frames hit the heap";
+}
+
+TEST(Alloc, LatencyHistogramRecordingNeverAllocates) {
+  // The serving driver records a latency per request on the simulation
+  // hot path: the histogram is a flat std::array, so from construction
+  // onward — recording across the whole range (underflow, every octave,
+  // overflow), quantiles and merging — no heap allocation may happen.
+  serve::LatencyHistogram h;
+  serve::LatencyHistogram other;
+  const std::uint64_t before = allocCount();
+  double us = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    h.record(us);
+    us = us * 1.25 + 0.001;  // sweeps underflow → every bucket → overflow
+    if (us > 1e9) us = 0.0;
+  }
+  (void)h.p50();
+  (void)h.p999();
+  (void)h.quantile(1.0);
+  other.merge(h);
+  EXPECT_EQ(allocCount(), before) << "latency recording allocated";
 }
 
 TEST(Alloc, TeardownWithPendingEventsLeaksNothing) {

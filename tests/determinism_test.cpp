@@ -102,9 +102,9 @@ TEST(DeterminismGolden, GraphEventTraceMatchesCommittedHash) {
 /// streams, Zipf sampler (integral exponent: exact arithmetic), driver,
 /// strategy, locks, barriers. Editing scenarios/hotspot.scenario or any
 /// generator implies regenerating this golden deliberately.
-std::uint64_t scenarioTraceHash(const net::TopologySpec& spec) {
+std::uint64_t scenarioTraceHash(const net::TopologySpec& spec, const char* file) {
   const workload::WorkloadSpec wl =
-      workload::loadScenarioFile(std::string(DIVA_SCENARIO_DIR) + "/hotspot.scenario");
+      workload::loadScenarioFile(std::string(DIVA_SCENARIO_DIR) + "/" + file);
   Machine m(spec);
   RuntimeConfig rc = RuntimeConfig::accessTree(4, 1, wl.seed).on(spec);
   Runtime rt(m, rc);
@@ -120,10 +120,24 @@ std::uint64_t scenarioTraceHash(const net::TopologySpec& spec) {
 }
 
 TEST(DeterminismGolden, HotspotScenarioTraceMatchesCommittedHash) {
-  const std::uint64_t h = scenarioTraceHash(net::TopologySpec::mesh2d(8, 8));
+  const std::uint64_t h =
+      scenarioTraceHash(net::TopologySpec::mesh2d(8, 8), "hotspot.scenario");
   const std::uint64_t kGolden = 0x22c46d1f015b5bc6ull;
   EXPECT_EQ(h, kGolden) << "hotspot scenario trace hash changed: 0x" << std::hex << h
                         << " — workload generation or the simulated model moved";
+}
+
+TEST(DeterminismGolden, OpenLoopScenarioTraceMatchesCommittedHash) {
+  // Pins the open-loop serving pipeline on top of everything the hotspot
+  // golden covers: Poisson/burst arrival generation (portableLog — IEEE
+  // arithmetic only), trace-file replay, queue-bound shedding and the
+  // scheduled-arrival driver. Editing scenarios/openloop.scenario or
+  // scenarios/sample.trace implies regenerating this golden deliberately.
+  const std::uint64_t h =
+      scenarioTraceHash(net::TopologySpec::mesh2d(8, 8), "openloop.scenario");
+  const std::uint64_t kGolden = 0x56f64c3f9578eeeeull;
+  EXPECT_EQ(h, kGolden) << "openloop scenario trace hash changed: 0x" << std::hex << h
+                        << " — arrival generation or the serving driver moved";
 }
 
 TEST(DeterminismGolden, TraceHashIsRunToRunStable) {
