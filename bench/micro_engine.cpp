@@ -9,6 +9,7 @@
 #include "diva/runtime.hpp"
 #include "mesh/route.hpp"
 #include "net/graph_topology.hpp"
+#include "net/hier_routing.hpp"
 #include "serve/arrival.hpp"
 #include "workload/workload.hpp"
 
@@ -128,6 +129,39 @@ void BM_NetworkMessageChurnGraph(benchmark::State& state) {
   messageChurn(state, spec);
 }
 BENCHMARK(BM_NetworkMessageChurnGraph);
+
+// Hierarchical-routing leg: identical relay churn on the same 64-node
+// random-regular graph, but routed by the landmark-ball scheme
+// (docs/routing.md) instead of the dense all-pairs table — per-hop cost
+// is an ancestor-chain scan over sorted balls rather than one table
+// load, and routes may be up to the documented stretch longer. This is
+// the `hier_routing_messages_per_sec` series in BENCH_engine.json.
+void BM_HierRoutingMessageChurn(benchmark::State& state) {
+  static const net::TopologySpec spec =
+      net::TopologySpec::hierGraph(net::randomRegularGraph(64, 3, 1));
+  messageChurn(state, spec);
+}
+BENCHMARK(BM_HierRoutingMessageChurn);
+
+// Route-computation microbenchmark at a size where the dense table is no
+// longer an option (4096 nodes would already need 16M entries/node):
+// appendRoute on a 1024-node random-regular graph via ball lookups —
+// the `hier_routing_routes_per_sec` series.
+void BM_HierRoutingAppendRoute(benchmark::State& state) {
+  static const net::HierGraphTopology topo(net::randomRegularGraph(1024, 4, 3));
+  net::RouteVec route;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    route.clear();
+    const auto a = static_cast<net::NodeId>(i * 37 % 1024);
+    const auto b = static_cast<net::NodeId>(i * 101 % 1024);
+    topo.appendRoute(a, b, route);
+    benchmark::DoNotOptimize(route.size());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierRoutingAppendRoute);
 
 // Zipf-churn workload: end-to-end DIVA traffic (strategy reads, locked
 // writes, invalidations, barriers) generated by the synthetic-workload

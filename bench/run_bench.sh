@@ -66,6 +66,7 @@ cmd = [
     bin_path,
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
     "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
+    "|BM_HierRoutingMessageChurn|BM_HierRoutingAppendRoute"
     "|BM_WorkloadZipfChurn|BM_WorkloadChurn|BM_WorkloadOpenLoop",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
@@ -122,6 +123,14 @@ entry = {
     "messages_per_sec": round(rate("BM_NetworkMessageChurn")),
     "torus_messages_per_sec": round(rate("BM_NetworkMessageChurnTorus")),
     "graph_messages_per_sec": round(rate("BM_NetworkMessageChurnGraph")),
+    # Same graph, routed by the hierarchical landmark-ball scheme instead
+    # of the dense all-pairs table (docs/routing.md): tracks the per-hop
+    # lookup overhead plus the stretch the compact state costs.
+    "hier_routing_messages_per_sec": round(rate("BM_HierRoutingMessageChurn")),
+    # Route computations/s on a 1024-node random-regular graph — a size
+    # where only the hierarchical router exists (dense caps at 4096 and
+    # would burn 4 GB at 32k).
+    "hier_routing_routes_per_sec": round(rate("BM_HierRoutingAppendRoute")),
     # Full-protocol-stack churn (strategy + locks + barriers) driven by
     # the synthetic-workload subsystem; see bench/micro_engine.cpp.
     "workload_messages_per_sec": round(rate("BM_WorkloadZipfChurn")),
@@ -148,6 +157,8 @@ entry = {
         "messages_per_sec": "mesh2d-8x8",
         "torus_messages_per_sec": "torus2d-8x8",
         "graph_messages_per_sec": "graph-rr64d3s1",
+        "hier_routing_messages_per_sec": "graph-rr64d3s1-hier16",
+        "hier_routing_routes_per_sec": "graph-rr1024d4s3-hier16",
         "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
         "workload_churn_messages_per_sec":
             "mesh2d-8x8 zipf-churn + link flaps + node crash (access tree)",

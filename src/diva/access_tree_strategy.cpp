@@ -25,7 +25,8 @@ AccessTreeStrategy::AccessTreeStrategy(net::Network& net, Stats& stats,
       stats_(stats),
       caches_(caches),
       params_(params),
-      tree_(net.topology().decompose(net::DecompParams{params.arity, params.leafSize})) {}
+      tree_(net.topology().decompose(net::DecompParams{params.arity, params.leafSize})),
+      subtreeHint_(static_cast<std::size_t>(tree_->numNodes())) {}
 
 std::string AccessTreeStrategy::name() const {
   return variantName(params_.arity, params_.leafSize);
@@ -53,6 +54,16 @@ int AccessTreeStrategy::copyNeighborCount(VarId x, std::int32_t node) const {
   const TreeState* st = findState(x, node);
   if (!st) return 0;
   return std::popcount(st->childCopyMask) + (st->parentCopy ? 1 : 0);
+}
+
+void AccessTreeStrategy::hintCopyBorn(VarId x, std::int32_t node) {
+  for (std::int32_t a = node; a >= 0; a = tree_->parent(a))
+    subtreeHint_[static_cast<std::size_t>(a)].add(x);
+}
+
+void AccessTreeStrategy::hintCopyDied(VarId x, std::int32_t node) {
+  for (std::int32_t a = node; a >= 0; a = tree_->parent(a))
+    subtreeHint_[static_cast<std::size_t>(a)].remove(x);
 }
 
 void AccessTreeStrategy::clearCopy(VarId x, std::int32_t node) {
@@ -127,6 +138,7 @@ void AccessTreeStrategy::seedComponent(VarState& vs, VarId x, NodeId owner,
   TreeState& st = vs.nodes[leaf];
   st.kind = TreeState::Kind::Copy;
   st.downChild = -1;
+  hintCopyBorn(x, leaf);
   NodeCache::Entry& e = caches_[owner].put(x, std::move(init));
   e.copyCount = 1;
   // Mark the path from the root to the component (data tracking invariant).
@@ -171,6 +183,7 @@ void AccessTreeStrategy::destroyVarFree(VarId x) {
                  "destroying a variable with a write in flight");
   for (const auto& [node, st] : it->second.nodes) {
     if (st.kind == TreeState::Kind::Copy) {
+      hintCopyDied(x, node);
       const NodeId host = hostOf(node, x);
       NodeCache::Entry* e = caches_[host].peek(x);
       if (e && --e->copyCount == 0) caches_[host].erase(x);
@@ -318,6 +331,7 @@ void AccessTreeStrategy::depositCopy(VarId x, std::int32_t node, const Value& v,
   if (st.kind != TreeState::Kind::Copy) {
     st.kind = TreeState::Kind::Copy;
     st.downChild = -1;
+    hintCopyBorn(x, node);
     NodeCache::Entry* e = caches_[host].peek(x);
     if (e) {
       e->value = v;
@@ -450,6 +464,7 @@ void AccessTreeStrategy::onInval(AtBody&& b) {
   // Drop the copy and point toward the writer (restores the root-path
   // marking invariant; see DESIGN.md §5).
   clearCopy(b.var, node);
+  hintCopyDied(b.var, node);
   if (from == nd.parent) {
     st.kind = TreeState::Kind::Up;
     st.downChild = -1;
@@ -617,6 +632,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
 
   // Re-point every dropped node toward the surviving component.
   for (std::int32_t s : hosted) {
+    hintCopyDied(x, s);
     TreeState& st = vit->second.nodes.at(s);
     if (boundaryOutside == s || isAncestor(s, boundaryOutside)) {
       // Survivors hang below: mark Down toward them.
@@ -741,6 +757,7 @@ void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
   for (std::int32_t n : copies) {
     hosts.push_back(hostOf(n, x));
     clearCopy(x, n);
+    hintCopyDied(x, n);
   }
   vs.nodes.clear();
   caches_[p].erase(x);  // stray safety: a dead node keeps no entry for x
@@ -867,6 +884,17 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
     DIVA_CHECK_MSG(e->value == ref->value || *e->value == *ref->value,
                    "incoherent copies of variable " << x);
   }
+
+  // Subtree-copy hints never lie in the negative direction: every copy
+  // must be visible through the Bloom filter of each of its ancestors
+  // (and of its own node). The positive direction is probabilistic and
+  // not checked here — false-positive rates are property-tested in
+  // tests/support_test.cpp.
+  for (std::int32_t n : copies)
+    for (std::int32_t a = n; a >= 0; a = tree_->parent(a))
+      DIVA_CHECK_MSG(subtreeMayHoldCopy(a, x),
+                     "subtree hint false negative for variable " << x
+                         << " at tree node " << a);
 }
 
 }  // namespace diva

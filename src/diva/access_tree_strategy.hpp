@@ -13,6 +13,7 @@
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/sync.hpp"
+#include "support/bloom.hpp"
 
 namespace diva {
 
@@ -77,6 +78,25 @@ class AccessTreeStrategy final : public Strategy {
   /// allow it (the copy is a fringe node of its component and not the
   /// last copy). Returns true if evicted.
   bool tryEvict(NodeId p, VarId x) override;
+
+  /// Sparse subtree-copy hint: false means tree node `treeNode`'s subtree
+  /// definitely holds no copy of `x`; true means it may. One counting
+  /// Bloom filter per tree node (constant memory per node regardless of
+  /// the variable population), maintained at every copy birth/death on
+  /// the node's root path — pure host-local bookkeeping, so enabling or
+  /// querying it never changes protocol traffic. The no-false-negative
+  /// side is an invariant checked at quiescence (checkInvariants).
+  bool subtreeMayHoldCopy(std::int32_t treeNode, VarId x) const {
+    return subtreeHint_[static_cast<std::size_t>(treeNode)].mayContain(x);
+  }
+
+  /// Resident bytes of the subtree-copy hint structure (docs/routing.md
+  /// memory model).
+  std::uint64_t hintBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& b : subtreeHint_) total += b.numCells();
+    return total;
+  }
 
   void onNodeDown(NodeId p) override;
 
@@ -187,6 +207,12 @@ class AccessTreeStrategy final : public Strategy {
   /// Install the one-copy component at `owner`'s leaf and mark the root
   /// path — shared by free registration and crash repair.
   void seedComponent(VarState& vs, VarId x, NodeId owner, Value init);
+  /// Subtree-hint maintenance: record one copy of `x` appearing at
+  /// (resp. leaving) tree node `node` — updates the Bloom filter of the
+  /// node and of every ancestor. Calls pair exactly with Copy-state
+  /// births/deaths.
+  void hintCopyBorn(VarId x, std::int32_t node);
+  void hintCopyDied(VarId x, std::int32_t node);
 
   // --- crash repair (docs/faults.md) ---
   // Losing an arbitrary subset of a variable's copy component can
@@ -207,6 +233,9 @@ class AccessTreeStrategy final : public Strategy {
   std::vector<NodeCache>& caches_;
   Params params_;
   std::unique_ptr<net::ClusterTree> tree_;
+  /// Per-tree-node counting Bloom filter: "may this subtree hold a copy?"
+  /// (see subtreeMayHoldCopy). Indexed by tree node id.
+  std::vector<support::CountingBloom> subtreeHint_;
   std::unordered_map<VarId, VarState> states_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
   std::unordered_map<VarId, std::vector<NodeId>> pendingRepairs_;

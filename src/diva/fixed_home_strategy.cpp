@@ -191,7 +191,7 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       net::Message original = std::move(he.queue.front());
       he.queue.pop_front();
       he.busy = false;
-      processTransaction(he, std::move(original));
+      if (processTransaction(he, std::move(original))) finishTransaction(b.var);
       return;
     }
     case FhBody::K::Data: {
@@ -273,15 +273,16 @@ void FixedHomeStrategy::serveAtHome(net::Message&& msg) {
     sendBody(msg.dst, home, std::move(fwd), 0);
     return;
   }
-  HomeEntry& he = homes_.at(b.var);
+  const VarId x = b.var;
+  HomeEntry& he = homes_.at(x);
   if (he.busy) {
     he.queue.push_back(std::move(msg));
     return;
   }
-  processTransaction(he, std::move(msg));
+  if (processTransaction(he, std::move(msg))) finishTransaction(x);
 }
 
-void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
+bool FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
   FhBody b = msg.take<FhBody>();
   const NodeId home = msg.dst;
   he.busy = true;
@@ -305,7 +306,7 @@ void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
     parked.body = std::move(b);
     he.queue.push_front(std::move(parked));
     sendBody(home, owner, std::move(f), 0);
-    return;
+    return false;
   }
 
   if (b.k == FhBody::K::ReadReq) {
@@ -321,8 +322,7 @@ void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
     const std::uint64_t bytes = e->value->size();
     addCopyHolder(he, b.requester);
     sendBody(home, b.requester, std::move(d), bytes);
-    finishTransaction(b.var);
-    return;
+    return true;
   }
 
   DIVA_CHECK(b.k == FhBody::K::WriteReq);
@@ -349,20 +349,28 @@ void FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
     ack.var = b.var;
     ack.txn = b.txn;
     sendBody(home, b.requester, std::move(ack), 0);
-    finishTransaction(b.var);
+    return true;
   }
+  return false;
 }
 
 void FixedHomeStrategy::finishTransaction(VarId x) {
   HomeEntry& he = homes_.at(x);
-  he.busy = false;
-  if (he.queue.empty()) {
-    drainRepairs(x);
-    return;
+  // Iterative drain: at a hotspot home the queue can hold tens of
+  // thousands of transactions (one per requesting processor), and most
+  // of them — reads served from the home's copy — complete
+  // synchronously. A finish→process recursion here burns one stack
+  // frame per queued transaction and overflows on large machines.
+  for (;;) {
+    he.busy = false;
+    if (he.queue.empty()) {
+      drainRepairs(x);
+      return;
+    }
+    net::Message next = std::move(he.queue.front());
+    he.queue.pop_front();
+    if (!processTransaction(he, std::move(next))) return;
   }
-  net::Message next = std::move(he.queue.front());
-  he.queue.pop_front();
-  processTransaction(he, std::move(next));
 }
 
 // ---------------------------------------------------------------------------

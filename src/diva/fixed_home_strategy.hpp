@@ -99,7 +99,11 @@ class FixedHomeStrategy final : public Strategy {
   };
 
   void serveAtHome(net::Message&& msg);
-  void processTransaction(HomeEntry& he, net::Message&& msg);
+  /// Starts the transaction in `msg` on an idle home entry. Returns true
+  /// when it completed synchronously (the caller must then run
+  /// finishTransaction to drain the queue); false when it parked waiting
+  /// for a Fetch or invalidation acks.
+  bool processTransaction(HomeEntry& he, net::Message&& msg);
   void finishTransaction(VarId x);
   void maybeEvictAt(NodeId p);
   void sendBody(NodeId src, NodeId dst, FhBody&& b, std::uint64_t payloadBytes);

@@ -1,5 +1,6 @@
 #include "diva/lock.hpp"
 
+#include "net/graph_topology.hpp"
 #include "support/rng.hpp"
 
 namespace diva {
@@ -9,7 +10,8 @@ namespace {
 /// XOR-combining dense lock ids with small processor ids collides, and a
 /// collision silently cross-wires two acquisitions.
 std::uint64_t waitKey(VarId lock, NodeId p) {
-  constexpr std::uint64_t kMaxProcs = 1u << 16;
+  // Must admit every processor id a graph topology can produce.
+  constexpr std::uint64_t kMaxProcs = net::kMaxGraphNodes;
   DIVA_CHECK(static_cast<std::uint64_t>(p) < kMaxProcs);
   return lock * kMaxProcs + static_cast<std::uint64_t>(p);
 }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/rng.hpp"
@@ -19,6 +20,65 @@ int levelsOf(int arity) { return arity == 2 ? 1 : arity == 4 ? 2 : 4; }
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// GraphAdjacency — validation + packed direction slots
+// ---------------------------------------------------------------------------
+
+GraphAdjacency::GraphAdjacency(const GraphSpec& spec) {
+  const int n = spec.numNodes;
+  DIVA_CHECK_MSG(n >= 1 && n <= kMaxGraphNodes,
+                 "graph '" << spec.name << "': node count must be in [1, "
+                           << kMaxGraphNodes << "] (got " << n << ")");
+  numNodes = n;
+  struct Nbr {
+    NodeId to;
+    double weight;
+    double latency;
+    bool operator<(const Nbr& o) const { return to < o.to; }
+  };
+  std::vector<std::vector<Nbr>> nbrs(static_cast<std::size_t>(n));
+  for (const GraphSpec::Edge& e : spec.edges) {
+    DIVA_CHECK_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                   "graph '" << spec.name << "': edge " << e.u << "-" << e.v
+                             << " out of range for " << n << " nodes");
+    DIVA_CHECK_MSG(e.u != e.v,
+                   "graph '" << spec.name << "': self-loop at node " << e.u);
+    DIVA_CHECK_MSG(e.weight > 0.0, "graph '" << spec.name << "': edge " << e.u << "-"
+                                             << e.v << " has non-positive weight "
+                                             << e.weight);
+    DIVA_CHECK_MSG(e.latency > 0.0, "graph '" << spec.name << "': edge " << e.u << "-"
+                                              << e.v << " has non-positive latency "
+                                              << e.latency);
+    nbrs[e.u].push_back(Nbr{e.v, e.weight, e.latency});
+    nbrs[e.v].push_back(Nbr{e.u, e.weight, e.latency});
+  }
+
+  degree = 0;
+  for (int u = 0; u < n; ++u) {
+    auto& list = nbrs[u];
+    // Direction slots order neighbors by id — the deterministic numbering
+    // the routing tie-breaks and the partitioner's BFS both rely on.
+    std::sort(list.begin(), list.end());
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      DIVA_CHECK_MSG(list[i].to != list[i - 1].to,
+                     "graph '" << spec.name << "': duplicate edge " << u << "-"
+                               << list[i].to);
+    }
+    degree = std::max(degree, static_cast<int>(list.size()));
+  }
+
+  adj.assign(static_cast<std::size_t>(n) * degree, -1);
+  weightOfSlot.assign(static_cast<std::size_t>(n) * degree, 1.0);
+  latencyOfSlot.assign(static_cast<std::size_t>(n) * degree, 1.0);
+  for (int u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < nbrs[u].size(); ++i) {
+      adj[static_cast<std::size_t>(u) * degree + i] = nbrs[u][i].to;
+      weightOfSlot[static_cast<std::size_t>(u) * degree + i] = nbrs[u][i].weight;
+      latencyOfSlot[static_cast<std::size_t>(u) * degree + i] = nbrs[u][i].latency;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // GraphTopology — validation, adjacency, routing tables
 // ---------------------------------------------------------------------------
 
@@ -31,63 +91,15 @@ GraphTopology::GraphTopology(std::shared_ptr<const GraphSpec> spec,
                            << "] (got " << spec_->numNodes << ")");
   if (!partitioner_) partitioner_ = std::make_shared<BfsBisectionPartitioner>();
   numNodes_ = spec_->numNodes;
-  buildAdjacency();
+  adj_ = GraphAdjacency(*spec_);
   buildRoutingTables();
-}
-
-void GraphTopology::buildAdjacency() {
-  const int n = numNodes_;
-  struct Nbr {
-    NodeId to;
-    double weight;
-    double latency;
-    bool operator<(const Nbr& o) const { return to < o.to; }
-  };
-  std::vector<std::vector<Nbr>> nbrs(static_cast<std::size_t>(n));
-  for (const GraphSpec::Edge& e : spec_->edges) {
-    DIVA_CHECK_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
-                   "graph '" << spec_->name << "': edge " << e.u << "-" << e.v
-                             << " out of range for " << n << " nodes");
-    DIVA_CHECK_MSG(e.u != e.v,
-                   "graph '" << spec_->name << "': self-loop at node " << e.u);
-    DIVA_CHECK_MSG(e.weight > 0.0, "graph '" << spec_->name << "': edge " << e.u << "-"
-                                             << e.v << " has non-positive weight "
-                                             << e.weight);
-    DIVA_CHECK_MSG(e.latency > 0.0, "graph '" << spec_->name << "': edge " << e.u << "-"
-                                              << e.v << " has non-positive latency "
-                                              << e.latency);
-    nbrs[e.u].push_back(Nbr{e.v, e.weight, e.latency});
-    nbrs[e.v].push_back(Nbr{e.u, e.weight, e.latency});
-  }
-
-  degree_ = 0;
-  for (int u = 0; u < n; ++u) {
-    auto& list = nbrs[u];
-    // Direction slots order neighbors by id — the deterministic numbering
-    // the routing tie-breaks and the partitioner's BFS both rely on.
-    std::sort(list.begin(), list.end());
-    for (std::size_t i = 1; i < list.size(); ++i) {
-      DIVA_CHECK_MSG(list[i].to != list[i - 1].to,
-                     "graph '" << spec_->name << "': duplicate edge " << u << "-"
-                               << list[i].to);
-    }
-    degree_ = std::max(degree_, static_cast<int>(list.size()));
-  }
-
-  adj_.assign(static_cast<std::size_t>(n) * degree_, -1);
-  weightOfSlot_.assign(static_cast<std::size_t>(n) * degree_, 1.0);
-  latencyOfSlot_.assign(static_cast<std::size_t>(n) * degree_, 1.0);
-  for (int u = 0; u < n; ++u) {
-    for (std::size_t i = 0; i < nbrs[u].size(); ++i) {
-      adj_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].to;
-      weightOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].weight;
-      latencyOfSlot_[static_cast<std::size_t>(u) * degree_ + i] = nbrs[u][i].latency;
-    }
-  }
 }
 
 void GraphTopology::buildRoutingTables() {
   const int n = numNodes_;
+  const int deg = adj_.degree;
+  const NodeId* adj = adj_.adj.data();
+  const double* weightOf = adj_.weightOfSlot.data();
   nextDir_.assign(static_cast<std::size_t>(n) * n, -1);
   hops_.assign(static_cast<std::size_t>(n) * n, 0);
 
@@ -113,12 +125,12 @@ void GraphTopology::buildRoutingTables() {
       const auto [du, u] = queue.top();
       queue.pop();
       if (du > dist[u]) continue;  // stale entry
-      for (int dir = 0; dir < degree_; ++dir) {
-        const NodeId v = adj_[static_cast<std::size_t>(u) * degree_ + dir];
+      for (int dir = 0; dir < deg; ++dir) {
+        const NodeId v = adj[static_cast<std::size_t>(u) * deg + dir];
         if (v < 0) break;  // slots are packed: the first -1 ends the list
         if (v == t) continue;
         // Relax v → u: v routes toward t through u.
-        const double w = weightOfSlot_[static_cast<std::size_t>(u) * degree_ + dir];
+        const double w = weightOf[static_cast<std::size_t>(u) * deg + dir];
         const double cand = dist[u] + w;
         const std::uint32_t candHops = hop[u] + 1;
         std::int16_t& cell = nextDir_[static_cast<std::size_t>(v) * n + t];
@@ -130,13 +142,13 @@ void GraphTopology::buildRoutingTables() {
           } else if (candHops == hop[v] && cell >= 0) {
             // Same weight and hops: keep the lowest-id next hop (equals
             // the lowest direction slot — neighbors are sorted by id).
-            better = u < adj_[static_cast<std::size_t>(v) * degree_ + cell];
+            better = u < adj[static_cast<std::size_t>(v) * deg + cell];
           }
         }
         if (!better) continue;
         dist[v] = cand;
         hop[v] = candHops;
-        const NodeId* vAdj = adj_.data() + static_cast<std::size_t>(v) * degree_;
+        const NodeId* vAdj = adj + static_cast<std::size_t>(v) * deg;
         int vd = 0;
         while (vAdj[vd] != u) ++vd;
         cell = static_cast<std::int16_t>(vd);
@@ -160,7 +172,7 @@ double GraphTopology::weightedDistance(NodeId a, NodeId b) const {
   NodeId cur = a;
   while (cur != b) {
     const int dir = dirToward(cur, b);
-    sum += weightOfSlot_[static_cast<std::size_t>(cur) * degree_ + dir];
+    sum += adj_.weightOf(cur, dir);
     cur = neighborInDir(cur, dir);
   }
   return sum;
@@ -170,50 +182,57 @@ double GraphTopology::weightedDistance(NodeId a, NodeId b) const {
 // BFS-grown balanced bisection
 // ---------------------------------------------------------------------------
 
-void BfsBisectionPartitioner::bisect(const GraphTopology& topo,
+void BfsBisectionPartitioner::bisect(const Topology& topo,
                                      const std::vector<NodeId>& cluster,
                                      std::vector<NodeId>& a, std::vector<NodeId>& b) const {
   const std::size_t size = cluster.size();
   DIVA_CHECK(size >= 2);
   const std::size_t target = (size + 1) / 2;
 
-  std::vector<char> inCluster(static_cast<std::size_t>(topo.numNodes()), 0);
-  for (NodeId p : cluster) inCluster[p] = 1;
+  // All scratch is keyed by cluster members, never sized by the whole
+  // machine: the recursive decomposition calls bisect Θ(n) times, and
+  // O(numNodes) scratch per call made decomposition quadratic — fatal at
+  // the 100k-node scale the hierarchical topology exists for.
+  std::unordered_set<NodeId> inCluster(size * 2);
+  for (NodeId p : cluster) inCluster.insert(p);
 
   // Seed: the node of the cluster farthest (in cluster-restricted hops)
   // from its lowest id, ties to the lowest id. Growing from a peripheral
   // node keeps the grown half compact instead of ring-shaped.
-  std::vector<int> depth(static_cast<std::size_t>(topo.numNodes()), -1);
+  std::unordered_map<NodeId, int> depth(size * 2);
   std::queue<NodeId> queue;
-  depth[cluster.front()] = 0;
+  depth.emplace(cluster.front(), 0);
   queue.push(cluster.front());
   NodeId seed = cluster.front();
+  int seedDepth = 0;
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop();
-    if (depth[u] > depth[seed] || (depth[u] == depth[seed] && u < seed)) seed = u;
+    const int du = depth.find(u)->second;
+    if (du > seedDepth || (du == seedDepth && u < seed)) {
+      seed = u;
+      seedDepth = du;
+    }
     for (int dir = 0; dir < topo.degree(); ++dir) {
       const NodeId v = topo.neighbor(u, dir);
-      if (v < 0) break;
-      if (!inCluster[v] || depth[v] >= 0) continue;
-      depth[v] = depth[u] + 1;
+      if (v < 0) continue;  // generic Topology slots need not be packed
+      if (!inCluster.count(v) || !depth.emplace(v, du + 1).second) continue;
       queue.push(v);
     }
   }
 
   // Grow half the cluster breadth-first from the seed; a disconnected
   // remainder restarts from its lowest id so every node is placed.
-  std::vector<char> taken(static_cast<std::size_t>(topo.numNodes()), 0);
+  std::unordered_set<NodeId> taken(size * 2);
   a.clear();
   b.clear();
   std::queue<NodeId> grow;
   grow.push(seed);
-  taken[seed] = 1;
+  taken.insert(seed);
   while (a.size() < target) {
     if (grow.empty()) {
       for (NodeId p : cluster) {
-        if (!taken[p]) {
-          taken[p] = 1;
+        if (taken.insert(p).second) {
           grow.push(p);
           break;
         }
@@ -224,9 +243,8 @@ void BfsBisectionPartitioner::bisect(const GraphTopology& topo,
     a.push_back(u);
     for (int dir = 0; dir < topo.degree(); ++dir) {
       const NodeId v = topo.neighbor(u, dir);
-      if (v < 0) break;
-      if (!inCluster[v] || taken[v]) continue;
-      taken[v] = 1;
+      if (v < 0) continue;  // generic Topology slots need not be packed
+      if (!inCluster.count(v) || !taken.insert(v).second) continue;
       grow.push(v);
     }
   }
@@ -240,7 +258,7 @@ void BfsBisectionPartitioner::bisect(const GraphTopology& topo,
 // GraphClusterTree
 // ---------------------------------------------------------------------------
 
-GraphClusterTree::GraphClusterTree(const GraphTopology& topo, DecompParams params,
+GraphClusterTree::GraphClusterTree(const Topology& topo, DecompParams params,
                                    const GraphPartitioner& partitioner) {
   DIVA_CHECK_MSG(validArity(params.arity), "arity must be 2, 4 or 16");
   DIVA_CHECK_MSG(params.leafSize >= 1, "leafSize must be >= 1");
@@ -252,7 +270,7 @@ GraphClusterTree::GraphClusterTree(const GraphTopology& topo, DecompParams param
   finalize(n);
 }
 
-void GraphClusterTree::expandChildren(const GraphTopology& topo,
+void GraphClusterTree::expandChildren(const Topology& topo,
                                       const GraphPartitioner& partitioner,
                                       std::vector<NodeId>&& cluster, int levels,
                                       std::vector<std::vector<NodeId>>& out) {
@@ -268,7 +286,7 @@ void GraphClusterTree::expandChildren(const GraphTopology& topo,
   expandChildren(topo, partitioner, std::move(b), levels - 1, out);
 }
 
-int GraphClusterTree::build(const GraphTopology& topo, const GraphPartitioner& partitioner,
+int GraphClusterTree::build(const Topology& topo, const GraphPartitioner& partitioner,
                             std::vector<NodeId>&& cluster, int parent, int indexInParent,
                             int depth, const DecompParams& params) {
   const int self = static_cast<int>(nodes_.size());
@@ -361,8 +379,8 @@ GraphSpec fatTreeGraph(int arity, int levels) {
   std::int64_t count = 0, levelSize = 1;
   for (int d = 0; d < levels; ++d, levelSize *= arity) {
     count += levelSize;
-    DIVA_CHECK_MSG(count <= GraphTopology::kMaxNodes,
-                   "fat tree exceeds " << GraphTopology::kMaxNodes << " nodes");
+    DIVA_CHECK_MSG(count <= kMaxGraphNodes,
+                   "fat tree exceeds " << kMaxGraphNodes << " nodes");
   }
   g.numNodes = static_cast<int>(count);
   // Level d starts at offset (arity^d - 1)/(arity - 1); the link into a
@@ -386,8 +404,8 @@ GraphSpec fatTreeGraph(int arity, int levels) {
 }
 
 GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
-  DIVA_CHECK_MSG(n >= 1 && n <= GraphTopology::kMaxNodes,
-                 "random regular graph: n must be in [1, " << GraphTopology::kMaxNodes
+  DIVA_CHECK_MSG(n >= 1 && n <= kMaxGraphNodes,
+                 "random regular graph: n must be in [1, " << kMaxGraphNodes
                                                            << "] (got " << n << ")");
   DIVA_CHECK_MSG(d >= 0 && d < n, "random regular graph: need 0 <= d < n (got d=" << d
                                                                                   << ", n=" << n << ")");
@@ -405,10 +423,11 @@ GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
   // with a derived seed. Deterministic for a given seed.
   const std::size_t stubCount = static_cast<std::size_t>(n) * d;
   std::vector<NodeId> stubs(stubCount);
-  // Scratch reused across attempts (the pairing model rejects most of
-  // them for small d): only the cells the failed attempt touched are
-  // cleared, not the whole O(n²) table.
-  std::vector<char> used(static_cast<std::size_t>(n) * n, 0);
+  // Edge membership is a hash set keyed on the packed (u, v) pair — a
+  // dense n×n byte table would cost O(n²) memory (10 GB at 100k nodes)
+  // for the same answer. The RNG draw sequence is untouched, so graphs
+  // for a given seed are identical to the dense-scratch era.
+  std::unordered_set<std::uint64_t> used(stubCount * 2);
   std::vector<std::vector<NodeId>> nbrs(static_cast<std::size_t>(n));
   std::vector<char> reached(static_cast<std::size_t>(n));
   for (int attempt = 0; attempt < 10'000; ++attempt) {
@@ -419,7 +438,7 @@ GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
     for (std::size_t i = stubCount - 1; i > 0; --i)
       std::swap(stubs[i], stubs[rng.below(i + 1)]);
 
-    for (const auto& e : g.edges) used[static_cast<std::size_t>(e.u) * n + e.v] = 0;
+    used.clear();
     g.edges.clear();
     bool ok = true;
     for (std::size_t i = 0; i < stubCount; i += 2) {
@@ -429,12 +448,12 @@ GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
         break;
       }
       if (u > v) std::swap(u, v);
-      char& seen = used[static_cast<std::size_t>(u) * n + v];
-      if (seen) {
+      if (!used.insert((static_cast<std::uint64_t>(u) << 32) |
+                       static_cast<std::uint32_t>(v))
+               .second) {
         ok = false;
         break;
       }
-      seen = 1;
       g.edges.push_back({u, v, 1.0});
     }
     if (!ok) continue;
@@ -468,6 +487,25 @@ GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed) {
   }
   DIVA_CHECK_MSG(false, "random regular graph: no valid pairing found for n="
                             << n << ", d=" << d << ", seed=" << seed);
+  return g;
+}
+
+GraphSpec gridGraph(int rows, int cols) {
+  DIVA_CHECK_MSG(rows >= 1 && cols >= 1,
+                 "grid graph: dimensions must be positive (got " << rows << "x" << cols
+                                                                 << ")");
+  DIVA_CHECK_MSG(static_cast<std::int64_t>(rows) * cols <= kMaxGraphNodes,
+                 "grid graph exceeds " << kMaxGraphNodes << " nodes");
+  GraphSpec g;
+  g.name = "grid" + std::to_string(rows) + "x" + std::to_string(cols);
+  g.numNodes = rows * cols;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const NodeId u = static_cast<NodeId>(r * cols + c);
+      if (c + 1 < cols) g.edges.push_back({u, u + 1, 1.0});
+      if (r + 1 < rows) g.edges.push_back({u, u + cols, 1.0});
+    }
+  }
   return g;
 }
 

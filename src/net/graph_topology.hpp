@@ -10,20 +10,58 @@ namespace diva::net {
 
 class GraphTopology;
 
-/// Swappable strategy behind `GraphTopology::decompose()`: how to split a
-/// cluster of a general graph into two halves. The decomposition tree is
-/// built by recursive bisection (ℓ-ary levels fix log2(ℓ) bisections per
-/// tree level, exactly like the mesh and hypercube trees), so the
-/// partitioner only ever answers the two-way question.
+/// Hard bound on generated/parsed graph sizes — far above the dense
+/// GraphTopology's own table bound (`GraphTopology::kMaxNodes`), because
+/// the hierarchical routing build (net/hier_routing.hpp) consumes the
+/// same GraphSpecs at 100k+ nodes.
+inline constexpr int kMaxGraphNodes = 1 << 20;
+
+/// Packed adjacency of a GraphSpec, shared by the dense GraphTopology and
+/// the hierarchical HierGraphTopology: per-node direction slots order
+/// neighbors by ascending id (the deterministic numbering every routing
+/// tie-break and the partitioner's BFS rely on), padded to the maximum
+/// degree with -1. Construction validates the spec — ids in range, no
+/// self-loops or duplicate edges, positive weights/latencies — and throws
+/// CheckError otherwise. Connectivity is *not* checked here; each
+/// topology's routing build proves it as a side effect.
+struct GraphAdjacency {
+  GraphAdjacency() = default;
+  explicit GraphAdjacency(const GraphSpec& spec);
+
+  int numNodes = 0;
+  int degree = 0;                      ///< max node degree = direction slots per node
+  std::vector<NodeId> adj;             ///< [n * degree + dir] → neighbor or -1
+  std::vector<double> weightOfSlot;    ///< [link slot] → edge weight (1.0 unused)
+  std::vector<double> latencyOfSlot;   ///< [link slot] → edge latency (1.0 unused)
+
+  NodeId neighbor(NodeId n, int dir) const {
+    return adj[static_cast<std::size_t>(n) * degree + dir];
+  }
+  double weightOf(NodeId n, int dir) const {
+    return weightOfSlot[static_cast<std::size_t>(n) * degree + dir];
+  }
+};
+
+/// Swappable strategy behind graph `decompose()`: how to split a cluster
+/// of a network into two halves. The decomposition tree is built by
+/// recursive bisection (ℓ-ary levels fix log2(ℓ) bisections per tree
+/// level, exactly like the mesh and hypercube trees), so the partitioner
+/// only ever answers the two-way question. It sees the network through
+/// the base `Topology` interface (numNodes/degree/neighbor), so the same
+/// partitioner serves the dense GraphTopology and the hierarchical
+/// HierGraphTopology.
 ///
 /// Contract: `bisect` distributes every node of `cluster` (sorted
 /// ascending, size ≥ 2) into `a` and `b`, both non-empty and balanced to
 /// within one node (|a| = ⌈|cluster|/2⌉), each returned sorted ascending,
-/// deterministically for a given (topology, cluster).
+/// deterministically for a given (topology, cluster). Implementations
+/// must keep per-call work O(|cluster|·degree), not O(numNodes) — the
+/// recursion calls bisect Θ(n) times, and anything per-call-linear in the
+/// whole machine turns decomposition quadratic at 100k nodes.
 class GraphPartitioner {
  public:
   virtual ~GraphPartitioner() = default;
-  virtual void bisect(const GraphTopology& topo, const std::vector<NodeId>& cluster,
+  virtual void bisect(const Topology& topo, const std::vector<NodeId>& cluster,
                       std::vector<NodeId>& a, std::vector<NodeId>& b) const = 0;
 };
 
@@ -37,7 +75,7 @@ class GraphPartitioner {
 /// partitioning library.
 class BfsBisectionPartitioner final : public GraphPartitioner {
  public:
-  void bisect(const GraphTopology& topo, const std::vector<NodeId>& cluster,
+  void bisect(const Topology& topo, const std::vector<NodeId>& cluster,
               std::vector<NodeId>& a, std::vector<NodeId>& b) const override;
 };
 
@@ -49,7 +87,7 @@ class BfsBisectionPartitioner final : public GraphPartitioner {
 /// them to that.
 class GraphClusterTree final : public ClusterTree {
  public:
-  GraphClusterTree(const GraphTopology& topo, DecompParams params,
+  GraphClusterTree(const Topology& topo, DecompParams params,
                    const GraphPartitioner& partitioner);
 
   NodeId hostOf(int treeNode, std::uint64_t varKey, EmbeddingKind kind,
@@ -61,10 +99,10 @@ class GraphClusterTree final : public ClusterTree {
   const std::vector<NodeId>& members(int treeNode) const { return members_[treeNode]; }
 
  private:
-  int build(const GraphTopology& topo, const GraphPartitioner& partitioner,
+  int build(const Topology& topo, const GraphPartitioner& partitioner,
             std::vector<NodeId>&& cluster, int parent, int indexInParent, int depth,
             const DecompParams& params);
-  void expandChildren(const GraphTopology& topo, const GraphPartitioner& partitioner,
+  void expandChildren(const Topology& topo, const GraphPartitioner& partitioner,
                       std::vector<NodeId>&& cluster, int levels,
                       std::vector<std::vector<NodeId>>& out);
 
@@ -105,11 +143,11 @@ class GraphTopology final : public Topology {
   TopologyKind kind() const override { return TopologyKind::Graph; }
   TopologySpec spec() const override { return TopologySpec::graph(spec_); }
   int numNodes() const override { return numNodes_; }
-  int degree() const override { return degree_; }
+  int degree() const override { return adj_.degree; }
 
   NodeId neighbor(NodeId n, int dir) const override {
-    if (dir < 0 || dir >= degree_) return -1;
-    return adj_[static_cast<std::size_t>(n) * degree_ + dir];
+    if (dir < 0 || dir >= adj_.degree) return -1;
+    return adj_.neighbor(n, dir);
   }
 
   NodeId nextHop(NodeId from, NodeId to) const override {
@@ -134,8 +172,8 @@ class GraphTopology final : public Topology {
     }
   }
 
-  double linkWeight(int link) const override { return weightOfSlot_[link]; }
-  double linkLatency(int link) const override { return latencyOfSlot_[link]; }
+  double linkWeight(int link) const override { return adj_.weightOfSlot[link]; }
+  double linkLatency(int link) const override { return adj_.latencyOfSlot[link]; }
 
   /// Weighted length of the deterministic route from `a` to `b` — the
   /// quantity the routing tables minimize. Computed by walking the route
@@ -156,20 +194,14 @@ class GraphTopology final : public Topology {
   int dirToward(NodeId from, NodeId to) const {
     return nextDir_[static_cast<std::size_t>(from) * numNodes_ + to];
   }
-  NodeId neighborInDir(NodeId n, int dir) const {
-    return adj_[static_cast<std::size_t>(n) * degree_ + dir];
-  }
+  NodeId neighborInDir(NodeId n, int dir) const { return adj_.neighbor(n, dir); }
 
-  void buildAdjacency();
   void buildRoutingTables();
 
   std::shared_ptr<const GraphSpec> spec_;
   std::shared_ptr<const GraphPartitioner> partitioner_;
   int numNodes_ = 0;
-  int degree_ = 0;                      ///< max node degree = direction slots per node
-  std::vector<NodeId> adj_;             ///< [n * degree_ + dir] → neighbor or -1
-  std::vector<double> weightOfSlot_;    ///< [link slot] → edge weight (1.0 unused)
-  std::vector<double> latencyOfSlot_;   ///< [link slot] → edge latency (1.0 unused)
+  GraphAdjacency adj_;                  ///< packed, id-ordered direction slots
   std::vector<std::int16_t> nextDir_;   ///< [from * n + to] → direction, -1 on diagonal
   std::vector<std::uint16_t> hops_;     ///< [from * n + to] → hop count of the route
 };
@@ -198,6 +230,12 @@ GraphSpec fatTreeGraph(int arity, int levels);
 /// disconnected outcomes with derived seeds). Requires n·d even, d ≥ 2
 /// for n > 2, d < n. "rr<n>d<d>s<seed>".
 GraphSpec randomRegularGraph(int n, int d, std::uint64_t seed);
+
+/// rows×cols open mesh as a general graph (node r·cols+c, unit weights).
+/// Same shape as the closed-form Mesh2D topology but routed as a graph —
+/// the differential corpus uses it to cover mesh-like shapes without the
+/// dense table cap. "grid<rows>x<cols>".
+GraphSpec gridGraph(int rows, int cols);
 
 // ---------------------------------------------------------------------------
 // Text format — lets benches and tests load arbitrary graphs from file:

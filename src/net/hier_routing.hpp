@@ -1,0 +1,170 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/graph_topology.hpp"
+
+namespace diva::net {
+
+/// Hierarchical (landmark-ball) routing for general graphs — the sparse
+/// alternative to GraphTopology's dense all-pairs tables. Dense tables
+/// are O(n²) memory and startup, which caps machines at a few thousand
+/// nodes; this topology stores O(n·depth)-ish routing state and scales to
+/// `kMaxGraphNodes` (the 100k-node scenarios in scenarios/).
+///
+/// Scheme (docs/routing.md has the full story and the measured stretch):
+/// an internal cluster tree of arity `routingArity` decomposes the graph
+/// (the same recursive bisection strategies use). Every tree node C gets
+///  - a *landmark* ℓ_C: a pseudo-center of C's cluster (double-BFS
+///    midpoint over the cluster-restricted subgraph; the single member at
+///    leaves),
+///  - a *ball*: the nodes popped by a deterministic Dijkstra around ℓ_C,
+///    each remembering its first-hop direction toward ℓ_C, HARD-capped
+///    at max(kBallMinEntries, kBallEntryFactor × |C|) entries (on
+///    expanders ball population grows exponentially with radius, so any
+///    reach-based rule degenerates to Θ(n) per ball), and
+///  - a *spine path*: the shortest path ℓ_parent(C) → ℓ_C, whose nodes
+///    are injected into C's ball with along-path directions (prefix
+///    directions win on overlap). The root's ball is the full
+///    shortest-path tree.
+///
+/// A message to `dst` carries (implicitly, recomputed per hop) the
+/// ancestor chain of dst's leaf. At node x the router picks the deepest
+/// chain cluster whose ball contains x and hops toward its landmark.
+/// Liveness: spine directions strictly decrease the along-path distance
+/// to ℓ_C and hand over to the Dijkstra prefix at latest at ℓ_C itself;
+/// prefix directions strictly decrease the true distance and never leave
+/// the prefix (pop-order persistence). And since the injected spine
+/// starts at ℓ_parent(C), arriving at a landmark always reveals the
+/// next-deeper chain ball. The pair (chain depth, distance-to-landmark)
+/// therefore decreases lexicographically every hop. Routes are *not*
+/// shortest paths — the differential suite (tests/hier_routing_test.cpp)
+/// bounds the measured stretch against the dense Dijkstra oracle.
+///
+/// The Topology contract holds: appendRoute/nextHop/distance agree with
+/// each other, routes are deterministic and allocation-free; only the
+/// "routes are shortest" guarantee of the closed-form shapes is relaxed.
+class HierGraphTopology final : public Topology {
+ public:
+  /// Validates the spec and builds landmarks + balls; throws CheckError
+  /// on invalid specs or a disconnected graph. `routingArity` ∈ {2,4,16}
+  /// is the internal tree's arity (16 = shallow chains, the default); it
+  /// is independent of the arity strategies later pass to decompose().
+  explicit HierGraphTopology(std::shared_ptr<const GraphSpec> spec, int routingArity = 16,
+                             std::shared_ptr<const GraphPartitioner> partitioner = nullptr);
+  explicit HierGraphTopology(GraphSpec spec, int routingArity = 16,
+                             std::shared_ptr<const GraphPartitioner> partitioner = nullptr)
+      : HierGraphTopology(std::make_shared<const GraphSpec>(std::move(spec)), routingArity,
+                          std::move(partitioner)) {}
+
+  /// Ball sizing: a hard cap of kBallEntryFactor × |cluster| entries
+  /// (≥ kBallMinEntries) per ball. Memory is Θ(n · kBallEntryFactor ·
+  /// depth + n · kBallMinEntries / leafSize) in total; raising the
+  /// constants buys stretch on small graphs at a linear memory cost.
+  static constexpr int kBallEntryFactor = 12;
+  static constexpr int kBallMinEntries = 256;
+  /// Spine paths for internally disconnected clusters: up to this many
+  /// graph nodes they come from an exact early-exit Dijkstra (the
+  /// differential-corpus regime, where stretch is measured against the
+  /// dense oracle); beyond it, from the root-SPT tree path through the
+  /// LCA — O(path length) instead of a Θ(n)-pop search per child, which
+  /// is what keeps 100k-node construction near-linear.
+  static constexpr int kExactSpineMaxNodes = 4096;
+  /// Ancestor chains are walked on the per-message hot path from a fixed
+  /// stack buffer; 64 levels covers a 2-ary tree over kMaxGraphNodes.
+  static constexpr int kMaxChainDepth = 64;
+
+  TopologyKind kind() const override { return TopologyKind::Graph; }
+  TopologySpec spec() const override;
+  int numNodes() const override { return adj_.numNodes; }
+  int degree() const override { return adj_.degree; }
+
+  NodeId neighbor(NodeId n, int dir) const override {
+    if (dir < 0 || dir >= adj_.degree) return -1;
+    return adj_.neighbor(n, dir);
+  }
+
+  NodeId nextHop(NodeId from, NodeId to) const override;
+
+  /// Hop count of the deterministic *hierarchical* route — consistent
+  /// with appendRoute, ≥ the shortest-path distance. Computed by walking
+  /// the route (tests/analysis; not a hot-path query).
+  int distance(NodeId a, NodeId b) const override;
+
+  void appendRoute(NodeId from, NodeId to, RouteVec& out) const override;
+
+  double linkWeight(int link) const override { return adj_.weightOfSlot[link]; }
+  double linkLatency(int link) const override { return adj_.latencyOfSlot[link]; }
+
+  std::unique_ptr<ClusterTree> decompose(DecompParams params) const override {
+    return std::make_unique<GraphClusterTree>(*this, params, *partitioner_);
+  }
+
+  const GraphSpec& graphSpec() const { return *spec_; }
+  int routingArity() const { return routingArity_; }
+
+  // -- Introspection for the differential tests, benches and docs --------
+
+  /// The internal routing tree (distinct from any decompose() result).
+  const GraphClusterTree& routingTree() const { return *tree_; }
+  NodeId landmarkOf(int treeNode) const { return landmark_[treeNode]; }
+  std::size_t ballSize(int treeNode) const {
+    return static_cast<std::size_t>(ballBegin_[treeNode + 1] - ballBegin_[treeNode]);
+  }
+  bool ballContains(int treeNode, NodeId node) const { return findDir(treeNode, node) >= -1; }
+  /// Total ball entries across all tree nodes — the sparse-state size the
+  /// memory-vs-n table in docs/routing.md reports.
+  std::size_t totalBallEntries() const { return ball_.size(); }
+  /// Approximate bytes of routing state (balls + offsets + landmarks).
+  std::size_t routingBytes() const;
+
+ private:
+  struct BallEntry {
+    NodeId node;
+    std::int16_t dir;  ///< first-hop direction toward the landmark; -1 at it
+  };
+
+  void buildLandmarks();
+  void buildBalls();
+  /// One cluster-restricted Dijkstra per internal tree node, extracting
+  /// each child's shortest ℓ_parent → ℓ_child path into `spine`; an
+  /// internally disconnected cluster falls back to the root-SPT tree
+  /// path through the LCA (any simple path keeps routing live).
+  void buildSpinePaths(std::vector<std::vector<NodeId>>& spine,
+                       const std::vector<NodeId>& sptParent,
+                       const std::vector<std::uint32_t>& sptDepth);
+  /// Bounded deterministic Dijkstra around `lm` appending pop-order
+  /// entries to ball_. A non-null [clusterBegin, clusterEnd) (sorted)
+  /// restricts the search to those nodes; `stopAt` ≥ 0 ends the search
+  /// right after that node pops.
+  void growBall(NodeId lm, std::size_t entryCap, const NodeId* clusterBegin,
+                const NodeId* clusterEnd, NodeId stopAt);
+  /// Reads the last search's scratch: the src→dst path, both inclusive.
+  std::vector<NodeId> backtrackPath(NodeId src, NodeId dst) const;
+  /// Direction stored for `node` in `treeNode`'s ball, -1 at the landmark
+  /// itself, -2 when the node is outside the ball.
+  int findDir(int treeNode, NodeId node) const;
+  /// Fills `chain` deepest-first with the ancestors of dst's leaf;
+  /// returns the chain length.
+  int chainOf(NodeId dst, int* chain) const;
+  int dirTowardChain(NodeId cur, const int* chain, int chainLen) const;
+
+  std::shared_ptr<const GraphSpec> spec_;
+  std::shared_ptr<const GraphPartitioner> partitioner_;
+  int routingArity_;
+  GraphAdjacency adj_;
+  std::unique_ptr<GraphClusterTree> tree_;
+  std::vector<NodeId> landmark_;        ///< per tree node
+  std::vector<BallEntry> ball_;         ///< all balls, each sorted by node id
+  std::vector<std::uint64_t> ballBegin_;  ///< per tree node; [i, i+1) slices ball_
+
+  // Dijkstra scratch, versioned so per-ball reset is O(1) not O(n).
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> hop_;
+  std::vector<std::int16_t> dirToLm_;
+  std::vector<std::uint32_t> ver_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace diva::net

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "net/graph_topology.hpp"
+#include "net/hier_routing.hpp"
 #include "net/hypercube_topology.hpp"
 #include "net/mesh_topology.hpp"
 #include "net/torus_topology.hpp"
@@ -26,6 +27,7 @@ std::string TopologySpec::describe() const {
     os << '-' << a << 'd';
   } else if (kind == TopologyKind::Graph) {
     os << '-' << (graphSpec ? graphSpec->name : std::string("unset"));
+    if (hierArity > 0) os << "-hier" << hierArity;
   } else {
     os << '-' << a << 'x' << b;
   }
@@ -90,6 +92,8 @@ std::unique_ptr<Topology> makeTopology(const TopologySpec& spec) {
       return std::make_unique<HypercubeTopology>(spec.a);
     case TopologyKind::Graph:
       DIVA_CHECK_MSG(spec.graphSpec != nullptr, "graph topology spec without a graph");
+      if (spec.hierArity > 0)
+        return std::make_unique<HierGraphTopology>(spec.graphSpec, spec.hierArity);
       return std::make_unique<GraphTopology>(spec.graphSpec);
   }
   DIVA_CHECK_MSG(false, "unknown topology kind");

@@ -18,6 +18,8 @@ using NodeId = std::int32_t;
 struct Hop {
   int link;
   NodeId to;
+
+  bool operator==(const Hop&) const = default;
 };
 
 /// Inline route buffer used on the per-message hot path: routes are
@@ -90,6 +92,12 @@ struct TopologySpec {
   int a = 0;
   int b = 0;
   std::shared_ptr<const GraphSpec> graphSpec;  ///< set iff kind == Graph
+  /// 0 = dense all-pairs routing (the default; bit-identical to every
+  /// pre-hierarchical run). > 0 = hierarchical landmark-ball routing
+  /// (net/hier_routing.hpp) with a routing tree of this arity — the same
+  /// graph, sparse routing state, non-shortest (bounded-stretch) routes.
+  /// Only meaningful with kind == Graph.
+  int hierArity = 0;
 
   static TopologySpec mesh2d(int rows, int cols) {
     return TopologySpec{TopologyKind::Mesh2D, rows, cols, nullptr};
@@ -114,6 +122,16 @@ struct TopologySpec {
     s.graphSpec = std::move(g);
     return s;
   }
+  static TopologySpec hierGraph(GraphSpec g, int arity = 16) {
+    TopologySpec s = graph(std::move(g));
+    s.hierArity = arity;
+    return s;
+  }
+  static TopologySpec hierGraph(std::shared_ptr<const GraphSpec> g, int arity = 16) {
+    TopologySpec s = graph(std::move(g));
+    s.hierArity = arity;
+    return s;
+  }
 
   /// A default-constructed spec (mesh2d with no dimensions) means
   /// "unspecified — match any machine"; every constructible spec,
@@ -121,9 +139,10 @@ struct TopologySpec {
   bool specified() const { return kind != TopologyKind::Mesh2D || a > 0; }
   /// Structural equality: graph specs compare by contents, not identity,
   /// so a RuntimeConfig pinned to a regenerated-but-identical graph still
-  /// matches its machine.
+  /// matches its machine. Dense and hierarchical builds of the same graph
+  /// are different machines (routes differ), so hierArity participates.
   bool operator==(const TopologySpec& o) const {
-    if (kind != o.kind || a != o.a || b != o.b) return false;
+    if (kind != o.kind || a != o.a || b != o.b || hierArity != o.hierArity) return false;
     if (graphSpec == o.graphSpec) return true;
     return graphSpec && o.graphSpec && *graphSpec == *o.graphSpec;
   }
@@ -210,12 +229,14 @@ class ClusterTree {
 /// accounting, deterministic oblivious routing, and the hierarchical
 /// decomposition the data-management strategies build their trees from.
 ///
-/// Routing contract: `appendRoute` emits the unique deterministic
-/// shortest path from `from` to `to` (empty when equal); the hop count
-/// always equals `distance(from, to)`, and `nextHop` returns the first
-/// node of that path. Implementations must keep `appendRoute`
-/// allocation-free apart from the output buffer — it runs once per
-/// simulated message.
+/// Routing contract: `appendRoute` emits a unique deterministic valid
+/// path from `from` to `to` (empty when equal); the hop count always
+/// equals `distance(from, to)`, and `nextHop` returns the first node of
+/// that path. The closed-form shapes and dense GraphTopology route
+/// shortest paths; HierGraphTopology trades shortest for sparse routing
+/// state and guarantees only a bounded stretch (docs/routing.md).
+/// Implementations must keep `appendRoute` allocation-free apart from
+/// the output buffer — it runs once per simulated message.
 class Topology {
  public:
   virtual ~Topology() = default;

@@ -30,13 +30,24 @@ TopologySpec topologyByName(const std::string& name, int rows, int cols,
     return TopologySpec::graph(randomRegularGraph(procs, 4, 1));
   if (name.rfind("graph:", 0) == 0)
     return TopologySpec::graph(loadGraphFile(name.substr(6)));
+  // hier-* variants: the same graphs under hierarchical (landmark-ball)
+  // routing — sparse state, bounded-stretch routes (docs/routing.md).
+  if (name.rfind("hier-", 0) == 0) {
+    TopologySpec s = topologyByName(name.substr(5), rows, cols, false);
+    DIVA_CHECK_MSG(s.kind == TopologyKind::Graph,
+                   "hierarchical routing needs a graph shape (got '" << name << "')");
+    s.hierArity = 16;
+    return s;
+  }
   DIVA_CHECK_MSG(false, "unknown topology name '" << name << "'");
   return {};
 }
 
-TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid) {
+TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid,
+                             const std::string& defaultName) {
   const char* env = std::getenv("DIVA_TOPOLOGY");
-  const std::string name = (env && *env) ? env : "mesh2d";
+  const std::string name =
+      (env && *env) ? env : (defaultName.empty() ? "mesh2d" : defaultName);
   return topologyByName(name, rows, cols, requireGrid);
 }
 

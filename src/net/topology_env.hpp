@@ -16,6 +16,11 @@ namespace diva::net {
 ///                         nodes (seed 1, the benches' shape)
 ///   graph:<path>        — arbitrary graph loaded from a graph file; its
 ///                         node count comes from the file, not rows·cols
+///   hier-<graph name>   — any graph shape above under hierarchical
+///                         landmark-ball routing (arity-16 routing tree;
+///                         docs/routing.md), e.g. hier-random-regular or
+///                         hier-graph:<path> — sparse routing state that
+///                         scales past the dense 4096-node table cap
 ///
 /// Callers whose application is grid-structured pass requireGrid = true
 /// and get a fail-fast CheckError on non-grid names. Throws CheckError on
@@ -23,9 +28,12 @@ namespace diva::net {
 TopologySpec topologyByName(const std::string& name, int rows, int cols,
                             bool requireGrid = false);
 
-/// `topologyByName` on the DIVA_TOPOLOGY environment variable (default
-/// "mesh2d" when unset/empty) — the one shape knob shared by the figure
-/// benches, the examples and the scenario runner.
-TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid = false);
+/// `topologyByName` on the DIVA_TOPOLOGY environment variable — the one
+/// shape knob shared by the figure benches, the examples and the scenario
+/// runner. When the variable is unset/empty, `defaultName` decides (a
+/// scenario's `topology` directive lands here); when that is empty too,
+/// "mesh2d".
+TopologySpec topologyFromEnv(int rows, int cols, bool requireGrid = false,
+                             const std::string& defaultName = "");
 
 }  // namespace diva::net

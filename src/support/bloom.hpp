@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace diva::support {
+
+/// Counting Bloom filter over 64-bit keys: a fixed-size probabilistic set
+/// supporting add/remove/mayContain with one-sided error. `mayContain`
+/// never returns false for a present key (no false negatives — the
+/// property protocol hints rely on for correctness); it may return true
+/// for an absent key with a rate bounded by the classic (1-e^(-kn/m))^k
+/// estimate (property-tested in tests/support_test.cpp).
+///
+/// Counters are 8-bit and *sticky at saturation*: a counter that reaches
+/// 255 is never decremented again. Saturation therefore degrades only the
+/// false-positive rate, never the no-false-negative guarantee — the same
+/// trade the dariadb storage bloom makes, plus removal support.
+class CountingBloom {
+ public:
+  /// `cells` is rounded up to at least 8; `hashes` ∈ [1, 8].
+  explicit CountingBloom(std::size_t cells = 64, int hashes = 3)
+      : counters_(cells < 8 ? 8 : cells, 0), hashes_(hashes) {
+    DIVA_CHECK_MSG(hashes >= 1 && hashes <= 8,
+                   "CountingBloom: hash count must be in [1, 8] (got " << hashes << ")");
+  }
+
+  std::size_t numCells() const { return counters_.size(); }
+  int numHashes() const { return hashes_; }
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void add(std::uint64_t key) {
+    forEachCell(key, [&](std::size_t i) {
+      if (counters_[i] != kSaturated) ++counters_[i];
+    });
+    ++size_;
+  }
+
+  /// Remove one prior `add` of `key`. Removing a key that was never added
+  /// is undefined (it can manufacture false negatives for other keys) —
+  /// callers pair add/remove exactly, and the strategy invariants check
+  /// the pairing at quiescence.
+  void remove(std::uint64_t key) {
+    DIVA_CHECK_MSG(size_ > 0, "CountingBloom: remove from an empty filter");
+    forEachCell(key, [&](std::size_t i) {
+      DIVA_CHECK_MSG(counters_[i] > 0,
+                     "CountingBloom: remove of a key that was never added");
+      if (counters_[i] != kSaturated) --counters_[i];
+    });
+    --size_;
+  }
+
+  /// True if `key` may be in the set; false means definitely absent.
+  bool mayContain(std::uint64_t key) const {
+    bool all = true;
+    forEachCell(key, [&](std::size_t i) { all = all && counters_[i] > 0; });
+    return all;
+  }
+
+ private:
+  static constexpr std::uint8_t kSaturated = 255;
+
+  /// k derived cell indexes via double hashing: h_i = h1 + i·h2 (mod m),
+  /// the standard Kirsch–Mitzenmacher construction over one mix64 pass.
+  template <typename Fn>
+  void forEachCell(std::uint64_t key, Fn&& fn) const {
+    const std::uint64_t h = mix64(key);
+    const std::uint64_t h1 = h & 0xffffffffull;
+    const std::uint64_t h2 = (h >> 32) | 1ull;  // odd → full-period stride
+    for (int i = 0; i < hashes_; ++i) {
+      fn((h1 + static_cast<std::uint64_t>(i) * h2) % counters_.size());
+    }
+  }
+
+  std::vector<std::uint8_t> counters_;
+  int hashes_;
+  std::uint64_t size_ = 0;  ///< adds minus removes (diagnostics/tests)
+};
+
+}  // namespace diva::support

@@ -72,6 +72,9 @@ WorkloadSpec parseScenario(const std::string& text) {
       spec.cacheBytes = parseValue<std::uint64_t>(ls, lineNo, "cache");
     } else if (word == "procs") {
       spec.procs = parseValue<int>(ls, lineNo, "procs");
+    } else if (word == "topology") {
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> spec.topology),
+                     "scenario file line " << lineNo << ": 'topology' needs a name");
     } else if (word == "phase") {
       PhaseSpec ph;
       DIVA_CHECK_MSG(static_cast<bool>(ls >> ph.name),
@@ -206,13 +209,18 @@ WorkloadSpec loadScenarioFile(const std::string& path) {
     // so a committed scenario works no matter the runner's cwd. In-memory
     // parseScenario text has no anchor and keeps paths as written.
     const std::filesystem::path dir = std::filesystem::path(path).parent_path();
-    if (!dir.empty()) {
-      for (PhaseSpec& ph : spec.phases) {
-        if (!ph.tracePath.empty() &&
-            std::filesystem::path(ph.tracePath).is_relative()) {
-          ph.tracePath = (dir / ph.tracePath).string();
-        }
-      }
+    for (PhaseSpec& ph : spec.phases) {
+      if (ph.tracePath.empty()) continue;
+      if (!dir.empty() && std::filesystem::path(ph.tracePath).is_relative())
+        ph.tracePath = (dir / ph.tracePath).string();
+      // Preflight: traces are otherwise opened lazily when their phase
+      // starts, which buries a typo'd path in mid-run engine output. Fail
+      // here, at load, with the resolved path — scenario_runner turns
+      // this into a clean exit 3 before anything runs.
+      std::ifstream trace(ph.tracePath);
+      if (!trace.good())
+        throw support::CheckError("phase '" + ph.name +
+                                  "': cannot open trace file '" + ph.tracePath + "'");
     }
     return spec;
   } catch (const support::CheckError& e) {
@@ -228,6 +236,7 @@ std::string formatScenario(const WorkloadSpec& spec) {
   out << "objects " << spec.numObjects << " " << spec.objectBytes << "\n";
   if (spec.cacheBytes != 0) out << "cache " << spec.cacheBytes << "\n";
   if (spec.procs != 0) out << "procs " << spec.procs << "\n";
+  if (!spec.topology.empty()) out << "topology " << spec.topology << "\n";
   for (const PhaseSpec& ph : spec.phases) {
     out << "phase " << ph.name << "\n";
     out << "rounds " << ph.rounds << "\n";

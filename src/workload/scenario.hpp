@@ -21,6 +21,10 @@ namespace diva::workload {
 //                           0 = unlimited — the default)
 //   procs <P>              (optional; suggested machine size for runners,
 //                           0 = runner's choice)
+//   topology <name>        (optional; suggested network shape by name —
+//                           net/topology_env.hpp vocabulary, e.g. mesh2d,
+//                           ring, hier-random-regular. Runners use it as
+//                           the default shape; DIVA_TOPOLOGY overrides.)
 //   phase <name>           (starts a phase; later keys configure it)
 //   rounds <n>             (accesses per processor; default 1)
 //   reads <fraction>       (P(read) in [0,1]; default 1.0)

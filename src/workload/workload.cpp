@@ -43,6 +43,9 @@ void WorkloadSpec::validate() const {
   DIVA_CHECK_MSG(objectBytes >= 1,
                  "workload '" << name << "': objectBytes must be positive");
   DIVA_CHECK_MSG(procs >= 0, "workload '" << name << "': procs must be >= 0");
+  DIVA_CHECK_MSG(topology.empty() || singleToken(topology),
+                 "workload '" << name << "': topology name '" << topology
+                              << "' must be one whitespace-free token");
   DIVA_CHECK_MSG(!phases.empty(), "workload '" << name << "': needs at least one phase");
   DIVA_CHECK_MSG(phases.size() <= 64,
                  "workload '" << name << "': too many phases (" << phases.size()

@@ -76,6 +76,12 @@ struct WorkloadSpec {
   std::uint64_t cacheBytes = 0;   ///< per-processor module bound; 0 = unlimited
   std::uint64_t seed = 1;
   int procs = 0;                  ///< suggested machine size (scenario files); 0 = caller's choice
+  /// Suggested network shape by name (net/topology_env.hpp vocabulary,
+  /// e.g. "mesh2d", "hier-random-regular"); empty = caller's choice.
+  /// Like `procs` it is advisory: scenario_runner honors it unless
+  /// DIVA_TOPOLOGY overrides, and run()/runOn() ignore it — the machine
+  /// passed in wins.
+  std::string topology;
   std::vector<PhaseSpec> phases;
 
   /// Fail fast on nonsensical parameters; throws CheckError.

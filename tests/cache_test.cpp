@@ -124,6 +124,53 @@ TEST_P(ReplacementTest, LastCopyIsNeverEvicted) {
   EXPECT_EQ(rt.peek(x)->size(), 1024u);
 }
 
+TEST(Replacement, OwnedCopyIsNeverEvictedUnderPressure) {
+  // Fixed home: the owner's entry is the authoritative copy. Stream many
+  // foreign variables through the owner's over-committed module — the
+  // owned entries must all survive the pressure, and eviction must still
+  // reclaim the non-authoritative ones.
+  Machine m(4, 4);
+  RuntimeConfig cfg = RuntimeConfig::fixedHome();
+  cfg.cacheCapacityBytes = 2 * 1100;
+  Runtime rt(m, cfg);
+
+  std::vector<VarId> owned;
+  for (int i = 0; i < 4; ++i)
+    owned.push_back(rt.createVarFree(0, makeRawValue(1024)));
+  std::vector<VarId> foreign;
+  for (int i = 0; i < 10; ++i)
+    foreign.push_back(rt.createVarFree(9, makeRawValue(1024)));
+  for (VarId x : foreign) (void)readOnce(m, rt, 0, x);
+
+  for (VarId x : owned) {
+    const NodeCache::Entry* e = rt.cacheOf(0).peek(x);
+    ASSERT_NE(e, nullptr) << "authoritative copy of " << x << " was evicted";
+    EXPECT_TRUE(e->owned);
+  }
+  EXPECT_GT(m.stats.ops.evictions, 0u) << "foreign copies must have been reclaimed";
+  rt.checkAllInvariants();
+}
+
+TEST(Replacement, TryEvictRefusesOwnedAndPinnedEntries) {
+  Machine m(4, 4);
+  Runtime rt(m, RuntimeConfig::fixedHome());  // unlimited cache: no pressure
+  const VarId x = rt.createVarFree(5, makeRawValue(64));
+  // The creator owns the data: its entry is authoritative and refused.
+  EXPECT_FALSE(rt.strategy().tryEvict(5, x)) << "owner entry must be refused";
+
+  // A remote read migrates ownership to the home (the ownership scheme's
+  // read rule): the old owner keeps a now-plain copy that IS evictable,
+  // while a pinned entry stays refused regardless.
+  (void)readOnce(m, rt, 2, x);
+  ASSERT_NE(rt.cacheOf(2).peek(x), nullptr);
+  rt.cacheOf(2).peek(x)->pinned = true;
+  EXPECT_FALSE(rt.strategy().tryEvict(2, x)) << "pinned entry must be refused";
+  rt.cacheOf(2).peek(x)->pinned = false;
+  EXPECT_TRUE(rt.strategy().tryEvict(5, x)) << "ceded copy is evictable";
+  rt.checkAllInvariants();
+  EXPECT_EQ(rt.peek(x)->size(), 64u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Strategies, ReplacementTest,
                          ::testing::Values(RuntimeConfig::accessTree(4, 1),
                                            RuntimeConfig::accessTree(2, 1),

@@ -450,7 +450,7 @@ TEST(GraphDecomposition, CustomPartitionerIsPluggable) {
   // middle by id. Verifies decompose() honors the injected strategy.
   class SplitByIdPartitioner final : public net::GraphPartitioner {
    public:
-    void bisect(const net::GraphTopology&, const std::vector<NodeId>& cluster,
+    void bisect(const net::Topology&, const std::vector<NodeId>& cluster,
                 std::vector<NodeId>& a, std::vector<NodeId>& b) const override {
       const std::size_t half = (cluster.size() + 1) / 2;
       a.assign(cluster.begin(), cluster.begin() + half);

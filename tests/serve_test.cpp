@@ -485,5 +485,71 @@ TEST(OpenLoopDriver, OpenLoopAtBuildsSweepRungs) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Scenario-load preflight & overflow-tail quantiles (regressions)
+// --------------------------------------------------------------------------
+
+TEST(ScenarioServe, UnreadableTraceFailsAtLoadWithItsPath) {
+  // Regression: a scenario pointing at a missing trace file used to get
+  // past loading and blow up mid-run with macro noise. It must now fail
+  // at load time with a message naming the phase and the resolved trace
+  // path — what scenario_runner prints before exiting 3.
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "serve_test_broken.scenario";
+  {
+    std::ofstream out(path);
+    out << "scenario broken\nobjects 4\nphase replay\ntrace no_such_file.trace\n";
+  }
+  try {
+    (void)workload::loadScenarioFile(path);
+    FAIL() << "missing trace must fail at load";
+  } catch (const support::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot open trace file"), std::string::npos) << what;
+    EXPECT_NE(what.find("replay"), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_file.trace"), std::string::npos) << what;
+    EXPECT_EQ(what.find("check failed"), std::string::npos)
+        << "load error must read as a file problem, not an assertion: " << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioServe, TopologyDirectiveRoundTrips) {
+  const WorkloadSpec spec = workload::parseScenario(
+      "scenario shaped\nobjects 4\nprocs 32\ntopology hier-random-regular\n"
+      "phase p\nrounds 1\n");
+  EXPECT_EQ(spec.topology, "hier-random-regular");
+  const WorkloadSpec again = workload::parseScenario(workload::formatScenario(spec));
+  EXPECT_EQ(again, spec);
+  // Multi-token shapes are rejected at validation.
+  EXPECT_THROW(workload::parseScenario("objects 4\ntopology two words\nphase p\n"),
+               support::CheckError);
+}
+
+TEST(Histogram, OverflowBucketQuantilesReportTheExactTail) {
+  // All samples ≥ 2^26 µs land in one unbounded bucket; every quantile
+  // that falls into it must report the tracked exact maximum rather than
+  // the range edge.
+  LatencyHistogram h;
+  const double lo = LatencyHistogram::kMaxValue();
+  for (int i = 0; i < 100; ++i) h.record(lo + i * 1e6);
+  const double exactMax = lo + 99 * 1e6;
+  for (const double q : {0.5, 0.9, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), exactMax);
+  EXPECT_EQ(h.overflowCount(), 100u);
+  EXPECT_EQ(h.max(), exactMax);
+
+  // A mixed population: the median stays in range, the tail is exact.
+  LatencyHistogram m;
+  for (int i = 0; i < 99; ++i) m.record(10.0);
+  m.record(lo * 8.0);
+  EXPECT_LT(m.quantile(0.5), 16.0);
+  EXPECT_EQ(m.quantile(1.0), lo * 8.0);
+}
+
+TEST(Histogram, ZeroSampleQuantileIsZeroForEveryQ) {
+  const LatencyHistogram h;
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 0.0);
+}
+
 }  // namespace
 }  // namespace diva

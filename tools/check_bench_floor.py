@@ -6,17 +6,45 @@ accidental O(n log n) -> O(n^2), a lost fast path), NOT run-to-run noise —
 the floors sit far below every number ever recorded, including the seed
 engine on a loaded CI VM.
 
-Usage: check_bench_floor.py <bench.json> [label]     (default label: ci-smoke)
+Usage:
+  check_bench_floor.py <bench.json> [label]        (default label: ci-smoke)
+  check_bench_floor.py --rss <time-v-output> <max-kb>
+
+The --rss mode parses the "Maximum resident set size (kbytes)" line of a
+`/usr/bin/time -v` capture and fails when it exceeds <max-kb> — the CI
+memory gate on the 100k-node hierarchical-routing scenario
+(docs/routing.md).
 """
 
 import json
+import re
 import sys
+
+
+def check_rss(path: str, max_kb: int) -> int:
+    with open(path) as f:
+        text = f.read()
+    m = re.search(r"Maximum resident set size \(kbytes\):\s*(\d+)", text)
+    if not m:
+        print(f"no 'Maximum resident set size' line in {path}", file=sys.stderr)
+        return 2
+    rss_kb = int(m.group(1))
+    if rss_kb > max_kb:
+        print(f"peak RSS {rss_kb:,} KB above gate {max_kb:,} KB", file=sys.stderr)
+        return 1
+    print(f"peak RSS ok: {rss_kb:,} KB <= {max_kb:,} KB")
+    return 0
 
 
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if sys.argv[1] == "--rss":
+        if len(sys.argv) != 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_rss(sys.argv[2], int(sys.argv[3]))
     path = sys.argv[1]
     label = sys.argv[2] if len(sys.argv) > 2 else "ci-smoke"
     floors = {
@@ -35,6 +63,15 @@ def main() -> int:
         # Open-loop serving driver (scheduled arrivals + latency
         # histogram on the hot path): ~1.4M msgs/s on the dev box.
         "workload_openloop_messages_per_sec": 50_000,
+        # Hierarchical landmark-ball routing (docs/routing.md): the same
+        # relay churn as graph_messages_per_sec but routed through the
+        # compact ball state — within a small factor of the dense series
+        # on the dev box.
+        "hier_routing_messages_per_sec": 50_000,
+        # Raw appendRoute throughput on a 1024-node graph (chain walk +
+        # per-hop ball lookups; no message pipeline): ~1M routes/s on
+        # the dev box.
+        "hier_routing_routes_per_sec": 100_000,
     }
     # Simulated-model property, not host perf: the open-loop bench's
     # run-total p99 latency at 2k req/s (below the knee) is ~29 ms on

@@ -31,7 +31,8 @@
 //               machine-readable `SWEEP rung=...` lines
 //   --help      print this usage to stdout and exit 0
 // Shape comes from DIVA_TOPOLOGY (mesh2d | torus2d | hypercube | ring |
-// star | random-regular | graph:<path>; default mesh2d).
+// star | random-regular | graph:<path> | hier-<graph shape>), else the
+// scenario's own `topology` directive, else mesh2d.
 //
 // Exit codes: 0 success · 1 a gate (--min-availability / --max-p99-us)
 // failed · 2 bad usage · 3 scenario/trace file malformed or unrunnable.
@@ -203,7 +204,8 @@ int main(int argc, char** argv) {
     const int procs = procsFlag > 0 ? procsFlag : spec.procs > 0 ? spec.procs : 64;
     int rows = 0, cols = 0;
     gridShape(procs, rows, cols);
-    const net::TopologySpec topo = net::topologyFromEnv(rows, cols);
+    const net::TopologySpec topo =
+        net::topologyFromEnv(rows, cols, /*requireGrid=*/false, spec.topology);
 
     std::printf("scenario '%s' (%s): %d objects × %llu B, %zu phase(s), seed %llu\n",
                 spec.name.c_str(), path.c_str(), spec.numObjects,
