@@ -235,6 +235,54 @@ void BM_WorkloadChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadChurn);
 
+// Elastic variant of the workload churn (docs/faults.md
+// "Reconfiguration"): a 64-node random-regular machine grows by two
+// nodes, rewires, and shrinks back while the zipf traffic runs, so
+// epoch delivery, tree re-decomposition, strategy-state migration and
+// handoff forwarding are all on the measured path. This is the
+// `workload_reconfig_messages_per_sec` series in BENCH_engine.json;
+// its floor in tools/check_bench_floor.py guards the elastic machinery
+// against order-of-magnitude regressions.
+void BM_WorkloadReconfig(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.name = "bench-reconfig";
+  spec.numObjects = 128;
+  spec.objectBytes = 256;
+  spec.seed = 1;
+  auto ev = [](net::FaultEvent::Kind k, double offsetUs, net::NodeId a,
+               net::NodeId b = 0) {
+    net::FaultEvent e;
+    e.kind = k;
+    e.offsetUs = offsetUs;
+    e.a = a;
+    e.b = b;
+    return e;
+  };
+  workload::PhaseSpec grow{"grow", 16, 0.9, 1.0, 0, 0.0, true, {}};
+  grow.faults.push_back(ev(net::FaultEvent::Kind::AddNode, 10.0, 5));
+  grow.faults.push_back(ev(net::FaultEvent::Kind::AddNode, 30.0, 11));
+  spec.phases.push_back(grow);
+  workload::PhaseSpec rewire{"rewire", 16, 0.9, 1.0, 64, 0.0, true, {}};
+  rewire.faults.push_back(ev(net::FaultEvent::Kind::AddLink, 10.0, 64, 65));
+  rewire.faults.push_back(ev(net::FaultEvent::Kind::RemoveLink, 40.0, 5, 64));
+  spec.phases.push_back(rewire);
+  workload::PhaseSpec shrink{"shrink", 16, 0.7, 1.0, 0, 0.0, true, {}};
+  shrink.faults.push_back(ev(net::FaultEvent::Kind::RemoveNode, 10.0, 64));
+  shrink.faults.push_back(ev(net::FaultEvent::Kind::RemoveNode, 40.0, 65));
+  spec.phases.push_back(shrink);
+  const auto graph =
+      std::make_shared<const net::GraphSpec>(net::randomRegularGraph(64, 3, 1));
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    Machine m(net::TopologySpec::graph(graph));
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1, spec.seed));
+    (void)workload::run(m, rt, spec);
+    sent += m.net.messagesSent();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_WorkloadReconfig);
+
 // Open-loop serving churn: the same 8×8-mesh machine driven by a Poisson
 // arrival schedule below the saturation knee (docs/serving.md), so the
 // scheduled-arrival driver, latency histogram and per-request accounting

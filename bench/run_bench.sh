@@ -50,9 +50,18 @@ FIG_DATA=$(
 SWEEP_DATA=$("$BUILD_DIR/tools/scenario_runner" scenarios/hotspot.scenario \
   --sweep 2e3:6.4e4:6 | grep '^SWEEP')
 
+# Elastic sweep (docs/faults.md "Reconfiguration"): the same offered-rate
+# ladder over the committed elastic scenario, whose phases grow, rewire
+# and shrink the machine mid-run — each rung reports availability next to
+# p99, so the latency-vs-availability trade of serving through
+# reconfiguration is recorded per PR.
+ELASTIC_SWEEP_DATA=$("$BUILD_DIR/tools/scenario_runner" scenarios/elastic.scenario \
+  --sweep 1e4:4e4:3 | grep '^SWEEP')
+
 BIN="$BUILD_DIR/bench/micro_engine" RAW="$BUILD_DIR/bench_raw.json" \
 OUT="$OUT" LABEL="$LABEL" REPS="$REPS" GIT_SHA="$GIT_SHA" COMPILER="$COMPILER" \
 FIG_DATA="$FIG_DATA" SWEEP_DATA="$SWEEP_DATA" \
+ELASTIC_SWEEP_DATA="$ELASTIC_SWEEP_DATA" \
 python3 - <<'EOF'
 import json, os, resource, subprocess, sys
 
@@ -67,7 +76,8 @@ cmd = [
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
     "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
     "|BM_HierRoutingMessageChurn|BM_HierRoutingAppendRoute"
-    "|BM_WorkloadZipfChurn|BM_WorkloadChurn|BM_WorkloadOpenLoop",
+    "|BM_WorkloadZipfChurn|BM_WorkloadChurn|BM_WorkloadReconfig"
+    "|BM_WorkloadOpenLoop",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -101,21 +111,28 @@ for line in os.environ.get("FIG_DATA", "").splitlines():
         "at_fh_time": float(fields["at_fh_time"]),
     }
 
-# Saturation-sweep rungs (offered vs achieved req/s + p99 latency per
-# strategy) from the scenario_runner --sweep run over hotspot.scenario.
-sweep = []
-for line in os.environ.get("SWEEP_DATA", "").splitlines():
-    parts = line.split()
-    if not parts or parts[0] != "SWEEP":
-        continue
-    fields = dict(kv.split("=", 1) for kv in parts[1:])
-    sweep.append({
-        "offered_per_sec": float(fields["offered"]),
-        "access_tree": {"achieved_per_sec": float(fields["at_achieved"]),
-                        "p99_us": float(fields["at_p99_us"])},
-        "fixed_home": {"achieved_per_sec": float(fields["fh_achieved"]),
-                       "p99_us": float(fields["fh_p99_us"])},
-    })
+# Saturation-sweep rungs (offered vs achieved req/s + p99 latency +
+# availability per strategy) from scenario_runner --sweep runs.
+def parse_sweep(env_name):
+    rungs = []
+    for line in os.environ.get(env_name, "").splitlines():
+        parts = line.split()
+        if not parts or parts[0] != "SWEEP":
+            continue
+        fields = dict(kv.split("=", 1) for kv in parts[1:])
+        rungs.append({
+            "offered_per_sec": float(fields["offered"]),
+            "access_tree": {"achieved_per_sec": float(fields["at_achieved"]),
+                            "p99_us": float(fields["at_p99_us"]),
+                            "availability": float(fields["at_avail"])},
+            "fixed_home": {"achieved_per_sec": float(fields["fh_achieved"]),
+                           "p99_us": float(fields["fh_p99_us"]),
+                           "availability": float(fields["fh_avail"])},
+        })
+    return rungs
+
+sweep = parse_sweep("SWEEP_DATA")
+elastic_sweep = parse_sweep("ELASTIC_SWEEP_DATA")
 
 mesh = bench("BM_NetworkMessageChurn")
 entry = {
@@ -138,6 +155,11 @@ entry = {
     # crash/recover: detour BFS, crash repair and availability retries on
     # the measured path (docs/faults.md).
     "workload_churn_messages_per_sec": round(rate("BM_WorkloadChurn")),
+    # Elastic churn: structural reconfiguration (add/remove node, rewire)
+    # on a graph-backed machine under zipf load — epoch delivery, tree
+    # re-decomposition, state migration and handoff forwarding all on the
+    # measured path (docs/faults.md "Reconfiguration").
+    "workload_reconfig_messages_per_sec": round(rate("BM_WorkloadReconfig")),
     # Open-loop serving churn (scheduled Poisson arrivals below the knee,
     # latency histogram on the hot path — docs/serving.md); the p99 is
     # simulated µs, a model property pinned against drift, not host time.
@@ -162,6 +184,8 @@ entry = {
         "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
         "workload_churn_messages_per_sec":
             "mesh2d-8x8 zipf-churn + link flaps + node crash (access tree)",
+        "workload_reconfig_messages_per_sec":
+            "graph-rr64d3s1 zipf + grow/rewire/shrink reconfig (access tree)",
         "workload_openloop_messages_per_sec":
             "mesh2d-8x8 open-loop poisson 2k req/s (access tree)",
     },
@@ -169,6 +193,10 @@ entry = {
     # Offered-rate ladder over scenarios/hotspot.scenario, both
     # strategies (scenario_runner --sweep; docs/serving.md).
     "saturation_sweep": sweep,
+    # Same ladder over scenarios/elastic.scenario — p99 vs availability
+    # while the machine grows, rewires and shrinks under load
+    # (docs/faults.md "Reconfiguration").
+    "elastic_sweep": elastic_sweep,
     "git_sha": os.environ.get("GIT_SHA", "unknown"),
     "compiler": os.environ.get("COMPILER", "unknown"),
 }

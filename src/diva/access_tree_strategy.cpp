@@ -21,12 +21,12 @@ std::string variantName(int arity, int leafSize) {
 
 AccessTreeStrategy::AccessTreeStrategy(net::Network& net, Stats& stats,
                                        std::vector<NodeCache>& caches, Params params)
-    : net_(net),
-      stats_(stats),
-      caches_(caches),
-      params_(params),
-      tree_(net.topology().decompose(net::DecompParams{params.arity, params.leafSize})),
-      subtreeHint_(static_cast<std::size_t>(tree_->numNodes())) {}
+    : net_(net), stats_(stats), caches_(caches), params_(params) {
+  Ctx c;
+  c.tree = net.topology().decompose(net::DecompParams{params.arity, params.leafSize});
+  c.hints.resize(static_cast<std::size_t>(c.tree->numNodes()));
+  ctxs_.push_back(std::move(c));
+}
 
 std::string AccessTreeStrategy::name() const {
   return variantName(params_.arity, params_.leafSize);
@@ -40,12 +40,13 @@ const AccessTreeStrategy::TreeState* AccessTreeStrategy::findState(
   return nit == vit->second.nodes.end() ? nullptr : &nit->second;
 }
 
-bool AccessTreeStrategy::isParentOf(std::int32_t parent, std::int32_t child) const {
-  return tree_->node(child).parent == parent;
+bool AccessTreeStrategy::isParentOf(VarId x, std::int32_t parent,
+                                    std::int32_t child) const {
+  return treeOf(x).node(child).parent == parent;
 }
 
-std::uint32_t AccessTreeStrategy::childBit(std::int32_t child) const {
-  const int idx = tree_->node(child).indexInParent;
+std::uint32_t AccessTreeStrategy::childBit(VarId x, std::int32_t child) const {
+  const int idx = treeOf(x).node(child).indexInParent;
   DIVA_CHECK(idx >= 0 && idx < 32);
   return 1u << idx;
 }
@@ -57,13 +58,15 @@ int AccessTreeStrategy::copyNeighborCount(VarId x, std::int32_t node) const {
 }
 
 void AccessTreeStrategy::hintCopyBorn(VarId x, std::int32_t node) {
-  for (std::int32_t a = node; a >= 0; a = tree_->parent(a))
-    subtreeHint_[static_cast<std::size_t>(a)].add(x);
+  Ctx& c = ctxs_[static_cast<std::size_t>(states_.at(x).ctx)];
+  for (std::int32_t a = node; a >= 0; a = c.tree->parent(a))
+    c.hints[static_cast<std::size_t>(a)].add(x);
 }
 
 void AccessTreeStrategy::hintCopyDied(VarId x, std::int32_t node) {
-  for (std::int32_t a = node; a >= 0; a = tree_->parent(a))
-    subtreeHint_[static_cast<std::size_t>(a)].remove(x);
+  Ctx& c = ctxs_[static_cast<std::size_t>(states_.at(x).ctx)];
+  for (std::int32_t a = node; a >= 0; a = c.tree->parent(a))
+    c.hints[static_cast<std::size_t>(a)].remove(x);
 }
 
 void AccessTreeStrategy::clearCopy(VarId x, std::int32_t node) {
@@ -94,15 +97,30 @@ sim::Task<Value> AccessTreeStrategy::read(NodeId p, VarId x) {
   const std::uint64_t txn = nextTxn_++;
   sim::OneShot<Value> done(net_.engine());
   pending_[txn] = PendingOp{&done};
-  ++states_.at(x).activeOps;
+  VarState& vs = states_.at(x);
+  ++vs.activeOps;
 
   AtBody b;
   b.k = AtBody::K::Climb;
   b.var = x;
   b.txn = txn;
   b.requester = p;
-  b.atNode = tree_->leafOf(p);
-  net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
+  b.ctx = vs.ctx;
+  b.atNode = treeOf(x).leafOf(p);
+  NodeId entry = p;
+  if (b.atNode < 0) {
+    // p joined the machine after this variable's tree was built — the
+    // variable is mid-handoff on a superseded context, its migration
+    // deferred until it falls quiet. Enter the old tree through a
+    // deterministic proxy leaf; the p→proxy hop is the forwarding cost.
+    entry = nextLiveAfter(x, p);
+    b.requester = entry;
+    b.atNode = treeOf(x).leafOf(entry);
+    ++stats_.ops.forwardedOps;
+  }
+  DIVA_CHECK_MSG(b.atNode >= 0, "requester " << p << " is not in variable " << x
+                                             << "'s access tree");
+  net_.post(net::Message{p, entry, net::kProtocolChannel, 0, std::move(b)});
 
   Value v = co_await done.wait();
   pending_.erase(txn);
@@ -114,17 +132,30 @@ sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
   const std::uint64_t txn = nextTxn_++;
   sim::OneShot<Value> done(net_.engine());
   pending_[txn] = PendingOp{&done};
-  ++states_.at(x).activeOps;
+  VarState& vs = states_.at(x);
+  ++vs.activeOps;
 
   AtBody b;
   b.k = AtBody::K::Climb;
   b.var = x;
   b.txn = txn;
   b.requester = p;
-  b.atNode = tree_->leafOf(p);
+  b.ctx = vs.ctx;
+  b.atNode = treeOf(x).leafOf(p);
+  NodeId entry = p;
+  if (b.atNode < 0) {
+    // Same proxy entry as read(): a node added after this variable's
+    // tree was built forwards through a leaf the old tree covers.
+    entry = nextLiveAfter(x, p);
+    b.requester = entry;
+    b.atNode = treeOf(x).leafOf(entry);
+    ++stats_.ops.forwardedOps;
+  }
+  DIVA_CHECK_MSG(b.atNode >= 0, "requester " << p << " is not in variable " << x
+                                             << "'s access tree");
   b.isWrite = true;
   b.value = std::move(v);
-  net_.post(net::Message{p, p, net::kProtocolChannel, 0, std::move(b)});
+  net_.post(net::Message{p, entry, net::kProtocolChannel, 0, std::move(b)});
 
   (void)co_await done.wait();
   pending_.erase(txn);
@@ -134,7 +165,10 @@ sim::Task<void> AccessTreeStrategy::write(NodeId p, VarId x, Value v) {
 
 void AccessTreeStrategy::seedComponent(VarState& vs, VarId x, NodeId owner,
                                        Value init) {
-  const std::int32_t leaf = tree_->leafOf(owner);
+  const net::ClusterTree& t = *ctxs_[static_cast<std::size_t>(vs.ctx)].tree;
+  const std::int32_t leaf = t.leafOf(owner);
+  DIVA_CHECK_MSG(leaf >= 0, "owner " << owner << " is not in variable " << x
+                                     << "'s access tree");
   TreeState& st = vs.nodes[leaf];
   st.kind = TreeState::Kind::Copy;
   st.downChild = -1;
@@ -143,7 +177,7 @@ void AccessTreeStrategy::seedComponent(VarState& vs, VarId x, NodeId owner,
   e.copyCount = 1;
   // Mark the path from the root to the component (data tracking invariant).
   std::int32_t child = leaf;
-  for (std::int32_t a = tree_->parent(leaf); a >= 0; a = tree_->parent(a)) {
+  for (std::int32_t a = t.parent(leaf); a >= 0; a = t.parent(a)) {
     TreeState& as = vs.nodes[a];
     as.kind = TreeState::Kind::Down;
     as.downChild = child;
@@ -153,7 +187,9 @@ void AccessTreeStrategy::seedComponent(VarState& vs, VarId x, NodeId owner,
 
 void AccessTreeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
   DIVA_CHECK_MSG(!states_.contains(x), "variable registered twice");
-  seedComponent(states_[x], x, owner, std::move(init));
+  VarState& vs = states_[x];
+  vs.ctx = cur_;
+  seedComponent(vs, x, owner, std::move(init));
 }
 
 sim::Task<void> AccessTreeStrategy::registerVar(VarId x, NodeId owner, Value init) {
@@ -163,14 +199,16 @@ sim::Task<void> AccessTreeStrategy::registerVar(VarId x, NodeId owner, Value ini
   // bookkeeping plus the first startup — creation does not block on a
   // root round trip.
   registerVarFree(x, owner, std::move(init));
-  const std::int32_t leaf = tree_->leafOf(owner);
-  if (tree_->parent(leaf) < 0) co_return;  // single-node machine
+  const net::ClusterTree& t = treeOf(x);
+  const std::int32_t leaf = t.leafOf(owner);
+  if (t.parent(leaf) < 0) co_return;  // single-node machine
 
   AtBody b;
   b.k = AtBody::K::Mark;
   b.var = x;
   b.requester = owner;
-  b.atNode = tree_->parent(leaf);
+  b.ctx = cur_;
+  b.atNode = t.parent(leaf);
   b.fromNode = leaf;
   net_.post(net::Message{owner, hostOf(b.atNode, x), net::kProtocolChannel, 0, std::move(b)});
   co_return;
@@ -191,16 +229,18 @@ void AccessTreeStrategy::destroyVarFree(VarId x) {
   }
   states_.erase(it);
   pendingRepairs_.erase(x);
+  pendingMigrations_.erase(x);
 }
 
 Value AccessTreeStrategy::peek(VarId x) const {
   const auto it = states_.find(x);
   DIVA_CHECK_MSG(it != states_.end(), "peek of unregistered variable");
   // The topmost copy holder carries the committed value.
+  const net::ClusterTree& t = treeOf(x);
   std::int32_t top = -1;
   for (const auto& [node, st] : it->second.nodes)
     if (st.kind == TreeState::Kind::Copy &&
-        (top < 0 || tree_->depthOf(node) < tree_->depthOf(top)))
+        (top < 0 || t.depthOf(node) < t.depthOf(top)))
       top = node;
   DIVA_CHECK_MSG(top >= 0, "variable has no copies");
   const NodeCache::Entry* e = caches_[hostOf(top, x)].peek(x);
@@ -232,14 +272,23 @@ void AccessTreeStrategy::handleMessage(net::Message&& msg) {
       // drain time (see repairVar); this message charges the salvage and
       // scrub traffic so congestion-during-repair is visible.
       break;
+    case AtBody::K::Migrate:
+      // Cost-only: migration mutates tree state and caches synchronously
+      // at epoch/drain time (see migrateVar); this message charges the
+      // handoff traffic so congestion-during-migration is visible.
+      break;
   }
 }
 
 void AccessTreeStrategy::forward(AtBody&& b, std::int32_t fromTreeNode,
                                  std::int32_t toTreeNode, std::uint64_t payloadBytes) {
+  // Host resolution uses the context stamped into the message, not the
+  // variable's current one: a cost-only Mark may still be travelling on a
+  // predecessor tree after its variable migrated (or was destroyed).
+  const net::ClusterTree& t = *ctxs_[static_cast<std::size_t>(b.ctx)].tree;
   const VarId x = b.var;
-  const NodeId src = hostOf(fromTreeNode, x);
-  const NodeId dst = hostOf(toTreeNode, x);
+  const NodeId src = t.hostOf(fromTreeNode, x, params_.embedding, params_.seed);
+  const NodeId dst = t.hostOf(toTreeNode, x, params_.embedding, params_.seed);
   b.atNode = toTreeNode;
   net_.post(net::Message{src, dst, net::kProtocolChannel, payloadBytes, std::move(b)});
 }
@@ -270,7 +319,7 @@ void AccessTreeStrategy::onClimb(AtBody&& b) {
     ++stats_.ops.protocolRetries;
     DIVA_CHECK_MSG(b.retries < kMaxRetries, "access tree climb livelock");
   }
-  const std::int32_t parent = tree_->parent(node);
+  const std::int32_t parent = treeOf(b.var).parent(node);
   DIVA_CHECK_MSG(parent >= 0, "climb reached the root without finding data "
                                   << "(unregistered variable " << b.var << "?)");
   b.path.push_back(node);
@@ -302,10 +351,10 @@ void AccessTreeStrategy::sendData(VarId x, std::uint64_t txn, NodeId requester,
   // will be skipped anyway (versioning) and no mark must be left.
   if (!vs.coord) {
     TreeState& st = stateOf(x, server);
-    if (isParentOf(next, server)) {
+    if (isParentOf(x, next, server)) {
       st.parentCopy = true;
     } else {
-      st.childCopyMask |= childBit(next);
+      st.childCopyMask |= childBit(x, next);
     }
   }
 
@@ -314,6 +363,7 @@ void AccessTreeStrategy::sendData(VarId x, std::uint64_t txn, NodeId requester,
   d.var = x;
   d.txn = txn;
   d.requester = requester;
+  d.ctx = vs.ctx;
   d.isWrite = isWrite;
   d.version = vs.committedVersion;
   d.value = std::move(v);
@@ -346,10 +396,10 @@ void AccessTreeStrategy::depositCopy(VarId x, std::int32_t node, const Value& v,
   }
   auto mark = [&](std::int32_t nb) {
     if (nb < 0) return;
-    if (isParentOf(nb, node)) {
+    if (isParentOf(x, nb, node)) {
       st.parentCopy = true;
     } else {
-      st.childCopyMask |= childBit(nb);
+      st.childCopyMask |= childBit(x, nb);
     }
   };
   mark(towardServer);
@@ -395,12 +445,13 @@ void AccessTreeStrategy::startInvalidation(std::int32_t uNode, AtBody&& b) {
   c.value = std::move(b.value);
   c.path = std::move(b.path);
 
-  const net::ClusterTree::Node& nd = tree_->node(uNode);
+  const net::ClusterTree::Node& nd = treeOf(b.var).node(uNode);
   auto flood = [&](std::int32_t nb) {
     AtBody iv;
     iv.k = AtBody::K::Inval;
     iv.var = b.var;
     iv.fromNode = uNode;
+    iv.ctx = b.ctx;
     forward(std::move(iv), uNode, nb, 0);
     ++c.pendingAcks;
   };
@@ -435,13 +486,14 @@ void AccessTreeStrategy::onInval(AtBody&& b) {
     ack.k = AtBody::K::InvalAck;
     ack.var = b.var;
     ack.fromNode = node;
+    ack.ctx = b.ctx;
     ack.ackHadCopy = false;
     forward(std::move(ack), node, from, 0);
     return;
   }
   ++stats_.ops.invalidations;
 
-  const net::ClusterTree::Node& nd = tree_->node(node);
+  const net::ClusterTree::Node& nd = treeOf(b.var).node(node);
   RelayState rs;
   rs.ackTo = from;
   auto flood = [&](std::int32_t nb) {
@@ -450,6 +502,7 @@ void AccessTreeStrategy::onInval(AtBody&& b) {
     iv.k = AtBody::K::Inval;
     iv.var = b.var;
     iv.fromNode = node;
+    iv.ctx = b.ctx;
     forward(std::move(iv), node, nb, 0);
     ++rs.pendingAcks;
   };
@@ -480,6 +533,7 @@ void AccessTreeStrategy::onInval(AtBody&& b) {
     ack.k = AtBody::K::InvalAck;
     ack.var = b.var;
     ack.fromNode = node;
+    ack.ctx = b.ctx;
     forward(std::move(ack), node, from, 0);
     eraseIfDefault(b.var, node);
   } else {
@@ -494,10 +548,10 @@ void AccessTreeStrategy::onInvalAck(AtBody&& b) {
     // The flood edge pointed at a node without a copy (a read deposit
     // was skipped after the mark was set): heal the stale mask bit.
     TreeState& st = vs.nodes[node];
-    if (isParentOf(b.fromNode, node)) {
+    if (isParentOf(b.var, b.fromNode, node)) {
       st.parentCopy = false;
     } else {
-      st.childCopyMask &= ~childBit(b.fromNode);
+      st.childCopyMask &= ~childBit(b.var, b.fromNode);
     }
   }
   auto rit = vs.relays.find(node);
@@ -507,6 +561,7 @@ void AccessTreeStrategy::onInvalAck(AtBody&& b) {
       ack.k = AtBody::K::InvalAck;
       ack.var = b.var;
       ack.fromNode = node;
+      ack.ctx = b.ctx;
       const std::int32_t to = rit->second.ackTo;
       vs.relays.erase(rit);
       forward(std::move(ack), node, to, 0);
@@ -544,9 +599,12 @@ void AccessTreeStrategy::finishWrite(VarState& vs, InvalCoord&& c) {
 
 void AccessTreeStrategy::onMark(AtBody&& b) {
   // Cost-only: the directory was updated at registration; this message
-  // stream just accounts for the marking traffic up the root path.
+  // stream just accounts for the marking traffic up the root path. The
+  // tree is taken from the message's context — the variable may already
+  // have migrated off (or been destroyed) while the mark was in flight.
   const std::int32_t node = b.atNode;
-  const std::int32_t parent = tree_->parent(node);
+  const std::int32_t parent =
+      ctxs_[static_cast<std::size_t>(b.ctx)].tree->parent(node);
   if (parent < 0) return;
   b.fromNode = node;
   forward(std::move(b), node, parent, 0);
@@ -554,12 +612,15 @@ void AccessTreeStrategy::onMark(AtBody&& b) {
 
 void AccessTreeStrategy::onCopyDrop(AtBody&& b) {
   // Cost-only: the survivor's mask was healed at eviction time (see
-  // tryEvict). Kept idempotent for robustness.
-  TreeState& st = stateOf(b.var, b.atNode);
-  if (isParentOf(b.fromNode, b.atNode)) {
+  // tryEvict). Kept idempotent for robustness. A drop from a superseded
+  // context is stale — the migration wiped that component wholesale.
+  auto vit = states_.find(b.var);
+  if (vit == states_.end() || vit->second.ctx != b.ctx) return;
+  TreeState& st = vit->second.nodes[b.atNode];
+  if (isParentOf(b.var, b.fromNode, b.atNode)) {
     st.parentCopy = false;
   } else {
-    st.childCopyMask &= ~childBit(b.fromNode);
+    st.childCopyMask &= ~childBit(b.var, b.fromNode);
   }
 }
 
@@ -589,12 +650,13 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
     return std::find(hosted.begin(), hosted.end(), n) != hosted.end();
   };
 
+  const net::ClusterTree& t = treeOf(x);
   int topsInS = 0;
   int boundaryEdges = 0;
   std::int32_t boundaryInside = -1, boundaryOutside = -1;
   for (std::int32_t s : hosted) {
     const TreeState& st = vit->second.nodes.at(s);
-    const net::ClusterTree::Node& nd = tree_->node(s);
+    const net::ClusterTree::Node& nd = t.node(s);
     if (nd.parent < 0 || !inS(nd.parent)) ++topsInS;
     if (st.parentCopy && !inS(nd.parent)) {
       ++boundaryEdges;
@@ -625,7 +687,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
 
   // Is a tree node `a` an ancestor of `b`?
   auto isAncestor = [&](std::int32_t a, std::int32_t b) {
-    for (std::int32_t w = tree_->parent(b); w >= 0; w = tree_->parent(w))
+    for (std::int32_t w = t.parent(b); w >= 0; w = t.parent(w))
       if (w == a) return true;
     return false;
   };
@@ -637,7 +699,7 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
     if (boundaryOutside == s || isAncestor(s, boundaryOutside)) {
       // Survivors hang below: mark Down toward them.
       std::int32_t towards = boundaryOutside;
-      for (std::int32_t w = boundaryOutside; w != s; w = tree_->parent(w)) towards = w;
+      for (std::int32_t w = boundaryOutside; w != s; w = t.parent(w)) towards = w;
       st.kind = TreeState::Kind::Down;
       st.downChild = towards;
     } else {
@@ -656,16 +718,17 @@ bool AccessTreeStrategy::tryEvict(NodeId p, VarId x) {
   // notification message still travels for its cost.
   {
     TreeState& bst = vit->second.nodes.at(boundaryOutside);
-    if (isParentOf(boundaryInside, boundaryOutside)) {
+    if (isParentOf(x, boundaryInside, boundaryOutside)) {
       bst.parentCopy = false;
     } else {
-      bst.childCopyMask &= ~childBit(boundaryInside);
+      bst.childCopyMask &= ~childBit(x, boundaryInside);
     }
   }
   AtBody drop;
   drop.k = AtBody::K::CopyDrop;
   drop.var = x;
   drop.fromNode = boundaryInside;
+  drop.ctx = vit->second.ctx;
   forward(std::move(drop), boundaryInside, boundaryOutside, 0);
   for (std::int32_t s : hosted) eraseIfDefault(x, s);
   return true;
@@ -688,11 +751,18 @@ void AccessTreeStrategy::maybeEvictAt(NodeId p) {
 // Crash repair (docs/faults.md)
 // ---------------------------------------------------------------------------
 
-NodeId AccessTreeStrategy::nextLiveAfter(NodeId p) const {
+NodeId AccessTreeStrategy::nextLiveAfter(VarId x, NodeId p) const {
+  // The successor must be up, a current member of the machine, and
+  // covered by the variable's tree (a node added after that tree was
+  // built cannot host a component the old tree's ids describe).
+  const net::ClusterTree& t = treeOf(x);
   const int n = net_.numNodes();
   NodeId q = static_cast<NodeId>((p + 1) % n);
-  while (!net_.nodeUp(q)) q = static_cast<NodeId>((q + 1) % n);
-  return q;  // terminates: the network forbids crashing the last live node
+  for (int steps = 0; !net_.nodeUp(q) || !net_.nodeMember(q) || t.leafOf(q) < 0;
+       q = static_cast<NodeId>((q + 1) % n)) {
+    DIVA_CHECK_MSG(++steps <= n, "no live member can host variable " << x);
+  }
+  return q;
 }
 
 bool AccessTreeStrategy::varQuiet(const VarState& vs) const {
@@ -728,14 +798,19 @@ void AccessTreeStrategy::scheduleRepair(VarId x, NodeId deadNode) {
 }
 
 void AccessTreeStrategy::drainRepairs(VarId x) {
-  if (pendingRepairs_.empty()) return;
+  if (pendingRepairs_.empty() && pendingMigrations_.empty()) return;
+  if (!varQuiet(states_.at(x))) return;
   const auto it = pendingRepairs_.find(x);
-  if (it == pendingRepairs_.end() || !varQuiet(states_.at(x))) return;
-  std::vector<NodeId> dead = std::move(it->second);
-  pendingRepairs_.erase(it);
-  // Repair even if the node recovered meanwhile: the crash destroyed its
-  // application state, so its pre-crash copies are scrubbed regardless.
-  for (NodeId p : dead) repairVar(x, p);
+  if (it != pendingRepairs_.end()) {
+    std::vector<NodeId> dead = std::move(it->second);
+    pendingRepairs_.erase(it);
+    // Repair even if the node recovered meanwhile: the crash destroyed its
+    // application state, so its pre-crash copies are scrubbed regardless.
+    for (NodeId p : dead) repairVar(x, p);
+  }
+  // A deferred epoch migration runs after the repairs: both require the
+  // variable quiet, and repair is defined on the old tree.
+  if (pendingMigrations_.erase(x) > 0) migrateVar(x);
 }
 
 void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
@@ -763,7 +838,7 @@ void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
   caches_[p].erase(x);  // stray safety: a dead node keeps no entry for x
 
   // Reseed a fresh one-copy component at the deterministic successor.
-  const NodeId s = nextLiveAfter(p);
+  const NodeId s = nextLiveAfter(x, p);
   seedComponent(vs, x, s, v);
   ++vs.committedVersion;  // any still-queued deposit version is stale now
   maybeEvictAt(s);
@@ -778,6 +853,7 @@ void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
     AtBody r;
     r.k = AtBody::K::Recover;
     r.var = x;
+    r.ctx = vs.ctx;
     net_.post(net::Message{src, dst, net::kProtocolChannel, bytes, std::move(r)});
   };
   recover(p, s, v->size());
@@ -788,16 +864,123 @@ void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
     notified.push_back(h);
     recover(s, h, 0);
   }
-  const std::int32_t leaf = tree_->leafOf(s);
-  if (tree_->parent(leaf) >= 0) {
+  const net::ClusterTree& t = treeOf(x);
+  const std::int32_t leaf = t.leafOf(s);
+  if (t.parent(leaf) >= 0) {
     ++stats_.ops.recoveryMessages;
     AtBody m;
     m.k = AtBody::K::Mark;
     m.var = x;
     m.requester = s;
-    m.atNode = tree_->parent(leaf);
+    m.ctx = vs.ctx;
+    m.atNode = t.parent(leaf);
     m.fromNode = leaf;
     net_.post(net::Message{s, hostOf(m.atNode, x), net::kProtocolChannel, 0, std::move(m)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch migration (docs/faults.md "Reconfiguration")
+// ---------------------------------------------------------------------------
+
+void AccessTreeStrategy::onReconfig() {
+  // Decompose the *target* shape: during the handoff window the physical
+  // network still retains retiring nodes' links (so old-tree traffic and
+  // the migration itself can route), but the new tree must only cover
+  // the nodes that stay.
+  Ctx c;
+  c.tree = net_.targetTopology().decompose(
+      net::DecompParams{params_.arity, params_.leafSize});
+  c.hints.resize(static_cast<std::size_t>(c.tree->numNodes()));
+  ctxs_.push_back(std::move(c));
+  cur_ = static_cast<int>(ctxs_.size()) - 1;
+
+  // Migrate in sorted variable order so traffic and cache mutation order
+  // are independent of hash-map layout.
+  std::vector<VarId> vars;
+  vars.reserve(states_.size());
+  for (const auto& [x, vs] : states_) vars.push_back(x);
+  std::sort(vars.begin(), vars.end());
+  for (VarId x : vars) {
+    if (varQuiet(states_.at(x)) && !pendingRepairs_.contains(x)) {
+      migrateVar(x);
+    } else {
+      // Busy (or repair-parked): the variable keeps operating on its old
+      // tree and migrates when its last in-flight op retires.
+      pendingMigrations_.insert(x);
+    }
+  }
+}
+
+void AccessTreeStrategy::sendMigrate(NodeId src, NodeId dst, VarId x,
+                                     std::uint64_t payloadBytes) {
+  ++stats_.ops.migrationMessages;
+  stats_.ops.migrationBytes += payloadBytes;
+  AtBody b;
+  b.k = AtBody::K::Migrate;
+  b.var = x;
+  b.ctx = cur_;
+  net_.post(net::Message{src, dst, net::kProtocolChannel, payloadBytes, std::move(b)});
+}
+
+void AccessTreeStrategy::migrateVar(VarId x) {
+  VarState& vs = states_.at(x);
+  if (vs.ctx == cur_) return;  // already on the current tree
+  const net::ClusterTree& oldTree = *ctxs_[static_cast<std::size_t>(vs.ctx)].tree;
+
+  // Salvage the committed value from the topmost copy before wiping.
+  std::int32_t top = -1;
+  for (const auto& [n, st] : vs.nodes)
+    if (st.kind == TreeState::Kind::Copy &&
+        (top < 0 || oldTree.depthOf(n) < oldTree.depthOf(top)))
+      top = n;
+  DIVA_CHECK_MSG(top >= 0, "migrating variable " << x << " without copies");
+  const NodeId oldHost = hostOf(top, x);
+  const NodeCache::Entry* ref = caches_[oldHost].peek(x);
+  DIVA_CHECK_MSG(ref && ref->value, "migration of variable " << x
+                                        << " found no committed value");
+  const Value v = ref->value;
+
+  // Wipe the old-tree component in sorted tree-node order (determinism:
+  // cache LRU mutation order must not depend on hash-map layout).
+  std::vector<std::int32_t> copies;
+  for (const auto& [n, st] : vs.nodes)
+    if (st.kind == TreeState::Kind::Copy) copies.push_back(n);
+  std::sort(copies.begin(), copies.end());
+  for (std::int32_t n : copies) {
+    clearCopy(x, n);
+    hintCopyDied(x, n);
+  }
+  vs.nodes.clear();
+
+  // Reseed a single-copy component on the new tree at the old host — or
+  // its deterministic next live member when that host left the machine.
+  vs.ctx = cur_;
+  NodeId owner = oldHost;
+  if (!net_.nodeUp(owner) || !net_.nodeMember(owner) ||
+      treeOf(x).leafOf(owner) < 0)
+    owner = nextLiveAfter(x, oldHost);
+  seedComponent(vs, x, owner, v);
+  ++vs.committedVersion;  // any still-queued deposit version is stale now
+  maybeEvictAt(owner);
+  ++stats_.ops.migratedVars;
+
+  // Charge the handoff: the value streams from the old host to the new
+  // owner (when it moved) and the new root path is re-marked hop by hop.
+  if (owner != oldHost) sendMigrate(oldHost, owner, x, v->size());
+  const net::ClusterTree& t = treeOf(x);
+  const std::int32_t leaf = t.leafOf(owner);
+  if (t.parent(leaf) >= 0) {
+    ++stats_.ops.migrationMessages;
+    AtBody m;
+    m.k = AtBody::K::Mark;
+    m.var = x;
+    m.requester = owner;
+    m.ctx = cur_;
+    m.atNode = t.parent(leaf);
+    m.fromNode = leaf;
+    net_.post(
+        net::Message{owner, hostOf(m.atNode, x), net::kProtocolChannel, 0, std::move(m)});
   }
 }
 
@@ -814,6 +997,12 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   DIVA_CHECK_MSG(vs.activeOps == 0, "operations still in flight");
   DIVA_CHECK_MSG(!pendingRepairs_.contains(x),
                  "repair still parked for variable " << x << " at quiescence");
+  DIVA_CHECK_MSG(!pendingMigrations_.contains(x),
+                 "migration still parked for variable " << x << " at quiescence");
+  DIVA_CHECK_MSG(vs.ctx == cur_, "variable " << x
+                                             << " still managed by a superseded "
+                                                "access tree at quiescence");
+  const net::ClusterTree& t = *ctxs_[static_cast<std::size_t>(vs.ctx)].tree;
 
   // Collect the copy component.
   std::vector<std::int32_t> copies;
@@ -829,10 +1018,10 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   };
   std::int32_t top = copies.front();
   for (std::int32_t n : copies)
-    if (tree_->depthOf(n) < tree_->depthOf(top)) top = n;
+    if (t.depthOf(n) < t.depthOf(top)) top = n;
   for (std::int32_t n : copies) {
     if (n == top) continue;
-    DIVA_CHECK_MSG(tree_->parent(n) >= 0 && isCopy(tree_->parent(n)),
+    DIVA_CHECK_MSG(t.parent(n) >= 0 && isCopy(t.parent(n)),
                    "copy component disconnected at tree node " << n);
   }
 
@@ -841,7 +1030,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   std::vector<std::int32_t> rootPath;
   {
     std::int32_t child = top;
-    for (std::int32_t a = tree_->parent(top); a >= 0; a = tree_->parent(a)) {
+    for (std::int32_t a = t.parent(top); a >= 0; a = t.parent(a)) {
       const TreeState* st = findState(x, a);
       DIVA_CHECK_MSG(st && st->kind == TreeState::Kind::Down && st->downChild == child,
                      "root-path marking broken at tree node " << a);
@@ -863,7 +1052,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   std::unordered_map<NodeId, int> hostCounts;
   for (std::int32_t n : copies) {
     const TreeState& st = vs.nodes.at(n);
-    const auto& nd = tree_->node(n);
+    const auto& nd = t.node(n);
     // Masks are "may have a copy": they must cover every actual copy
     // neighbour (or invalidation floods would miss copies); stray extra
     // bits from skipped racing deposits are permitted (healed by the
@@ -872,7 +1061,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
       DIVA_CHECK_MSG(st.parentCopy, "parentCopy mask missing at " << n);
     std::uint32_t expect = 0;
     for (std::int32_t ch : nd.children)
-      if (isCopy(ch)) expect |= childBit(ch);
+      if (isCopy(ch)) expect |= childBit(x, ch);
     DIVA_CHECK_MSG((st.childCopyMask & expect) == expect,
                    "childCopyMask incomplete at " << n);
     ++hostCounts[hostOf(n, x)];
@@ -891,7 +1080,7 @@ void AccessTreeStrategy::checkInvariants(VarId x) const {
   // not checked here — false-positive rates are property-tested in
   // tests/support_test.cpp.
   for (std::int32_t n : copies)
-    for (std::int32_t a = n; a >= 0; a = tree_->parent(a))
+    for (std::int32_t a = n; a >= 0; a = t.parent(a))
       DIVA_CHECK_MSG(subtreeMayHoldCopy(a, x),
                      "subtree hint false negative for variable " << x
                          << " at tree node " << a);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <memory>
@@ -70,8 +71,12 @@ class AccessTreeStrategy final : public Strategy {
   void handleMessage(net::Message&& msg) override;
 
   /// The cluster tree every access tree copies (built from the machine
-  /// topology's decompose()).
-  const net::ClusterTree& tree() const { return *tree_; }
+  /// topology's decompose()). After a reconfiguration epoch this is the
+  /// *current* tree — variables still parked on a predecessor tree keep
+  /// their own context until they migrate (see onReconfig).
+  const net::ClusterTree& tree() const {
+    return *ctxs_[static_cast<std::size_t>(cur_)].tree;
+  }
   const Params& params() const { return params_; }
 
   /// Try to evict `x` from processor `p`'s cache if the tree invariants
@@ -86,19 +91,25 @@ class AccessTreeStrategy final : public Strategy {
   /// the node's root path — pure host-local bookkeeping, so enabling or
   /// querying it never changes protocol traffic. The no-false-negative
   /// side is an invariant checked at quiescence (checkInvariants).
+  /// `treeNode` is interpreted on the tree of `x`'s current context.
   bool subtreeMayHoldCopy(std::int32_t treeNode, VarId x) const {
-    return subtreeHint_[static_cast<std::size_t>(treeNode)].mayContain(x);
+    const auto it = states_.find(x);
+    const std::size_t c = it == states_.end() ? static_cast<std::size_t>(cur_)
+                                              : static_cast<std::size_t>(it->second.ctx);
+    return ctxs_[c].hints[static_cast<std::size_t>(treeNode)].mayContain(x);
   }
 
   /// Resident bytes of the subtree-copy hint structure (docs/routing.md
-  /// memory model).
+  /// memory model), summed over every live tree context.
   std::uint64_t hintBytes() const {
     std::uint64_t total = 0;
-    for (const auto& b : subtreeHint_) total += b.numCells();
+    for (const auto& c : ctxs_)
+      for (const auto& b : c.hints) total += b.numCells();
     return total;
   }
 
   void onNodeDown(NodeId p) override;
+  void onReconfig() override;
 
  private:
   /// Per-(variable, tree-node) protocol state.
@@ -129,6 +140,11 @@ class AccessTreeStrategy final : public Strategy {
     std::unordered_map<std::int32_t, TreeState> nodes;
     std::optional<InvalCoord> coord;  ///< at most one write in flight per variable
     std::unordered_map<std::int32_t, RelayState> relays;
+    /// Tree context (index into ctxs_) this variable's access tree lives
+    /// on. Equals the strategy's current context except during a
+    /// reconfiguration handoff window, when a busy variable keeps
+    /// operating on its predecessor tree until it migrates.
+    int ctx = 0;
     /// Reads/writes currently in flight anywhere in the system. While
     /// non-zero the variable's copies are not eligible for replacement
     /// (a transaction's path deposits reference them).
@@ -153,6 +169,7 @@ class AccessTreeStrategy final : public Strategy {
       MarkAck,   ///< creation complete
       CopyDrop,  ///< eviction: neighbour lost its copy
       Recover,   ///< repair traffic: salvage/invalidate after a crash
+      Migrate,   ///< migration traffic: tree-to-tree handoff across an epoch
     };
     K k = K::Climb;
     VarId var = kInvalidVar;
@@ -168,6 +185,11 @@ class AccessTreeStrategy final : public Strategy {
     int retries = 0;
     std::uint32_t version = 0;       ///< Data: committed version of `value`
     bool ackHadCopy = true;          ///< InvalAck: sender actually held a copy
+    /// Tree context the tree-node ids in this message refer to. Carried
+    /// so cost-only messages (Mark, CopyDrop) that survive a migration
+    /// can be routed on — or recognised as stale — without consulting
+    /// the (possibly already migrated or destroyed) variable state.
+    std::int32_t ctx = 0;
   };
 
   struct PendingOp {
@@ -196,11 +218,16 @@ class AccessTreeStrategy final : public Strategy {
   // --- state helpers ---
   TreeState& stateOf(VarId x, std::int32_t node) { return states_[x].nodes[node]; }
   const TreeState* findState(VarId x, std::int32_t node) const;
-  NodeId hostOf(std::int32_t node, VarId x) const {
-    return tree_->hostOf(node, x, params_.embedding, params_.seed);
+  /// The cluster tree of `x`'s current context: tree-node ids in the
+  /// variable's directory state are only meaningful against this tree.
+  const net::ClusterTree& treeOf(VarId x) const {
+    return *ctxs_[static_cast<std::size_t>(states_.at(x).ctx)].tree;
   }
-  bool isParentOf(std::int32_t parent, std::int32_t child) const;
-  std::uint32_t childBit(std::int32_t child) const;
+  NodeId hostOf(std::int32_t node, VarId x) const {
+    return treeOf(x).hostOf(node, x, params_.embedding, params_.seed);
+  }
+  bool isParentOf(VarId x, std::int32_t parent, std::int32_t child) const;
+  std::uint32_t childBit(VarId x, std::int32_t child) const;
   int copyNeighborCount(VarId x, std::int32_t node) const;
   void clearCopy(VarId x, std::int32_t node);
   void eraseIfDefault(VarId x, std::int32_t node);
@@ -222,23 +249,45 @@ class AccessTreeStrategy final : public Strategy {
   // next-live successor of the crashed host — invariant-correct by
   // construction, conservative in traffic. Deferred until the variable
   // is quiet, like the fixed-home repair.
-  NodeId nextLiveAfter(NodeId p) const;
+  NodeId nextLiveAfter(VarId x, NodeId p) const;
   bool varQuiet(const VarState& vs) const;
   void scheduleRepair(VarId x, NodeId deadNode);
   void drainRepairs(VarId x);
   void repairVar(VarId x, NodeId deadNode);
 
+  // --- epoch migration (docs/faults.md "Reconfiguration") ---
+  // A reconfiguration epoch decomposes the network's *target* shape into
+  // a fresh cluster tree (a new context). Every variable then migrates:
+  // its old-tree component is wiped (hints and caches included) and a
+  // single-copy component holding the committed value is reseeded on the
+  // new tree at the old topmost host — or its next live member when that
+  // host left the machine. Busy variables park in pendingMigrations_ and
+  // keep operating on their predecessor tree (requests are forwarded
+  // along it) until their last in-flight operation retires.
+  void migrateVar(VarId x);
+  void sendMigrate(NodeId src, NodeId dst, VarId x, std::uint64_t payloadBytes);
+
   net::Network& net_;
   Stats& stats_;
   std::vector<NodeCache>& caches_;
   Params params_;
-  std::unique_ptr<net::ClusterTree> tree_;
-  /// Per-tree-node counting Bloom filter: "may this subtree hold a copy?"
-  /// (see subtreeMayHoldCopy). Indexed by tree node id.
-  std::vector<support::CountingBloom> subtreeHint_;
+  /// One tree context per machine shape this strategy has managed: the
+  /// cluster tree plus its per-tree-node counting Bloom filters ("may
+  /// this subtree hold a copy?"; see subtreeMayHoldCopy). Superseded
+  /// contexts stay alive until every variable has migrated off them —
+  /// and beyond, since external services may hold references to their
+  /// trees. ctxs_[cur_] is the context new variables register on.
+  struct Ctx {
+    std::unique_ptr<net::ClusterTree> tree;
+    std::vector<support::CountingBloom> hints;
+  };
+  std::vector<Ctx> ctxs_;
+  int cur_ = 0;
   std::unordered_map<VarId, VarState> states_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
   std::unordered_map<VarId, std::vector<NodeId>> pendingRepairs_;
+  /// Variables whose migration is deferred until they are quiet.
+  std::unordered_set<VarId> pendingMigrations_;
   std::uint64_t nextTxn_ = 1;
 
   static constexpr int kMaxRetries = 64;

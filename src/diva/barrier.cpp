@@ -16,17 +16,29 @@ BarrierService::BarrierService(net::Network& net, Stats& stats, std::uint64_t se
       waiting_(net.numNodes(), nullptr),
       nextRound_(net.numNodes(), 0) {}
 
+void BarrierService::rebuild() {
+  for (sim::OneShot<bool>* w : waiting_)
+    DIVA_CHECK_MSG(w == nullptr, "barrier waiter across a reconfiguration epoch");
+  DIVA_CHECK_MSG(counts_.empty(),
+                 "barrier arrivals in flight across a reconfiguration epoch");
+  tree_ = net_.topology().decompose(net::DecompParams{4, 1});
+  waiting_.assign(static_cast<std::size_t>(net_.numNodes()), nullptr);
+  nextRound_.assign(static_cast<std::size_t>(net_.numNodes()), 0);
+}
+
 sim::Task<void> BarrierService::arrive(NodeId p) {
   ++stats_.ops.barriers;
   const std::uint64_t round = nextRound_[p]++;
 
-  if (net_.numNodes() == 1) co_return;
+  if (tree_->numLeaves() <= 1) co_return;
 
   sim::OneShot<bool> released(net_.engine());
   DIVA_CHECK_MSG(waiting_[p] == nullptr, "processor re-entered a barrier");
   waiting_[p] = &released;
 
   const std::int32_t leaf = tree_->leafOf(p);
+  DIVA_CHECK_MSG(leaf >= 0, "barrier arrival from processor " << p
+                                << ", which is not in the machine");
   Body b;
   b.k = Body::K::Complete;
   b.atNode = tree_->parent(leaf);

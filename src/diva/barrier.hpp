@@ -33,6 +33,12 @@ class BarrierService {
 
   void handleMessage(net::Message&& msg);
 
+  /// Rebuild the aggregation tree over the network's current (committed)
+  /// topology after a reconfiguration epoch. Requires an idle barrier —
+  /// no waiter and no partial arrival counts — which the quiescent commit
+  /// point guarantees. Episode counters restart at zero on the new tree.
+  void rebuild();
+
  private:
   struct Body {
     enum class K : std::uint8_t { Complete, Release } k = K::Complete;

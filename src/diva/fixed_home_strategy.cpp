@@ -8,7 +8,11 @@ namespace diva {
 
 FixedHomeStrategy::FixedHomeStrategy(net::Network& net, Stats& stats,
                                      std::vector<NodeCache>& caches, Params params)
-    : net_(net), stats_(stats), caches_(caches), params_(params) {}
+    : net_(net),
+      stats_(stats),
+      caches_(caches),
+      params_(params),
+      baseProcs_(static_cast<std::uint64_t>(net.numNodes())) {}
 
 NodeId FixedHomeStrategy::homeOf(VarId x) const {
   if (!rehome_.empty()) {
@@ -16,8 +20,21 @@ NodeId FixedHomeStrategy::homeOf(VarId x) const {
     if (it != rehome_.end()) return it->second;
   }
   return static_cast<NodeId>(support::hashBelow(
+      support::hashCombine(params_.seed, x, 0xf1bedull), baseProcs_));
+}
+
+NodeId FixedHomeStrategy::memberHomeOf(VarId x) const {
+  return net_.memberAt(static_cast<int>(support::hashBelow(
       support::hashCombine(params_.seed, x, 0xf1bedull),
-      static_cast<std::uint64_t>(net_.numNodes())));
+      static_cast<std::uint64_t>(net_.numMembers()))));
+}
+
+void FixedHomeStrategy::assignHome(VarId x) {
+  // Variables created after an epoch home straight onto the member set —
+  // the base hash may name a retired node.
+  if (net_.reconfigEpoch() == 0) return;
+  const NodeId target = memberHomeOf(x);
+  if (target != homeOf(x)) rehome_[x] = target;
 }
 
 void FixedHomeStrategy::sendBody(NodeId src, NodeId dst, FhBody&& b,
@@ -104,6 +121,7 @@ void FixedHomeStrategy::maybeEvictAt(NodeId p) {
 
 void FixedHomeStrategy::registerVarFree(VarId x, NodeId owner, Value init) {
   DIVA_CHECK_MSG(!homes_.contains(x), "variable registered twice");
+  assignHome(x);
   HomeEntry& he = homes_[x];
   he.owner = owner;
   he.copyHolders = {owner};
@@ -136,6 +154,7 @@ void FixedHomeStrategy::destroyVarFree(VarId x) {
   homes_.erase(it);
   rehome_.erase(x);
   pendingRepairs_.erase(x);
+  pendingMigrations_.erase(x);
 }
 
 Value FixedHomeStrategy::peek(VarId x) const {
@@ -177,12 +196,15 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       r.value = e->value;
       const std::uint64_t bytes = e->value->size();
       sendBody(self, homeOf(b.var), std::move(r), bytes);
+      // A retired owner cedes and keeps nothing behind.
+      if (!net_.nodeMember(self)) caches_[self].erase(b.var);
       return;
     }
     case FhBody::K::FetchData: {
       HomeEntry& he = homes_.at(b.var);
       DIVA_CHECK(he.busy);
-      addCopyHolder(he, he.owner);  // the old owner keeps a copy
+      // The old owner keeps a copy — unless it retired mid-fetch.
+      if (net_.nodeMember(he.owner)) addCopyHolder(he, he.owner);
       he.owner = kHomeOwner;
       caches_[self].put(b.var, b.value).copyCount = 1;  // home's copy
       maybeEvictAt(self);
@@ -195,8 +217,12 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       return;
     }
     case FhBody::K::Data: {
-      caches_[self].put(b.var, b.value).copyCount = 1;
-      maybeEvictAt(self);
+      // A retired requester is served but caches nothing (it is no longer
+      // in the directory's holder list — see processTransaction).
+      if (net_.nodeMember(self)) {
+        caches_[self].put(b.var, b.value).copyCount = 1;
+        maybeEvictAt(self);
+      }
       auto it = pending_.find(b.txn);
       DIVA_CHECK(it != pending_.end());
       it->second.done->resolve(std::move(b.value));
@@ -222,6 +248,11 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       if (--he.pendingInvalAcks == 0) {
         he.owner = he.writer;
         he.copyHolders = {he.writer};
+        // A writer that retired mid-write still gets ownership (it holds
+        // the only current value); park a migration so its retirement
+        // drain cedes the value back onto the member set.
+        if (!net_.nodeMember(he.writer))
+          pendingMigrations_[b.var] = memberHomeOf(b.var);
         FhBody ack;
         ack.k = FhBody::K::WriteAck;
         ack.var = b.var;
@@ -255,6 +286,11 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
       // crash/drain time (see repairVar); this message charges the
       // salvage traffic so congestion-during-repair is visible.
       return;
+    case FhBody::K::Migrate:
+      // Cost-only, mirroring Recover: epoch migration moves directory and
+      // home copy synchronously (see migrateVar); this message charges
+      // the handoff traffic.
+      return;
     default:
       DIVA_CHECK_MSG(false, "unhandled fixed-home message kind");
   }
@@ -264,11 +300,12 @@ void FixedHomeStrategy::serveAtHome(net::Message&& msg) {
   const FhBody& b = msg.as<FhBody>();
   const NodeId home = homeOf(b.var);
   if (msg.dst != home) [[unlikely]] {
-    // The request was addressed to a home that crashed and was re-homed
-    // while the message was in flight: forward to the current home
-    // (classic directory-migration forwarding), charged as repair
-    // traffic.
+    // The request was addressed to a home that was re-homed — by crash
+    // repair or by an epoch migration — while the message was in flight:
+    // forward to the current home (classic directory-migration
+    // forwarding), charged as repair traffic.
     ++stats_.ops.recoveryMessages;
+    ++stats_.ops.forwardedOps;
     FhBody fwd = msg.take<FhBody>();
     sendBody(msg.dst, home, std::move(fwd), 0);
     return;
@@ -320,7 +357,9 @@ bool FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
     d.txn = b.txn;
     d.value = e->value;
     const std::uint64_t bytes = e->value->size();
-    addCopyHolder(he, b.requester);
+    // A requester that retired while its request was in flight still gets
+    // its value (the epoch scrub already ran), but keeps no copy.
+    if (net_.nodeMember(b.requester)) addCopyHolder(he, b.requester);
     sendBody(home, b.requester, std::move(d), bytes);
     return true;
   }
@@ -344,6 +383,9 @@ bool FixedHomeStrategy::processTransaction(HomeEntry& he, net::Message&& msg) {
   if (he.pendingInvalAcks == 0) {
     he.owner = b.requester;
     he.copyHolders = {b.requester};
+    // Same retired-writer handling as the InvalAck completion path.
+    if (!net_.nodeMember(b.requester))
+      pendingMigrations_[b.var] = memberHomeOf(b.var);
     FhBody ack;
     ack.k = FhBody::K::WriteAck;
     ack.var = b.var;
@@ -409,7 +451,7 @@ bool FixedHomeStrategy::tryEvict(NodeId p, VarId x) {
 NodeId FixedHomeStrategy::nextLiveAfter(NodeId p) const {
   const int n = net_.numNodes();
   NodeId q = static_cast<NodeId>((p + 1) % n);
-  while (!net_.nodeUp(q)) q = static_cast<NodeId>((q + 1) % n);
+  while (!net_.nodeUp(q) || !net_.nodeMember(q)) q = static_cast<NodeId>((q + 1) % n);
   return q;  // terminates: the network forbids crashing the last live node
 }
 
@@ -458,14 +500,24 @@ void FixedHomeStrategy::scheduleRepair(VarId x, NodeId deadNode) {
 }
 
 void FixedHomeStrategy::drainRepairs(VarId x) {
-  if (pendingRepairs_.empty()) return;
-  const auto it = pendingRepairs_.find(x);
-  if (it == pendingRepairs_.end() || !varQuiet(x)) return;
-  std::vector<NodeId> dead = std::move(it->second);
-  pendingRepairs_.erase(it);
-  // Repair even if the node recovered meanwhile: the crash destroyed its
-  // application state, so its pre-crash copies are scrubbed regardless.
-  for (NodeId p : dead) repairVar(x, p);
+  if (!pendingRepairs_.empty()) {
+    const auto it = pendingRepairs_.find(x);
+    if (it != pendingRepairs_.end() && varQuiet(x)) {
+      std::vector<NodeId> dead = std::move(it->second);
+      pendingRepairs_.erase(it);
+      // Repair even if the node recovered meanwhile: the crash destroyed
+      // its application state, so its pre-crash copies are scrubbed
+      // regardless.
+      for (NodeId p : dead) repairVar(x, p);
+    }
+  }
+  if (!pendingMigrations_.empty()) {
+    const auto it = pendingMigrations_.find(x);
+    if (it != pendingMigrations_.end() && varQuiet(x)) {
+      pendingMigrations_.erase(it);
+      migrateEpochVar(x);  // recomputes against the current member set
+    }
+  }
 }
 
 void FixedHomeStrategy::sendRecover(NodeId src, NodeId dst, VarId x,
@@ -531,6 +583,123 @@ void FixedHomeStrategy::repairVar(VarId x, NodeId p) {
 }
 
 // ---------------------------------------------------------------------------
+// Epoch migration (docs/faults.md "Reconfiguration")
+// ---------------------------------------------------------------------------
+
+void FixedHomeStrategy::sendMigrate(NodeId src, NodeId dst, VarId x,
+                                    std::uint64_t payloadBytes) {
+  ++stats_.ops.migrationMessages;
+  stats_.ops.migrationBytes += payloadBytes;
+  FhBody b;
+  b.k = FhBody::K::Migrate;
+  b.var = x;
+  sendBody(src, dst, std::move(b), payloadBytes);
+}
+
+void FixedHomeStrategy::migrateVar(VarId x, NodeId target) {
+  HomeEntry& he = homes_.at(x);
+  const NodeId cur = homeOf(x);
+  std::uint64_t bytes = 0;
+  if (he.owner == kHomeOwner) {
+    // The authoritative home copy moves with the directory. If the old
+    // home also sits in the holder list (it read locally while
+    // home-owned), its entry stays behind as that plain copy — every
+    // copy is current while the home owns the data.
+    const Value v = peek(x);
+    if (std::find(he.copyHolders.begin(), he.copyHolders.end(), cur) ==
+        he.copyHolders.end())
+      caches_[cur].erase(x);
+    if (!caches_[target].peek(x)) {
+      NodeCache::Entry& e = caches_[target].put(x, v);
+      e.copyCount = 1;
+      e.owned = false;
+      bytes = v->size();
+    }
+  }
+  rehome_[x] = target;
+  ++stats_.ops.migratedVars;
+  sendMigrate(cur, target, x, bytes);
+  maybeEvictAt(target);
+}
+
+bool FixedHomeStrategy::varNeedsEpochWork(VarId x) const {
+  const HomeEntry& he = homes_.at(x);
+  if (homeOf(x) != memberHomeOf(x)) return true;
+  if (he.owner != kHomeOwner && !net_.nodeMember(he.owner)) return true;
+  for (NodeId p : he.copyHolders)
+    if (!net_.nodeMember(p)) return true;
+  return false;
+}
+
+void FixedHomeStrategy::migrateEpochVar(VarId x) {
+  HomeEntry& he = homes_.at(x);
+  bool moved = false;
+  // A retired owner cedes: the authoritative value reverts to home
+  // ownership. The retiring node's links (and protocol agent) stay up
+  // until commitReconfig, which is what physically justifies the
+  // synchronous salvage — the Migrate message charges its traffic.
+  if (he.owner != kHomeOwner && !net_.nodeMember(he.owner)) {
+    const NodeId r = he.owner;
+    const Value v = peek(x);
+    he.owner = kHomeOwner;
+    dropCopyHolder(he, r);
+    caches_[r].erase(x);
+    const NodeId home = homeOf(x);
+    if (!caches_[home].peek(x)) {
+      NodeCache::Entry& e = caches_[home].put(x, v);
+      e.copyCount = 1;
+      e.owned = false;
+    }
+    sendMigrate(r, home, x, v->size());
+    maybeEvictAt(home);
+    moved = true;
+  }
+  // Retired plain copies leave the directory (mirrors the eviction Drop).
+  // A retiring home can sit in its own holder list (it read locally while
+  // home-owned): its cache entry is the authoritative home copy, so leave
+  // it in place for the re-home below to move.
+  for (std::size_t i = he.copyHolders.size(); i-- > 0;) {
+    const NodeId p = he.copyHolders[i];
+    if (net_.nodeMember(p)) continue;
+    dropCopyHolder(he, p);
+    if (he.owner != kHomeOwner || p != homeOf(x)) caches_[p].erase(x);
+    sendMigrate(p, homeOf(x), x, 0);
+    moved = true;
+  }
+  // The home target re-hashes over the member set.
+  const NodeId target = memberHomeOf(x);
+  if (homeOf(x) != target) {
+    migrateVar(x, target);  // counts the variable itself
+    moved = false;
+  }
+  if (moved) ++stats_.ops.migratedVars;
+}
+
+void FixedHomeStrategy::onReconfig() {
+  // Every variable re-hashes its home over the new member set and scrubs
+  // retired owners/copies; movers migrate in sorted id order so the
+  // handoff traffic is independent of hash-map iteration order. Busy
+  // variables defer until quiet (their requests forward through the old
+  // home meanwhile).
+  std::vector<VarId> vars;
+  vars.reserve(homes_.size());
+  for (const auto& [x, he] : homes_) vars.push_back(x);
+  std::sort(vars.begin(), vars.end());
+  for (VarId x : vars) {
+    if (!varNeedsEpochWork(x)) {
+      pendingMigrations_.erase(x);
+      continue;
+    }
+    if (varQuiet(x)) {
+      pendingMigrations_.erase(x);
+      migrateEpochVar(x);
+    } else {
+      pendingMigrations_[x] = memberHomeOf(x);  // drain recomputes the target
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Invariant checking
 // ---------------------------------------------------------------------------
 
@@ -542,14 +711,21 @@ void FixedHomeStrategy::checkInvariants(VarId x) const {
                  "transaction still in flight for variable " << x);
   DIVA_CHECK_MSG(!pendingRepairs_.contains(x),
                  "repair still parked for variable " << x << " at quiescence");
+  DIVA_CHECK_MSG(!pendingMigrations_.contains(x),
+                 "migration still parked for variable " << x << " at quiescence");
 
   const NodeId home = homeOf(x);
   DIVA_CHECK_MSG(net_.nodeUp(home), "home of variable " << x << " is down");
+  DIVA_CHECK_MSG(net_.nodeMember(home), "home of variable " << x << " is retired");
   DIVA_CHECK_MSG(he.owner == kHomeOwner || net_.nodeUp(he.owner),
                  "owner of variable " << x << " is down");
+  DIVA_CHECK_MSG(he.owner == kHomeOwner || net_.nodeMember(he.owner),
+                 "owner of variable " << x << " is retired");
   const Value ref = peek(x);
   for (NodeId p : he.copyHolders) {
     DIVA_CHECK_MSG(net_.nodeUp(p), "dead copy holder " << p << " for variable " << x);
+    DIVA_CHECK_MSG(net_.nodeMember(p),
+                   "retired copy holder " << p << " for variable " << x);
     const NodeCache::Entry* e = caches_[p].peek(x);
     DIVA_CHECK_MSG(e && e->value, "copy holder " << p << " missing entry");
     DIVA_CHECK_MSG(e->value == ref || *e->value == *ref, "incoherent copy at " << p);

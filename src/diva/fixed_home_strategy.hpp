@@ -50,10 +50,14 @@ class FixedHomeStrategy final : public Strategy {
   void handleMessage(net::Message&& msg) override;
   bool tryEvict(NodeId p, VarId x) override;
   void onNodeDown(NodeId p) override;
+  void onReconfig() override;
 
-  /// The home processor of a variable: a uniform hash of the id, unless
-  /// the hash home crashed — then the re-homing map names the successor
-  /// (deterministic next-live-processor rule, permanent for the run).
+  /// The home processor of a variable: a uniform hash of the id (modulo
+  /// the machine's *construction-time* size, so the mapping is a stable
+  /// function for the whole run), unless the re-homing map names a
+  /// successor — set when the hash home crashed (deterministic
+  /// next-live-member rule) or when a reconfiguration epoch migrated the
+  /// home onto the current member set.
   NodeId homeOf(VarId x) const;
 
  private:
@@ -84,6 +88,7 @@ class FixedHomeStrategy final : public Strategy {
       RegAck,     ///< home → creator
       Drop,       ///< holder → home: copy evicted (LRU replacement)
       Recover,    ///< repair traffic: directory/value salvage after a crash
+      Migrate,    ///< migration traffic: home handoff across a reconfig epoch
     };
     K k = K::ReadReq;
     VarId var = kInvalidVar;
@@ -122,14 +127,33 @@ class FixedHomeStrategy final : public Strategy {
   void repairVar(VarId x, NodeId deadNode);
   void sendRecover(NodeId src, NodeId dst, VarId x, std::uint64_t payloadBytes);
 
+  // Epoch migration (docs/faults.md "Reconfiguration"). After a
+  // structural epoch, every variable's home target is re-hashed over the
+  // *member* set; a variable whose target moved migrates its directory
+  // and (when home-owned) its authoritative copy via a cost-charged
+  // Migrate message. Busy variables park in pendingMigrations_ and drain
+  // when their in-flight transaction retires; meanwhile requests to the
+  // old home are forwarded (the serveAtHome mismatch path).
+  NodeId memberHomeOf(VarId x) const;
+  void assignHome(VarId x);
+  bool varNeedsEpochWork(VarId x) const;
+  void migrateEpochVar(VarId x);
+  void migrateVar(VarId x, NodeId target);
+  void sendMigrate(NodeId src, NodeId dst, VarId x, std::uint64_t payloadBytes);
+
   net::Network& net_;
   Stats& stats_;
   std::vector<NodeCache>& caches_;
   Params params_;
+  /// Home-hash modulus, pinned at construction: the machine may grow, but
+  /// the base hash mapping must stay a pure function of the variable id.
+  std::uint64_t baseProcs_;
   std::unordered_map<VarId, HomeEntry> homes_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
-  std::unordered_map<VarId, NodeId> rehome_;  ///< vars whose hash home crashed
+  /// Vars whose hash home crashed or was migrated across an epoch.
+  std::unordered_map<VarId, NodeId> rehome_;
   std::unordered_map<VarId, std::vector<NodeId>> pendingRepairs_;
+  std::unordered_map<VarId, NodeId> pendingMigrations_;
   std::uint64_t nextTxn_ = 1;
 };
 

@@ -24,25 +24,44 @@ std::uint64_t waitKey(VarId lock, NodeId p) {
 TreeLockService::TreeLockService(net::Network& net, Stats& stats,
                                  const net::ClusterTree& tree,
                                  net::EmbeddingKind embedding, std::uint64_t seed)
-    : net_(net), stats_(stats), tree_(tree), embedding_(embedding), seed_(seed) {}
+    : net_(net), stats_(stats), tree_(&tree), embedding_(embedding), seed_(seed) {}
 
 NodeId TreeLockService::hostOf(std::int32_t node, VarId lock) const {
-  return tree_.hostOf(node, lock, embedding_, seed_);
+  return tree_->hostOf(node, lock, embedding_, seed_);
 }
 
 void TreeLockService::registerLockFree(VarId lock, NodeId creator) {
-  creatorLeaf_[lock] = tree_.leafOf(creator);
+  anchorProc_[lock] = creator;
+}
+
+void TreeLockService::rebuild(const net::ClusterTree& tree) {
+  for (const auto& [lock, perNode] : states_)
+    for (const auto& [node, st] : perNode)
+      DIVA_CHECK_MSG(st.reqQ.empty() && !st.inUse && !st.asked,
+                     "lock " << lock << " busy across a reconfiguration epoch");
+  tree_ = &tree;
+  states_.clear();  // holder pointers are rebuilt lazily against the new tree
+  for (auto& [lock, anchor] : anchorProc_) {
+    if (tree.leafOf(anchor) >= 0) continue;
+    // The anchor left the machine: the token restarts at the next member.
+    const int n = net_.numNodes();
+    NodeId q = static_cast<NodeId>((anchor + 1) % n);
+    while (!net_.nodeMember(q) || tree.leafOf(q) < 0)
+      q = static_cast<NodeId>((q + 1) % n);
+    anchor = q;
+  }
 }
 
 std::int32_t TreeLockService::defaultHolderDir(VarId lock, std::int32_t node) const {
-  const auto it = creatorLeaf_.find(lock);
-  DIVA_CHECK_MSG(it != creatorLeaf_.end(), "lock " << lock << " never registered");
-  const std::int32_t leaf = it->second;
+  const auto it = anchorProc_.find(lock);
+  DIVA_CHECK_MSG(it != anchorProc_.end(), "lock " << lock << " never registered");
+  const std::int32_t leaf = tree_->leafOf(it->second);
+  DIVA_CHECK_MSG(leaf >= 0, "lock " << lock << "'s anchor is not in the tree");
   if (leaf == node) return kSelf;
-  // Token starts at the creator's leaf: point into the subtree containing
+  // Token starts at the anchor's leaf: point into the subtree containing
   // it, or to the parent when it lies outside ours.
-  const int child = tree_.childToward(node, tree_.procOfLeaf(leaf));
-  return child >= 0 ? child : tree_.node(node).parent;
+  const int child = tree_->childToward(node, it->second);
+  return child >= 0 ? child : tree_->node(node).parent;
 }
 
 TreeLockService::NodeState& TreeLockService::stateOf(VarId lock, std::int32_t node) {
@@ -61,7 +80,8 @@ sim::Task<void> TreeLockService::acquire(NodeId p, VarId lock) {
   Body b;
   b.k = Body::K::Request;
   b.lock = lock;
-  b.atNode = tree_.leafOf(p);
+  b.atNode = tree_->leafOf(p);
+  DIVA_CHECK_MSG(b.atNode >= 0, "requester " << p << " is not in the lock tree");
   b.fromNode = kSelf;
   net_.post(net::Message{p, p, net::kLockChannel, 0, b});
 
@@ -74,7 +94,7 @@ sim::Task<void> TreeLockService::release(NodeId p, VarId lock) {
   Body b;
   b.k = Body::K::Release;
   b.lock = lock;
-  b.atNode = tree_.leafOf(p);
+  b.atNode = tree_->leafOf(p);
   // Named local rather than a temporary in the co_await expression:
   // GCC 12 double-destroys such temporaries (PR 104031).
   net::Message m{p, p, net::kLockChannel, 0, b};
@@ -142,7 +162,7 @@ void TreeLockService::grantNext(VarId lock, std::int32_t node) {
   if (next == kSelf) {
     // Local grant: `node` must be the requester's leaf.
     st.inUse = true;
-    const NodeId p = tree_.procOfLeaf(node);
+    const NodeId p = tree_->procOfLeaf(node);
     auto it = waiting_.find(waitKey(lock, p));
     DIVA_CHECK_MSG(it != waiting_.end(), "token granted but nobody waits");
     it->second->resolve(true);
@@ -180,12 +200,21 @@ void TreeLockService::checkIdle(VarId lock) const {
 
 CentralLockService::CentralLockService(net::Network& net, Stats& stats,
                                        std::uint64_t seed)
-    : net_(net), stats_(stats), seed_(seed) {}
+    : net_(net),
+      stats_(stats),
+      seed_(seed),
+      baseProcs_(static_cast<std::uint64_t>(net.numNodes())) {}
 
 NodeId CentralLockService::homeOf(VarId lock) const {
-  return static_cast<NodeId>(
-      support::hashBelow(support::hashCombine(seed_, lock, 0x10c4ull),
-                         static_cast<std::uint64_t>(net_.numNodes())));
+  // The hash modulus is pinned at construction so the mapping never shifts
+  // under growth; when the hashed node has left the machine, the manager
+  // role falls to the deterministic next member. (Lock state itself is
+  // central to the service, so the home only selects message endpoints.)
+  NodeId h = static_cast<NodeId>(
+      support::hashBelow(support::hashCombine(seed_, lock, 0x10c4ull), baseProcs_));
+  const int n = net_.numNodes();
+  while (!net_.nodeMember(h)) h = static_cast<NodeId>((h + 1) % n);
+  return h;
 }
 
 void CentralLockService::registerLockFree(VarId lock, NodeId /*creator*/) {

@@ -50,6 +50,13 @@ class TreeLockService final : public LockService {
   void handleMessage(net::Message&& msg) override;
   void checkIdle(VarId lock) const override;
 
+  /// Rebind the service to a new cluster tree after a reconfiguration
+  /// epoch. Requires every lock idle (called at the quiescent commit
+  /// point): token state is rebuilt lazily with each token back at its
+  /// lock's anchor leaf; anchors whose processor left the machine move
+  /// to the deterministic next member.
+  void rebuild(const net::ClusterTree& tree);
+
  private:
   static constexpr std::int32_t kSelf = -2;  ///< holderDir: token is here / request is local
 
@@ -76,11 +83,13 @@ class TreeLockService final : public LockService {
 
   net::Network& net_;
   Stats& stats_;
-  const net::ClusterTree& tree_;
+  const net::ClusterTree* tree_;  ///< swapped by rebuild() across epochs
   net::EmbeddingKind embedding_;
   std::uint64_t seed_;
   std::unordered_map<VarId, std::unordered_map<std::int32_t, NodeState>> states_;
-  std::unordered_map<VarId, std::int32_t> creatorLeaf_;
+  /// Processor whose leaf holds the token when a lock's state is (re)built
+  /// lazily — the creator, until reconfiguration moves it to a member.
+  std::unordered_map<VarId, NodeId> anchorProc_;
   std::unordered_map<std::uint64_t, sim::OneShot<bool>*> waiting_;  ///< (lock,proc) → acquire
 };
 
@@ -112,6 +121,9 @@ class CentralLockService final : public LockService {
   net::Network& net_;
   Stats& stats_;
   std::uint64_t seed_;
+  /// Home-hash modulus, pinned at construction: the machine may grow, but
+  /// the base hash mapping must stay a pure function of the lock id.
+  std::uint64_t baseProcs_;
   std::unordered_map<VarId, LockState> locks_;
   std::unordered_map<std::uint64_t, sim::OneShot<bool>*> waiting_;
 };

@@ -35,8 +35,10 @@ Runtime::Runtime(Machine& machine, RuntimeConfig config)
         AccessTreeStrategy::Params{config.arity, config.leafSize, config.embedding,
                                    config.seed});
     // Locks travel the same access trees as the data.
-    locks_ = std::make_unique<TreeLockService>(machine.net, machine.stats, at->tree(),
-                                               config.embedding, config.seed);
+    auto tl = std::make_unique<TreeLockService>(machine.net, machine.stats, at->tree(),
+                                                config.embedding, config.seed);
+    treeLocks_ = tl.get();
+    locks_ = std::move(tl);
     strategy_ = std::move(at);
   } else {
     strategy_ = std::make_unique<FixedHomeStrategy>(
@@ -64,10 +66,50 @@ Runtime::Runtime(Machine& machine, RuntimeConfig config)
     machine.net.setHandler(n, net::kLockChannel,
                            [this](net::Message&& m) { locks_->handleMessage(std::move(m)); });
   }
+  handledProcs_ = machine.numProcs();
+
+  // Structural epochs (add/remove node or link, docs/faults.md
+  // "Reconfiguration"); never fires on fixed-shape runs.
+  reconfigToken_ = machine.net.addReconfigListener([this] { onReconfigEpoch(); });
 }
 
 Runtime::~Runtime() {
   if (livenessToken_ >= 0) machine_.net.removeLivenessListener(livenessToken_);
+  if (reconfigToken_ >= 0) machine_.net.removeReconfigListener(reconfigToken_);
+}
+
+void Runtime::onReconfigEpoch() {
+  // Equip any nodes that just joined: a cold cache plus the runtime's
+  // channel handlers, so protocol, barrier and lock traffic can target
+  // them from this instant on.
+  const int n = machine_.net.numNodes();
+  for (int i = static_cast<int>(caches_.size()); i < n; ++i)
+    caches_.emplace_back(config_.cacheCapacityBytes);
+  for (NodeId p = handledProcs_; p < n; ++p) {
+    machine_.net.setHandler(p, net::kProtocolChannel,
+                            [this](net::Message&& m) { strategy_->handleMessage(std::move(m)); });
+    machine_.net.setHandler(p, net::kSyncChannel,
+                            [this](net::Message&& m) { barrier_->handleMessage(std::move(m)); });
+    machine_.net.setHandler(p, net::kLockChannel,
+                            [this](net::Message&& m) { locks_->handleMessage(std::move(m)); });
+  }
+  handledProcs_ = n;
+
+  // The strategy migrates its management state onto the new shape's tree
+  // (deferring busy variables; forwarding serves them meanwhile).
+  strategy_->onReconfig();
+}
+
+void Runtime::completeReconfig() {
+  const int epoch = machine_.net.reconfigEpoch();
+  if (epoch == committedEpoch_) return;
+  committedEpoch_ = epoch;
+  // Sever retiring links first so the lock/barrier trees are rebuilt over
+  // the committed (target) topology.
+  machine_.net.commitReconfig();
+  if (treeLocks_)
+    treeLocks_->rebuild(static_cast<const AccessTreeStrategy&>(*strategy_).tree());
+  barrier_->rebuild();
 }
 
 sim::Task<Value> Runtime::read(NodeId p, VarId x) {

@@ -99,6 +99,16 @@ class Runtime {
   sim::Task<void> lock(NodeId p, VarId x);
   sim::Task<void> unlock(NodeId p, VarId x);
 
+  // --- reconfiguration (docs/faults.md "Reconfiguration") ------------------
+  /// Commit the pending reconfiguration epoch at a quiescent point: severs
+  /// retiring links (installing the target topology in the network) and
+  /// rebuilds the lock and barrier trees over it. Idempotent — calling it
+  /// with no epoch pending (or twice for one epoch) is a no-op, so
+  /// drivers can call it unconditionally between phases. The strategy's
+  /// own state migration runs earlier, when the epoch fires (onReconfig);
+  /// by quiescence every deferred migration has drained.
+  void completeReconfig();
+
   // --- local compute accounting -------------------------------------------
   /// Charge `us` µs of application compute on `p`'s CPU without
   /// suspending (the reservation delays p's subsequent operations).
@@ -124,15 +134,21 @@ class Runtime {
   std::size_t numLiveVars() const { return liveVars_.size(); }
 
  private:
+  void onReconfigEpoch();
+
   Machine& machine_;
   RuntimeConfig config_;
   std::vector<NodeCache> caches_;
   std::unique_ptr<Strategy> strategy_;
   std::unique_ptr<BarrierService> barrier_;
   std::unique_ptr<LockService> locks_;
+  TreeLockService* treeLocks_ = nullptr;  ///< typed view of locks_ (rebuild)
   std::unordered_set<VarId> liveVars_;
   VarId nextVar_ = 1;
   int livenessToken_ = -1;  ///< network liveness listener, removed in ~Runtime
+  int reconfigToken_ = -1;  ///< network reconfiguration listener
+  int handledProcs_ = 0;    ///< nodes with channel handlers installed
+  int committedEpoch_ = 0;  ///< last epoch completeReconfig() committed
 };
 
 }  // namespace diva

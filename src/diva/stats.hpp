@@ -44,6 +44,12 @@ class Stats {
     std::uint64_t repairedVars = 0;     ///< per-variable repair actions after crashes
     std::uint64_t recoveryMessages = 0; ///< messages attributable to repair
     std::uint64_t recoveryBytes = 0;    ///< payload bytes moved by repair
+    // Reconfiguration accounting (docs/faults.md "Reconfiguration"); all
+    // zero on fixed-shape runs.
+    std::uint64_t migratedVars = 0;       ///< variables re-homed across epochs
+    std::uint64_t migrationMessages = 0;  ///< messages attributable to migration
+    std::uint64_t migrationBytes = 0;     ///< payload bytes moved by migration
+    std::uint64_t forwardedOps = 0;       ///< ops forwarded during handoff windows
   } ops;
 
   void setPhase(int p, sim::Time now) {

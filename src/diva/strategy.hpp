@@ -71,6 +71,16 @@ class Strategy {
 
   /// Node `p` recovered (cold caches — crash state was already scrubbed).
   virtual void onNodeUp(NodeId p) { (void)p; }
+
+  /// The machine was structurally reconfigured (nodes/links added or
+  /// removed — a new reconfiguration epoch; docs/faults.md). The strategy
+  /// must re-run decompose() on the network's *target* shape and migrate
+  /// every variable's management state (homes, directories, copy sets,
+  /// bloom hints) onto the new tree via cost-charged Migrate messages,
+  /// deferring variables with a transaction in flight until they are
+  /// quiet (forwarding serves them meanwhile). Default: strategies
+  /// without reconfiguration support ignore epochs.
+  virtual void onReconfig() {}
 };
 
 }  // namespace diva

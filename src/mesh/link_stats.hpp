@@ -74,6 +74,26 @@ class LinkStats {
     return cellOver(&Cell::bytes, link, phase);
   }
 
+  /// Renumber the link dimension after a structural reconfiguration
+  /// (docs/faults.md): `oldToNew[l]` is surviving link l's new slot, -1
+  /// for removed links (their counts are dropped — a removed link carries
+  /// no further traffic, and congestion is recomputed per phase from the
+  /// surviving cells). New links start zeroed.
+  void remap(const std::vector<int>& oldToNew, int newSlots) {
+    DIVA_CHECK(static_cast<int>(oldToNew.size()) == slots_ && newSlots >= 0);
+    std::vector<Cell> grown(static_cast<std::size_t>(phases_) * newSlots, Cell{});
+    for (int p = 0; p < phases_; ++p)
+      for (int l = 0; l < slots_; ++l) {
+        const int nl = oldToNew[static_cast<std::size_t>(l)];
+        if (nl < 0) continue;
+        DIVA_CHECK(nl < newSlots);
+        grown[static_cast<std::size_t>(p) * newSlots + nl] =
+            cells_[static_cast<std::size_t>(p) * slots_ + l];
+      }
+    cells_ = std::move(grown);
+    slots_ = newSlots;
+  }
+
   void reset() { std::fill(cells_.begin(), cells_.end(), Cell{}); }
 
  private:

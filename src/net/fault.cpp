@@ -12,6 +12,10 @@ const char* faultKindName(FaultEvent::Kind kind) {
     case FaultEvent::Kind::NodeDown: return "node-down";
     case FaultEvent::Kind::NodeUp: return "node-up";
     case FaultEvent::Kind::Degrade: return "degrade";
+    case FaultEvent::Kind::AddNode: return "add-node";
+    case FaultEvent::Kind::RemoveNode: return "remove-node";
+    case FaultEvent::Kind::AddLink: return "add-link";
+    case FaultEvent::Kind::RemoveLink: return "remove-link";
   }
   return "?";
 }
@@ -25,6 +29,14 @@ void applyFault(Network& net, const FaultEvent& ev) {
     case FaultEvent::Kind::Degrade:
       net.degradeLink(ev.a, ev.b, ev.weightMul, ev.latencyMul);
       return;
+    case FaultEvent::Kind::AddNode:
+      net.addNode(ev.a, ev.weightMul, ev.latencyMul, ev.line);
+      return;
+    case FaultEvent::Kind::RemoveNode: net.removeNode(ev.a, ev.line); return;
+    case FaultEvent::Kind::AddLink:
+      net.addLink(ev.a, ev.b, ev.weightMul, ev.latencyMul, ev.line);
+      return;
+    case FaultEvent::Kind::RemoveLink: net.removeLink(ev.a, ev.b, ev.line); return;
   }
   DIVA_CHECK_MSG(false, "unknown fault kind");
 }

@@ -21,19 +21,47 @@ class Network;
 // plan reusable across phases and runs.
 // ---------------------------------------------------------------------------
 
-/// One scripted fault.
+/// One scripted fault or structural reconfiguration.
 struct FaultEvent {
-  enum class Kind : std::uint8_t { LinkDown, LinkUp, NodeDown, NodeUp, Degrade };
+  enum class Kind : std::uint8_t {
+    LinkDown,
+    LinkUp,
+    NodeDown,
+    NodeUp,
+    Degrade,
+    // Structural reconfiguration (scenario keyword `reconfig`, docs/faults.md):
+    // permanent shape changes, distinct from the transient crash/recover pairs
+    // above. Graph-backed topologies only.
+    AddNode,     ///< new node joined by an edge to anchor `a` (weightMul /
+                 ///< latencyMul double as the new edge's weight / latency)
+    RemoveNode,  ///< retire node `a` permanently (id is never reused)
+    AddLink,     ///< new edge a—b (weightMul / latencyMul as weight / latency)
+    RemoveLink,  ///< remove edge a—b permanently
+  };
 
   Kind kind = Kind::LinkDown;
   double offsetUs = 0.0;   ///< firing time relative to the plan's base instant
   NodeId a = 0;            ///< the node (node events) or first link endpoint
   NodeId b = 0;            ///< second link endpoint (ignored for node events)
-  double weightMul = 1.0;  ///< Degrade: streaming-cost multiplier (1.0 = nominal)
-  double latencyMul = 1.0; ///< Degrade: hop-latency multiplier (1.0 = nominal)
+  double weightMul = 1.0;  ///< Degrade: streaming-cost multiplier (1.0 = nominal);
+                           ///< AddNode/AddLink: the new edge's weight
+  double latencyMul = 1.0; ///< Degrade: hop-latency multiplier (1.0 = nominal);
+                           ///< AddNode/AddLink: the new edge's latency
+  int line = 0;            ///< scenario source line (0 = not from a scenario);
+                           ///< carried for run-time validation messages only
 
-  bool operator==(const FaultEvent&) const = default;
+  /// `line` is provenance, not semantics — two plans that apply the same
+  /// changes compare equal regardless of where they were parsed from.
+  bool operator==(const FaultEvent& o) const {
+    return kind == o.kind && offsetUs == o.offsetUs && a == o.a && b == o.b &&
+           weightMul == o.weightMul && latencyMul == o.latencyMul;
+  }
 };
+
+/// True for the permanent shape-changing kinds (`reconfig` directives).
+inline bool isStructural(FaultEvent::Kind kind) {
+  return kind >= FaultEvent::Kind::AddNode;
+}
 
 /// A fault script: events applied at base + offsetUs. Events sharing an
 /// instant apply in plan order (the event queue is FIFO within a time).

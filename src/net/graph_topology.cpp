@@ -157,7 +157,13 @@ void GraphTopology::buildRoutingTables() {
       }
     }
     for (NodeId s = 0; s < n; ++s) {
-      DIVA_CHECK_MSG(s == t || dist[s] < kInf,
+      // Elastic machines keep retired nodes as edgeless entries
+      // (GraphSpec::allowIsolated); only the non-isolated nodes must form
+      // one connected component.
+      const bool exempt =
+          spec_->allowIsolated &&
+          (adj_.degree == 0 || adj_.neighbor(s, 0) < 0 || adj_.neighbor(t, 0) < 0);
+      DIVA_CHECK_MSG(s == t || exempt || dist[s] < kInf,
                      "graph '" << spec_->name << "' is not connected (node " << s
                                << " cannot reach node " << t << ")");
       DIVA_CHECK_MSG(hop[s] <= std::numeric_limits<std::uint16_t>::max(),
@@ -264,8 +270,20 @@ GraphClusterTree::GraphClusterTree(const Topology& topo, DecompParams params,
   DIVA_CHECK_MSG(params.leafSize >= 1, "leafSize must be >= 1");
   const int n = topo.numNodes();
   nodes_.reserve(static_cast<std::size_t>(2) * n);
-  std::vector<NodeId> all(static_cast<std::size_t>(n));
-  for (NodeId p = 0; p < n; ++p) all[p] = p;
+  // The tree covers the nodes that are attached to the network. On an
+  // ordinary (connected) graph that is every node; on an elastic machine
+  // retired nodes are edgeless and get no leaf — leafOf/rankOf stay -1
+  // for them (docs/faults.md).
+  std::vector<NodeId> all;
+  all.reserve(static_cast<std::size_t>(n));
+  for (NodeId p = 0; p < n; ++p) {
+    bool attached = false;
+    for (int dir = 0; dir < topo.degree() && !attached; ++dir)
+      attached = topo.neighbor(p, dir) >= 0;
+    if (attached) all.push_back(p);
+  }
+  if (all.empty())
+    for (NodeId p = 0; p < n; ++p) all.push_back(p);  // single-node machines
   build(topo, partitioner, std::move(all), -1, -1, 0, params);
   finalize(n);
 }

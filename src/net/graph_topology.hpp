@@ -187,6 +187,13 @@ class GraphTopology final : public Topology {
   const GraphSpec& graphSpec() const { return *spec_; }
   const GraphPartitioner& partitioner() const { return *partitioner_; }
 
+  // Structural reconfiguration (docs/faults.md): the Network edits a copy
+  // of the current graph and asks for a rebuilt topology of the same kind.
+  const GraphSpec* graph() const override { return spec_.get(); }
+  std::unique_ptr<Topology> withGraph(GraphSpec g) const override {
+    return std::make_unique<GraphTopology>(std::move(g), partitioner_);
+  }
+
  private:
   friend class BfsBisectionPartitioner;
   friend class GraphClusterTree;

@@ -269,9 +269,18 @@ void HierGraphTopology::buildBalls() {
   DIVA_CHECK_MSG(tree_->parent(0) < 0, "routing tree root is not node 0");
   const std::size_t unbounded = std::numeric_limits<std::size_t>::max();
   growBall(landmark_[0], unbounded, nullptr, nullptr, -1);
-  DIVA_CHECK_MSG(ball_.size() == static_cast<std::size_t>(n),
+  // A reconfigured (allowIsolated) spec keeps retired, edgeless ids in the
+  // node range; connectivity is required only of the attached nodes.
+  std::size_t attached = static_cast<std::size_t>(n);
+  if (spec_->allowIsolated) {
+    attached = 0;
+    for (NodeId v = 0; v < n; ++v)
+      if (adj_.degree > 0 && adj_.neighbor(v, 0) >= 0) ++attached;
+    if (attached == 0) attached = static_cast<std::size_t>(n);  // edgeless machine
+  }
+  DIVA_CHECK_MSG(ball_.size() == attached,
                  "graph '" << spec_->name << "' is not connected (root ball reached "
-                           << ball_.size() << " of " << n << " nodes)");
+                           << ball_.size() << " of " << attached << " nodes)");
   std::vector<NodeId> sptParent(static_cast<std::size_t>(n));
   std::vector<std::uint32_t> sptDepth(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
@@ -347,6 +356,8 @@ int HierGraphTopology::findDir(int treeNode, NodeId node) const {
 int HierGraphTopology::chainOf(NodeId dst, int* chain) const {
   int len = 0;
   for (int t = tree_->leafOf(dst); t >= 0; t = tree_->parent(t)) chain[len++] = t;
+  DIVA_CHECK_MSG(len > 0,
+                 "hierarchical route to node " << dst << ", which has left the machine");
   return len;
 }
 

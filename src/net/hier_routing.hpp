@@ -104,6 +104,13 @@ class HierGraphTopology final : public Topology {
   const GraphSpec& graphSpec() const { return *spec_; }
   int routingArity() const { return routingArity_; }
 
+  // Structural reconfiguration (docs/faults.md): the Network edits a copy
+  // of the current graph and asks for a rebuilt topology of the same kind.
+  const GraphSpec* graph() const override { return spec_.get(); }
+  std::unique_ptr<Topology> withGraph(GraphSpec g) const override {
+    return std::make_unique<HierGraphTopology>(std::move(g), routingArity_, partitioner_);
+  }
+
   // -- Introspection for the differential tests, benches and docs --------
 
   /// The internal routing tree (distinct from any decompose() result).

@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 namespace diva::net {
 
@@ -9,6 +11,31 @@ namespace {
 /// the first 16, applications hand out consecutive values above that); the
 /// dense per-(channel, node) dispatch tables rely on it.
 constexpr Channel kMaxChannels = 1u << 16;
+
+/// Error-message suffix for scripted reconfigurations: run-time validation
+/// failures point back at the scenario line that scheduled the event.
+std::string atLine(int line) {
+  return line > 0 ? " (scenario line " + std::to_string(line) + ")" : std::string();
+}
+
+/// Directed endpoint pair as a map key (node ids are 31-bit).
+std::uint64_t pairKey(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+/// Re-stride a dense channel-major table (slot = channel * stride + node)
+/// for a larger node stride; new nodes' slots are value-initialized.
+template <typename T>
+void restrideTable(std::vector<T>& table, std::size_t oldN, std::size_t newN,
+                   Channel channels) {
+  std::vector<T> grown(static_cast<std::size_t>(channels) * newN);
+  for (Channel c = 0; c < channels; ++c)
+    for (std::size_t n = 0; n < oldN; ++n)
+      grown[static_cast<std::size_t>(c) * newN + n] =
+          std::move(table[static_cast<std::size_t>(c) * oldN + n]);
+  table = std::move(grown);
+}
 }  // namespace
 
 Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
@@ -30,6 +57,9 @@ Network::Network(sim::Engine& engine, const Topology& topology, CostModel cost,
   linkAlive_.assign(linkFreeAt_.size(), 1);
   nodeAlive_.assign(numNodes_, 1);
   liveNodes_ = static_cast<int>(numNodes_);
+  nodeMember_.assign(numNodes_, 1);
+  members_.resize(numNodes_);
+  for (std::size_t n = 0; n < numNodes_; ++n) members_[n] = static_cast<NodeId>(n);
   // The library protocol channels exist on every machine; size for them up
   // front so the common dispatch never grows mid-run.
   handlers_.resize(static_cast<std::size_t>(kFirstAppChannel) * numNodes_);
@@ -99,6 +129,7 @@ sim::Time Network::postInternal(Message&& msg) {
   f->path.clear();  // recycled flights keep their (possibly spilled) capacity
   f->idx = 0;
   f->wire = f->msg.payloadBytes + cost_.headerBytes;
+  f->epoch = topoEpoch_;
   f->headReady = injected;
   topo_->appendRoute(f->msg.src, f->msg.dst, f->path);
   if (injected == engine_->now()) {
@@ -113,6 +144,14 @@ sim::Time Network::postInternal(Message&& msg) {
 }
 
 void Network::hop(Flight* f) {
+  if (f->epoch != topoEpoch_) [[unlikely]] {
+    // The machine was reconfigured while this flight was in transit: its
+    // remaining hops may reference links that no longer exist (or whose
+    // slots were renumbered). Recompute the rest of the route on the
+    // installed shape before touching any link table.
+    rerouteOrPark(f);
+    return;
+  }
   const Hop& h = f->path[f->idx];
   if (!linkAlive_[static_cast<std::size_t>(h.link)]) [[unlikely]] {
     rerouteOrPark(f);
@@ -226,6 +265,7 @@ void Network::rerouteOrPark(Flight* f) {
   // per reroute, which only ever runs while links are down.
   const NodeId cur = flightAt(f);
   const NodeId dst = f->msg.dst;
+  f->epoch = topoEpoch_;  // the detour below is computed on the installed shape
   const int deg = topo_->degree();
   bfsPrevNode_.assign(numNodes_, -1);
   bfsPrevLink_.assign(numNodes_, -1);
@@ -300,34 +340,292 @@ void Network::dispatchOrEnqueue(Message&& msg) {
 }
 
 sim::Task<Message> Network::recv(NodeId node, Channel channel) {
-  // Plain function, not a coroutine: validates (node, channel) and
-  // resolves the slot eagerly — a coroutine body would defer the check
+  // Plain function, not a coroutine: validates (node, channel) and grows
+  // the mailbox table eagerly — a coroutine body would defer the check
   // (and its CheckError) until first resume inside the event loop.
-  return recvOnSlot(*this, mailboxSlot(node, channel));
+  mailboxSlot(node, channel);
+  return recvOn(*this, node, channel);
 }
 
-sim::Task<Message> Network::recvOnSlot(Network& net, std::size_t slot) {
+sim::Task<Message> Network::recvOn(Network& net, NodeId node, Channel channel) {
   // The Network first parameter routes this coroutine's frame into the
   // network-owned frame pool (see sim/task.hpp): mailbox-heavy loops call
   // recv once per message, and after warm-up those frames recycle instead
   // of hitting the heap.
   //
-  // Hold the slot index, not a Mailbox reference: the dense table may be
-  // resized by other channels appearing while this coroutine is suspended
-  // (indices survive growth, references do not).
-  while (net.mailboxes_[slot].queue.empty()) {
+  // Hold (node, channel) and recompute the dense slot at every touch, not
+  // a Mailbox reference or a cached slot index: the table may be resized
+  // by other channels appearing — or re-strided by the machine growing —
+  // while this coroutine is suspended. The Mailbox (queue and this
+  // coroutine's waiter registration) moves as a unit, so recomputing the
+  // one multiply-add re-finds it wherever it landed.
+  while (net.mailboxes_[net.slotOf(node, channel)].queue.empty()) {
     struct WaitAwaiter {
       Network* net;
-      std::size_t slot;
+      NodeId node;
+      Channel channel;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        net->mailboxes_[slot].waiters.push_back(h);
+        net->mailboxes_[net->slotOf(node, channel)].waiters.push_back(h);
       }
       void await_resume() const noexcept {}
     };
-    co_await WaitAwaiter{&net, slot};
+    co_await WaitAwaiter{&net, node, channel};
   }
-  co_return net.mailboxes_[slot].queue.take_front();
+  co_return net.mailboxes_[net.slotOf(node, channel)].queue.take_front();
+}
+
+// ---------------------------------------------------------------------------
+// Structural reconfiguration (docs/faults.md "Reconfiguration")
+// ---------------------------------------------------------------------------
+
+void Network::ensureElastic(int line) {
+  if (elastic_) return;
+  const GraphSpec* g = topo_->graph();
+  DIVA_CHECK_MSG(g != nullptr,
+                 "structural reconfiguration requires a graph-backed topology; '"
+                     << topo_->name() << "' cannot grow or shrink" << atLine(line));
+  currentSpec_ = *g;
+  currentSpec_.allowIsolated = true;
+  elastic_ = true;
+}
+
+bool Network::membersConnectedWithout(NodeId dropNode, NodeId dropU,
+                                      NodeId dropV) const {
+  // BFS over currentSpec_'s edges (member↔member by construction — a
+  // retiring node's edges were moved out) minus the dropped element.
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(currentSpec_.numNodes));
+  for (const GraphSpec::Edge& e : currentSpec_.edges) {
+    if (e.u == dropNode || e.v == dropNode) continue;
+    if ((e.u == dropU && e.v == dropV) || (e.u == dropV && e.v == dropU)) continue;
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  NodeId start = -1;
+  std::size_t want = 0;
+  for (NodeId m : members_)
+    if (m != dropNode) {
+      if (start < 0) start = m;
+      ++want;
+    }
+  if (want <= 1) return true;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(currentSpec_.numNodes), 0);
+  std::vector<NodeId> queue{start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  std::size_t reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head)
+    for (NodeId nb : adj[static_cast<std::size_t>(queue[head])])
+      if (!seen[static_cast<std::size_t>(nb)]) {
+        seen[static_cast<std::size_t>(nb)] = 1;
+        ++reached;
+        queue.push_back(nb);
+      }
+  return reached == want;
+}
+
+NodeId Network::addNode(NodeId anchor, double weight, double latency, int line) {
+  ensureElastic(line);
+  DIVA_CHECK_MSG(nodeMember(anchor), "add-node: anchor " << anchor
+                                                         << " is not a member node"
+                                                         << atLine(line));
+  DIVA_CHECK_MSG(weight > 0.0 && latency > 0.0,
+                 "add-node: edge weight and latency must be positive" << atLine(line));
+  const NodeId id = currentSpec_.numNodes++;
+  currentSpec_.edges.push_back(GraphSpec::Edge{anchor, id, weight, latency});
+  nodeMember_.push_back(1);
+  members_.push_back(id);
+  scheduleReconfigNotify();
+  return id;
+}
+
+void Network::removeNode(NodeId n, int line) {
+  ensureElastic(line);
+  DIVA_CHECK_MSG(nodeMember(n),
+                 "remove-node: node " << n << " is not a member node" << atLine(line));
+  DIVA_CHECK_MSG(members_.size() > 1, "remove-node: removing node "
+                                          << n << " would empty the machine"
+                                          << atLine(line));
+  DIVA_CHECK_MSG(membersConnectedWithout(n, -1, -1),
+                 "remove-node: removing node " << n << " would disconnect the machine"
+                                               << atLine(line));
+  // Membership (and with it the strategies' management state) changes now;
+  // the node's links stay installed until commitReconfig() so in-flight
+  // messages addressed to it still arrive.
+  auto& edges = currentSpec_.edges;
+  for (auto it = edges.begin(); it != edges.end();) {
+    if (it->u == n || it->v == n) {
+      retainedEdges_.push_back(*it);
+      it = edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  nodeMember_[static_cast<std::size_t>(n)] = 0;
+  members_.erase(std::find(members_.begin(), members_.end(), n));
+  retiring_.push_back(n);
+  scheduleReconfigNotify();
+}
+
+void Network::addLink(NodeId u, NodeId v, double weight, double latency, int line) {
+  ensureElastic(line);
+  DIVA_CHECK_MSG(nodeMember(u) && nodeMember(v) && u != v,
+                 "add-link: endpoints " << u << " and " << v
+                                        << " must be distinct member nodes"
+                                        << atLine(line));
+  DIVA_CHECK_MSG(weight > 0.0 && latency > 0.0,
+                 "add-link: edge weight and latency must be positive" << atLine(line));
+  for (const GraphSpec::Edge& e : currentSpec_.edges)
+    DIVA_CHECK_MSG(!((e.u == u && e.v == v) || (e.u == v && e.v == u)),
+                   "add-link: nodes " << u << " and " << v << " are already adjacent"
+                                      << atLine(line));
+  currentSpec_.edges.push_back(GraphSpec::Edge{u, v, weight, latency});
+  scheduleReconfigNotify();
+}
+
+void Network::removeLink(NodeId u, NodeId v, int line) {
+  ensureElastic(line);
+  DIVA_CHECK_MSG(nodeMember(u) && nodeMember(v),
+                 "remove-link: endpoints " << u << " and " << v
+                                           << " must be member nodes" << atLine(line));
+  auto& edges = currentSpec_.edges;
+  auto it = std::find_if(edges.begin(), edges.end(), [&](const GraphSpec::Edge& e) {
+    return (e.u == u && e.v == v) || (e.u == v && e.v == u);
+  });
+  DIVA_CHECK_MSG(it != edges.end(), "remove-link: nodes "
+                                        << u << " and " << v << " are not adjacent"
+                                        << atLine(line));
+  DIVA_CHECK_MSG(membersConnectedWithout(-1, u, v),
+                 "remove-link: cutting " << u << "—" << v
+                                         << " would disconnect the machine"
+                                         << atLine(line));
+  edges.erase(it);
+  scheduleReconfigNotify();
+}
+
+void Network::scheduleReconfigNotify() {
+  if (notifyScheduled_) return;
+  notifyScheduled_ = true;
+  // One zero-delay event per instant: the queue is FIFO within a time, so
+  // this fires after every structural event already scheduled at the
+  // current instant — a grow-by-8 script triggers one rebuild and one
+  // listener (decompose + migration) batch, not eight.
+  engine_->scheduleAt(engine_->now(), [this] { deliverReconfig(); });
+}
+
+void Network::deliverReconfig() {
+  notifyScheduled_ = false;
+  // Routing during the handoff window uses the *transition* shape: the
+  // logical target plus retiring nodes' retained edges.
+  if (retainedEdges_.empty()) {
+    targetTopo_.reset();  // transition == target
+    installTopology(topo_->withGraph(currentSpec_));
+  } else {
+    GraphSpec transition = currentSpec_;
+    transition.edges.insert(transition.edges.end(), retainedEdges_.begin(),
+                            retainedEdges_.end());
+    std::unique_ptr<Topology> target = topo_->withGraph(currentSpec_);
+    installTopology(topo_->withGraph(std::move(transition)));
+    targetTopo_ = std::move(target);
+  }
+  ++reconfigEpoch_;
+  for (const ReconfigListener& fn : reconfigListeners_)
+    if (fn) fn();
+}
+
+void Network::commitReconfig() {
+  DIVA_CHECK_MSG(!notifyScheduled_,
+                 "commitReconfig before the reconfiguration epoch was delivered");
+  if (retainedEdges_.empty()) return;
+  DIVA_CHECK(targetTopo_ != nullptr);
+  retainedEdges_.clear();
+  retiring_.clear();
+  // Install the very topology object strategies decomposed at the epoch —
+  // their new trees must stay valid, and a tree must not outlive the
+  // topology that built it.
+  installTopology(std::move(targetTopo_));
+}
+
+void Network::installTopology(std::unique_ptr<Topology> built) {
+  DIVA_CHECK_MSG(built != nullptr, "topology rebuild failed");
+  DIVA_CHECK_MSG(dispatchDepth_ == 0,
+                 "cannot reconfigure the machine from inside a handler");
+  const Topology* old = topo_;
+  const std::size_t oldN = numNodes_;
+  const int oldSlots = old->numLinkSlots();
+  const int newSlots = built->numLinkSlots();
+
+  // Link identity across the swap is the directed endpoint pair: carry
+  // FIFO backlog (linkFreeAt_), liveness and degrade multipliers for
+  // surviving links; fresh links start nominal, free and alive.
+  std::unordered_map<std::uint64_t, int> newSlotOfPair;
+  newSlotOfPair.reserve(static_cast<std::size_t>(newSlots));
+  for (NodeId n = 0; n < built->numNodes(); ++n)
+    for (int dir = 0; dir < built->degree(); ++dir) {
+      const NodeId nb = built->neighbor(n, dir);
+      if (nb >= 0) newSlotOfPair.emplace(pairKey(n, nb), built->linkIndex(n, dir));
+    }
+  std::vector<int> oldToNew(static_cast<std::size_t>(oldSlots), -1);
+  for (NodeId n = 0; n < static_cast<NodeId>(oldN); ++n)
+    for (int dir = 0; dir < old->degree(); ++dir) {
+      const NodeId nb = old->neighbor(n, dir);
+      if (nb < 0) continue;
+      const auto it = newSlotOfPair.find(pairKey(n, nb));
+      if (it != newSlotOfPair.end())
+        oldToNew[static_cast<std::size_t>(old->linkIndex(n, dir))] = it->second;
+    }
+  std::vector<sim::Time> freeAt(static_cast<std::size_t>(newSlots), sim::kTimeZero);
+  std::vector<double> usPerByte(static_cast<std::size_t>(newSlots));
+  std::vector<double> hopLatency(static_cast<std::size_t>(newSlots));
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(newSlots), 1);
+  for (int l = 0; l < newSlots; ++l) {
+    usPerByte[static_cast<std::size_t>(l)] = built->linkWeight(l) / cost_.bytesPerUs;
+    hopLatency[static_cast<std::size_t>(l)] =
+        built->linkLatency(l) * cost_.hopLatencyUs;
+  }
+  for (int l = 0; l < oldSlots; ++l) {
+    const int nl = oldToNew[static_cast<std::size_t>(l)];
+    if (nl < 0) continue;
+    freeAt[static_cast<std::size_t>(nl)] = linkFreeAt_[static_cast<std::size_t>(l)];
+    usPerByte[static_cast<std::size_t>(nl)] =
+        linkUsPerByte_[static_cast<std::size_t>(l)];  // keeps degrade multipliers
+    hopLatency[static_cast<std::size_t>(nl)] =
+        linkHopLatencyUs_[static_cast<std::size_t>(l)];
+    alive[static_cast<std::size_t>(nl)] = linkAlive_[static_cast<std::size_t>(l)];
+  }
+  linkFreeAt_ = std::move(freeAt);
+  linkUsPerByte_ = std::move(usPerByte);
+  linkHopLatencyUs_ = std::move(hopLatency);
+  linkAlive_ = std::move(alive);
+  stats_->remap(oldToNew, newSlots);
+
+  const std::size_t newN = static_cast<std::size_t>(built->numNodes());
+  if (newN != oldN) {
+    DIVA_CHECK(newN > oldN);  // ids are append-only; removal only retires
+    cpuFreeAt_.resize(newN, sim::kTimeZero);
+    nodeAlive_.resize(newN, 1);
+    liveNodes_ += static_cast<int>(newN - oldN);
+    // Dense dispatch slots are channel * numNodes + node: a larger node
+    // stride moves every Mailbox/Handler. Safe here — no handler is
+    // executing, and suspended recv coroutines re-derive their slot from
+    // (node, channel) at every touch.
+    restrideTable(handlers_, oldN, newN, handlerChannels_);
+    restrideTable(mailboxes_, oldN, newN, mailboxChannels_);
+  }
+  topo_ = built.get();
+  ownedTopos_.push_back(std::move(built));
+  numNodes_ = newN;
+  ++topoEpoch_;
+  retryParked();  // new links may reconnect parked flights
+}
+
+int Network::addReconfigListener(ReconfigListener fn) {
+  reconfigListeners_.push_back(std::move(fn));
+  return static_cast<int>(reconfigListeners_.size()) - 1;
+}
+
+void Network::removeReconfigListener(int token) {
+  DIVA_CHECK(token >= 0 && static_cast<std::size_t>(token) < reconfigListeners_.size());
+  reconfigListeners_[static_cast<std::size_t>(token)] = nullptr;
 }
 
 }  // namespace diva::net

@@ -3,6 +3,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mesh/link_stats.hpp"
@@ -146,6 +147,69 @@ class Network {
   std::uint64_t parkedFlights() const { return parkedFlights_; }      ///< park events
   std::size_t flightsInLimbo() const { return limbo_.size(); }        ///< parked now
 
+  // --- structural reconfiguration (cold path; docs/faults.md) --------------
+  //
+  // Permanent shape changes on graph-backed machines, distinct from the
+  // transient crash/recover pairs above. Node ids are append-only: a new
+  // node gets the next id, a removed node's id is *retired*, never reused.
+  // Membership (who is part of the machine) changes immediately and the
+  // coalesced reconfiguration epoch fires at the end of the current
+  // instant; the *physical* severing of a retired node's links is deferred
+  // to commitReconfig(), called at a quiescent point, so every in-flight
+  // message still reaches its destination — nothing is ever dropped.
+  // In-flight messages crossing an epoch re-route on the new shape via a
+  // per-flight epoch guard (one predictable branch on the hot path;
+  // reconfiguration-free runs stay bit-identical).
+
+  /// Nodes currently part of the machine (alive or crashed, not retired).
+  int numMembers() const { return static_cast<int>(members_.size()); }
+  bool nodeMember(NodeId n) const {
+    return static_cast<std::size_t>(n) < nodeMember_.size() &&
+           nodeMember_[static_cast<std::size_t>(n)] != 0;
+  }
+  /// Member with rank `r` in ascending id order (0 ≤ r < numMembers()).
+  NodeId memberAt(int r) const { return members_[static_cast<std::size_t>(r)]; }
+  const std::vector<NodeId>& members() const { return members_; }
+  /// Reconfiguration epochs delivered so far (0 = never reconfigured).
+  int reconfigEpoch() const { return reconfigEpoch_; }
+
+  /// Grow the machine by one node, joined to member `anchor` by a fresh
+  /// edge of the given weight/latency. The new node's id is returned.
+  /// `line` (> 0) tags validation errors with a scenario source line.
+  NodeId addNode(NodeId anchor, double weight = 1.0, double latency = 1.0, int line = 0);
+  /// Retire member `n` permanently. Rejects removals that would empty or
+  /// disconnect the member set. Its links carry in-flight traffic until
+  /// commitReconfig().
+  void removeNode(NodeId n, int line = 0);
+  /// Add an edge between distinct, non-adjacent members.
+  void addLink(NodeId u, NodeId v, double weight = 1.0, double latency = 1.0,
+               int line = 0);
+  /// Remove the edge between members u and v. Rejects cuts that would
+  /// disconnect the member set.
+  void removeLink(NodeId u, NodeId v, int line = 0);
+
+  /// Physically sever retired nodes' links. Call only at quiescent points
+  /// (no in-flight traffic addressed to retired nodes); the workload
+  /// driver calls it at phase boundaries via Runtime::completeReconfig().
+  /// No-op when nothing is pending.
+  void commitReconfig();
+
+  /// The shape strategies should decompose after an epoch: excludes
+  /// retired nodes even while their links are still installed for
+  /// in-flight traffic. Identical to topology() outside a remove-node
+  /// handoff window. Trees built from it stay valid until the *next*
+  /// epoch (the Network keeps superseded topologies alive).
+  const Topology& targetTopology() const {
+    return targetTopo_ ? *targetTopo_ : *topo_;
+  }
+
+  /// Reconfiguration listeners run once per coalesced epoch (all
+  /// structural events of one instant = one epoch), after the new shape
+  /// is installed and routable. Returns a removal token.
+  using ReconfigListener = std::function<void()>;
+  int addReconfigListener(ReconfigListener fn);
+  void removeReconfigListener(int token);
+
   /// Diagnostic tap on message delivery, invoked as (time, dst, channel)
   /// immediately before every handler dispatch / mailbox append. Used by
   /// the determinism regression test to hash the delivery trace; costs
@@ -167,6 +231,7 @@ class Network {
     sim::Time headReady = 0;   ///< when the head is ready to enter path[idx]
     std::size_t idx = 0;
     std::uint64_t wire = 0;    ///< payloadBytes + headerBytes, cached at inject
+    std::uint32_t epoch = 0;   ///< topoEpoch_ the route was computed against
     RouteVec path;
     Message msg;
   };
@@ -190,7 +255,19 @@ class Network {
   void retryParked();
   /// Static (not a member) so the Network is the coroutine's first
   /// parameter: that is what routes the frame into `coroFramePool()`.
-  static sim::Task<Message> recvOnSlot(Network& net, std::size_t slot);
+  static sim::Task<Message> recvOn(Network& net, NodeId node, Channel channel);
+
+  // Structural reconfiguration internals (network.cpp has the epoch walk).
+  void ensureElastic(int line);
+  bool membersConnectedWithout(NodeId dropNode, NodeId dropU, NodeId dropV) const;
+  void scheduleReconfigNotify();
+  void deliverReconfig();
+  /// Swap in a rebuilt topology: carries per-link FIFO backlog, liveness
+  /// and degrade state across by (from, to) endpoint pair, remaps the
+  /// congestion counters, grows the per-node tables and re-strides the
+  /// dispatch tables on node growth, then bumps topoEpoch_ and retries
+  /// parked flights. Only from outside a handler.
+  void installTopology(std::unique_ptr<Topology> built);
 
   /// Dense dispatch slot for (node, channel). Channel-major layout —
   /// `channel * numNodes + node` — so discovering a new channel appends a
@@ -241,6 +318,23 @@ class Network {
   std::vector<NodeId> bfsPrevNode_;
   std::vector<int> bfsPrevLink_;
   std::vector<NodeId> bfsQueue_;
+
+  // Structural reconfiguration state. All of it idle (and the epoch
+  // counters zero) on machines that never reconfigure.
+  std::uint32_t topoEpoch_ = 0;    ///< bumped per installTopology; guards flights
+  int reconfigEpoch_ = 0;          ///< delivered epochs (listener batches)
+  bool elastic_ = false;           ///< currentSpec_ captured from the topology
+  bool notifyScheduled_ = false;   ///< coalesced epoch event pending this instant
+  GraphSpec currentSpec_;          ///< the logical target graph (members only)
+  std::vector<GraphSpec::Edge> retainedEdges_;  ///< retiring nodes' edges, kept
+                                                ///< installed until commit
+  std::vector<NodeId> retiring_;   ///< removed, links not yet severed
+  std::vector<std::uint8_t> nodeMember_;  ///< 1 = member, 0 = retired
+  std::vector<NodeId> members_;           ///< member ids, ascending
+  std::vector<ReconfigListener> reconfigListeners_;  ///< token-indexed
+  std::vector<std::unique_ptr<Topology>> ownedTopos_;  ///< rebuilt shapes, kept
+                                                       ///< alive for old trees
+  std::unique_ptr<Topology> targetTopo_;  ///< see targetTopology()
 };
 
 }  // namespace diva::net

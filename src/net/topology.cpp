@@ -59,9 +59,15 @@ void ClusterTree::finalize(int numProcs) {
     for (auto it = nodes_[n].children.rbegin(); it != nodes_[n].children.rend(); ++it)
       stack.push_back(*it);
   }
-  DIVA_CHECK_MSG(static_cast<int>(leafOrder_.size()) == numProcs,
-                 "decomposition leaves do not cover the processor set");
-  for (int w = 0; w < numProcs; ++w) rankOfProc_[procOfLeaf(leafOrder_[w])] = w;
+  // Leaves cover each processor at most once. A tree over an elastic
+  // (reconfigured) machine covers only the *member* processors — retired
+  // ids keep leafOf/rankOf = -1 — so coverage may be partial, but never
+  // empty and never larger than the processor set.
+  DIVA_CHECK_MSG(!leafOrder_.empty() &&
+                     static_cast<int>(leafOrder_.size()) <= numProcs,
+                 "decomposition leaves do not fit the processor set");
+  for (int w = 0; w < static_cast<int>(leafOrder_.size()); ++w)
+    rankOfProc_[procOfLeaf(leafOrder_[w])] = w;
 }
 
 int ClusterTree::childToward(int treeNode, NodeId p) const {

@@ -78,6 +78,12 @@ struct GraphSpec {
   std::string name;  ///< used by TopologySpec::describe()
   int numNodes = 0;
   std::vector<Edge> edges;
+  /// Permit degree-0 nodes. Normal graphs must be connected (the routing
+  /// build proves it and fails fast otherwise); an *elastic* machine that
+  /// removed nodes mid-run keeps their ids as retired, edgeless entries —
+  /// this flag exempts exactly those from the connectivity proof. Set
+  /// only by the Network's reconfiguration path (docs/faults.md).
+  bool allowIsolated = false;
 
   bool operator==(const GraphSpec&) const = default;
 };
@@ -179,8 +185,16 @@ class ClusterTree {
   int maxDepth() const { return maxDepth_; }
   int numProcs() const { return static_cast<int>(leafOfProc_.size()); }
 
-  /// Tree leaf whose cluster is exactly {processor p}.
-  int leafOf(NodeId p) const { return leafOfProc_[p]; }
+  /// Tree leaf whose cluster is exactly {processor p}, or -1 when the
+  /// tree does not cover p (a retired processor of an elastic machine, or
+  /// a processor added after this tree was built).
+  int leafOf(NodeId p) const {
+    return p >= 0 && p < numProcs() ? leafOfProc_[p] : -1;
+  }
+
+  /// Processors actually covered by leaves (== numProcs() except on trees
+  /// built over a reconfigured machine with retired processors).
+  int numLeaves() const { return static_cast<int>(leafOrder_.size()); }
 
   /// The single processor of a leaf node.
   NodeId procOfLeaf(int leaf) const {
@@ -291,6 +305,18 @@ class Topology {
   /// Build the hierarchical cluster tree for `params`. The returned tree
   /// references this topology and must not outlive it.
   virtual std::unique_ptr<ClusterTree> decompose(DecompParams params) const = 0;
+
+  /// Structural reconfiguration support (docs/faults.md). Graph-backed
+  /// topologies expose their current graph and can rebuild themselves
+  /// over an edited copy of it; closed-form shapes return null — the
+  /// Network rejects reconfiguration on them with a clear error.
+  virtual const GraphSpec* graph() const { return nullptr; }
+  /// A fresh topology of the same kind (same routing mode, partitioner,
+  /// hier arity) over `g`. Null when unsupported.
+  virtual std::unique_ptr<Topology> withGraph(GraphSpec g) const {
+    (void)g;
+    return nullptr;
+  }
 };
 
 /// Construct a topology from its spec; throws CheckError on invalid

@@ -177,6 +177,56 @@ WorkloadSpec parseScenario(const std::string& text) {
                      "scenario file line " << lineNo
                                            << ": fault endpoints must be >= 0");
       phase->faults.push_back(ev);
+    } else if (word == "reconfig") {
+      // Structural reconfiguration (docs/faults.md "Reconfiguration"):
+      //   reconfig <offsetUs> add-node <anchor> [weight [latency]]
+      //   reconfig <offsetUs> add-link <u> <v> [weight [latency]]
+      //   reconfig <offsetUs> remove-node <p>
+      //   reconfig <offsetUs> remove-link <u> <v>
+      // Endpoints are validated at run time against the machine's shape
+      // at the event's firing instant; the line number is carried so
+      // those errors point back here.
+      needPhase(word);
+      net::FaultEvent ev;
+      ev.line = lineNo;
+      ev.offsetUs = parseValue<double>(ls, lineNo, "reconfig offset");
+      DIVA_CHECK_MSG(ev.offsetUs >= 0.0,
+                     "scenario file line " << lineNo
+                                           << ": reconfig offset must be >= 0");
+      std::string kind;
+      DIVA_CHECK_MSG(static_cast<bool>(ls >> kind),
+                     "scenario file line " << lineNo
+                                           << ": 'reconfig' needs a kind (add-node/"
+                                              "remove-node/add-link/remove-link)");
+      const bool nodeKind = kind == "add-node" || kind == "remove-node";
+      const bool linkKind = kind == "add-link" || kind == "remove-link";
+      DIVA_CHECK_MSG(nodeKind || linkKind, "scenario file line "
+                                               << lineNo << ": unknown reconfig kind '"
+                                               << kind << "'");
+      ev.a = parseValue<net::NodeId>(ls, lineNo, "reconfig endpoint");
+      if (linkKind) ev.b = parseValue<net::NodeId>(ls, lineNo, "reconfig endpoint");
+      DIVA_CHECK_MSG(ev.a >= 0 && ev.b >= 0,
+                     "scenario file line " << lineNo
+                                           << ": reconfig endpoints must be >= 0");
+      const bool adds = kind == "add-node" || kind == "add-link";
+      if (adds) {
+        // Optional new-edge weight and latency (default 1.0 each),
+        // carried in the multiplier fields.
+        const auto more = [&ls] {
+          return !ls.eof() &&
+                 (ls >> std::ws, ls.peek() != std::istringstream::traits_type::eof());
+        };
+        if (more()) ev.weightMul = parseValue<double>(ls, lineNo, "edge weight");
+        if (more()) ev.latencyMul = parseValue<double>(ls, lineNo, "edge latency");
+        DIVA_CHECK_MSG(ev.weightMul > 0.0 && ev.latencyMul > 0.0,
+                       "scenario file line "
+                           << lineNo << ": edge weight/latency must be positive");
+      }
+      ev.kind = kind == "add-node"      ? net::FaultEvent::Kind::AddNode
+                : kind == "remove-node" ? net::FaultEvent::Kind::RemoveNode
+                : kind == "add-link"    ? net::FaultEvent::Kind::AddLink
+                                        : net::FaultEvent::Kind::RemoveLink;
+      phase->faults.push_back(ev);
     } else {
       DIVA_CHECK_MSG(false, "scenario file line " << lineNo << ": unknown directive '"
                                                   << word << "'");
@@ -256,19 +306,32 @@ std::string formatScenario(const WorkloadSpec& spec) {
     if (ph.queueLimit != 0) out << "queue " << ph.queueLimit << "\n";
     if (!ph.tracePath.empty()) out << "trace " << ph.tracePath << "\n";
     for (const net::FaultEvent& ev : ph.faults) {
-      out << "fault " << ev.offsetUs << " " << net::faultKindName(ev.kind);
+      out << (net::isStructural(ev.kind) ? "reconfig " : "fault ") << ev.offsetUs
+          << " " << net::faultKindName(ev.kind);
       switch (ev.kind) {
         case net::FaultEvent::Kind::NodeDown:
         case net::FaultEvent::Kind::NodeUp:
+        case net::FaultEvent::Kind::RemoveNode:
           out << " " << ev.a;
           break;
         case net::FaultEvent::Kind::LinkDown:
         case net::FaultEvent::Kind::LinkUp:
+        case net::FaultEvent::Kind::RemoveLink:
           out << " " << ev.a << " " << ev.b;
           break;
         case net::FaultEvent::Kind::Degrade:
           out << " " << ev.a << " " << ev.b << " " << ev.weightMul << " "
               << ev.latencyMul;
+          break;
+        case net::FaultEvent::Kind::AddNode:
+          out << " " << ev.a;
+          if (ev.weightMul != 1.0 || ev.latencyMul != 1.0)
+            out << " " << ev.weightMul << " " << ev.latencyMul;
+          break;
+        case net::FaultEvent::Kind::AddLink:
+          out << " " << ev.a << " " << ev.b;
+          if (ev.weightMul != 1.0 || ev.latencyMul != 1.0)
+            out << " " << ev.weightMul << " " << ev.latencyMul;
           break;
       }
       out << "\n";

@@ -44,6 +44,22 @@ namespace diva::workload {
 //                                      bandwidth cost by wM, latency by lM
 //                           Repeatable; endpoints are range-checked against
 //                           the machine when the scenario runs.)
+//   reconfig <offsetUs> <kind> <args...>
+//                          (permanent structural reconfiguration,
+//                           docs/faults.md "Reconfiguration" — graph-backed
+//                           topologies only. Kinds:
+//                             add-node <anchor> [w [lat]]  new node, joined
+//                                      to `anchor` by an edge of weight w /
+//                                      latency lat (default 1.0 each); its
+//                                      id is the current node count
+//                             remove-node <p>              retire p forever
+//                             add-link <u> <v> [w [lat]]   new edge u—v
+//                             remove-link <u> <v>          drop edge u—v
+//                           Repeatable; endpoints are validated when the
+//                           scenario runs, against the machine's shape at
+//                           the event's firing instant — errors carry this
+//                           line's number. Removals that would disconnect
+//                           the member nodes are rejected.)
 //   arrival <kind> <rate> [onUs offUs]
 //                          (open-loop arrival process — docs/serving.md.
 //                           Kinds: fixed | poisson | burst; `rate` is the

@@ -78,7 +78,8 @@ void WorkloadSpec::validate() const {
                                   << "': fault endpoints must be >= 0");
       DIVA_CHECK_MSG(ev.weightMul > 0.0 && ev.latencyMul > 0.0,
                      "workload '" << name << "' phase '" << ph.name
-                                  << "': degrade multipliers must be positive");
+                                  << "': degrade multipliers / new-edge parameters "
+                                     "must be positive");
     }
     // Open-loop serving parameters (docs/serving.md).
     const std::string ctx = "workload '" + name + "' phase '" + ph.name + "'";
@@ -159,6 +160,185 @@ namespace {
 constexpr double kRetryBackoffUs = 500.0;
 constexpr int kMaxOpRetries = 20;
 
+/// " (scenario line N)" when the event came from a scenario file.
+std::string atLine(int line) {
+  return line > 0 ? " (scenario line " + std::to_string(line) + ")" : std::string();
+}
+
+/// Evolving-shape pre-flight (docs/faults.md "Reconfiguration"): replay
+/// every phase's fault plan against a model of the machine's shape, in
+/// firing order, and validate each event against the shape it will
+/// actually meet at run time — endpoint ids against the CURRENT node
+/// count (which `add-node` grows), membership for structural endpoints,
+/// and `remove-node`/`remove-link` against member connectivity (the
+/// routing rebuild would otherwise fail deep inside an engine event).
+/// All of this happens before anything is scheduled, with line-numbered
+/// errors for scenario-sourced events. The recorded per-phase-start
+/// shape sizes spawning and arrival plans: nodes added during a phase
+/// join the driver at the next phase boundary.
+struct ShapeTimeline {
+  bool reconfigured = false;    ///< some phase scripts a structural event
+  std::vector<int> phaseProcs;  ///< node-id space at each phase start
+  std::vector<std::vector<std::uint8_t>> phaseMember;  ///< membership at phase start
+};
+
+ShapeTimeline simulateShape(const WorkloadSpec& spec, const Machine& m) {
+  ShapeTimeline tl;
+  int count = m.net.numNodes();
+  std::vector<std::uint8_t> member(static_cast<std::size_t>(count), 0);
+  for (net::NodeId n = 0; n < count; ++n)
+    member[static_cast<std::size_t>(n)] = m.net.nodeMember(n) ? 1 : 0;
+  // Undirected member↔member edges; nullptr for closed-form shapes,
+  // which range-check fine but cannot reconfigure. The committed shape
+  // has no edges into already-retired nodes, so the list starts clean.
+  const net::GraphSpec* g = m.net.topology().graph();
+  std::vector<std::pair<net::NodeId, net::NodeId>> edges;
+  if (g != nullptr) {
+    edges.reserve(g->edges.size());
+    for (const net::GraphSpec::Edge& e : g->edges)
+      edges.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  const auto hasEdge = [&edges](net::NodeId u, net::NodeId v) {
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    return std::find(edges.begin(), edges.end(), key) != edges.end();
+  };
+  // Members still mutually reachable when `skipNode` (or the edge
+  // `skipU`—`skipV`) is taken out: DFS over the edge list. O(members ·
+  // edges) worst case — fault plans are tiny.
+  const auto connectedWithout = [&](net::NodeId skipNode, net::NodeId skipU,
+                                    net::NodeId skipV) {
+    int want = 0;
+    net::NodeId start = -1;
+    for (net::NodeId n = 0; n < count; ++n) {
+      if (!member[static_cast<std::size_t>(n)] || n == skipNode) continue;
+      ++want;
+      if (start < 0) start = n;
+    }
+    if (want <= 1) return true;
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(count), 0);
+    std::vector<net::NodeId> stack{start};
+    seen[static_cast<std::size_t>(start)] = 1;
+    int got = 1;
+    while (!stack.empty()) {
+      const net::NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& [ea, eb] : edges) {
+        if (ea == skipU && eb == skipV) continue;
+        if (ea == skipNode || eb == skipNode) continue;
+        net::NodeId v;
+        if (ea == u) {
+          v = eb;
+        } else if (eb == u) {
+          v = ea;
+        } else {
+          continue;
+        }
+        if (seen[static_cast<std::size_t>(v)]) continue;
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++got;
+        stack.push_back(v);
+      }
+    }
+    return got == want;
+  };
+
+  for (const PhaseSpec& ph : spec.phases) {
+    tl.phaseProcs.push_back(count);
+    tl.phaseMember.push_back(member);
+    // Events apply in firing order: time-ascending, plan order within an
+    // instant (exactly how scheduleFaultPlan delivers them).
+    std::vector<const net::FaultEvent*> order;
+    order.reserve(ph.faults.size());
+    for (const net::FaultEvent& ev : ph.faults) order.push_back(&ev);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const net::FaultEvent* x, const net::FaultEvent* y) {
+                       return x->offsetUs < y->offsetUs;
+                     });
+    for (const net::FaultEvent* pe : order) {
+      const net::FaultEvent& ev = *pe;
+      if (!net::isStructural(ev.kind)) {
+        DIVA_CHECK_MSG(ev.a < count && ev.b < count,
+                       "workload '" << spec.name << "' phase '" << ph.name
+                                    << "': fault " << net::faultKindName(ev.kind)
+                                    << " endpoint out of range for a " << count
+                                    << "-processor machine" << atLine(ev.line));
+        continue;
+      }
+      tl.reconfigured = true;
+      DIVA_CHECK_MSG(g != nullptr,
+                     "workload '" << spec.name << "' phase '" << ph.name
+                                  << "': structural reconfiguration requires a "
+                                     "graph-backed topology; '"
+                                  << m.topo().name() << "' cannot grow or shrink"
+                                  << atLine(ev.line));
+      const auto isMember = [&](net::NodeId n) {
+        return n >= 0 && n < count && member[static_cast<std::size_t>(n)] != 0;
+      };
+      switch (ev.kind) {
+        case net::FaultEvent::Kind::AddNode: {
+          DIVA_CHECK_MSG(isMember(ev.a),
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': add-node anchor " << ev.a
+                                      << " is not a member of the " << count
+                                      << "-node machine" << atLine(ev.line));
+          member.push_back(1);
+          edges.emplace_back(ev.a, static_cast<net::NodeId>(count));
+          ++count;
+          break;
+        }
+        case net::FaultEvent::Kind::RemoveNode: {
+          DIVA_CHECK_MSG(isMember(ev.a),
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': remove-node " << ev.a
+                                      << " is not a member of the " << count
+                                      << "-node machine" << atLine(ev.line));
+          DIVA_CHECK_MSG(connectedWithout(ev.a, -1, -1),
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': remove-node " << ev.a
+                                      << " would disconnect the machine"
+                                      << atLine(ev.line));
+          member[static_cast<std::size_t>(ev.a)] = 0;
+          std::erase_if(edges, [&ev](const std::pair<net::NodeId, net::NodeId>& e) {
+            return e.first == ev.a || e.second == ev.a;
+          });
+          break;
+        }
+        case net::FaultEvent::Kind::AddLink: {
+          DIVA_CHECK_MSG(isMember(ev.a) && isMember(ev.b) && ev.a != ev.b,
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': add-link " << ev.a << "—" << ev.b
+                                      << " endpoints must be distinct members of the "
+                                      << count << "-node machine" << atLine(ev.line));
+          DIVA_CHECK_MSG(!hasEdge(ev.a, ev.b),
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': add-link " << ev.a << "—" << ev.b
+                                      << " already exists" << atLine(ev.line));
+          edges.emplace_back(std::min(ev.a, ev.b), std::max(ev.a, ev.b));
+          break;
+        }
+        case net::FaultEvent::Kind::RemoveLink: {
+          DIVA_CHECK_MSG(hasEdge(ev.a, ev.b),
+                         "workload '" << spec.name << "' phase '" << ph.name
+                                      << "': remove-link " << ev.a << "—" << ev.b
+                                      << " is not an edge of the machine"
+                                      << atLine(ev.line));
+          DIVA_CHECK_MSG(
+              connectedWithout(-1, std::min(ev.a, ev.b), std::max(ev.a, ev.b)),
+              "workload '" << spec.name << "' phase '" << ph.name << "': remove-link "
+                           << ev.a << "—" << ev.b << " would disconnect the machine"
+                           << atLine(ev.line));
+          std::erase(edges,
+                     std::make_pair(std::min(ev.a, ev.b), std::max(ev.a, ev.b)));
+          break;
+        }
+        default:
+          break;  // non-structural kinds handled above
+      }
+    }
+  }
+  return tl;
+}
+
 /// One processor's accesses for one phase. The RNG is the per-(phase,
 /// processor) split stream; everything else is shared driver state that
 /// outlives the phase's engine drain.
@@ -169,14 +349,22 @@ constexpr int kMaxOpRetries = 20;
 /// rounds touch, and the fault-free path is untouched.
 sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
                       const ZipfSampler& zipf, const std::vector<VarId>& objects,
-                      std::uint64_t objectBytes, support::SplitMix64 rng) {
+                      std::uint64_t objectBytes, support::SplitMix64 rng,
+                      sim::Time runStart, serve::Trace* capture) {
   const int n = static_cast<int>(objects.size());
   for (int round = 0; round < ph.rounds; ++round) {
     if (ph.thinkMeanUs > 0.0)
       co_await m.net.compute(self, rng.uniform(0.0, 2.0 * ph.thinkMeanUs));
     const int rank = zipf(rng);
-    const VarId x = objects[static_cast<std::size_t>((rank + ph.hotShift) % n)];
+    const int idx = (rank + ph.hotShift) % n;
+    const VarId x = objects[static_cast<std::size_t>(idx)];
     const bool isRead = rng.uniform() < ph.readFraction;
+    // A processor that left the machine (reconfig remove-node) stops
+    // issuing: its program ends, but it still reports to the phase-end
+    // barrier — the aggregation tree spans the phase-START membership
+    // until the epoch commits at the boundary. Placed after the draws so
+    // retirement timing can never shift the access stream.
+    if (!m.net.nodeMember(self)) [[unlikely]] break;
     if (!m.net.nodeUp(self)) [[unlikely]] {
       bool recovered = false;
       for (int r = 0; r < kMaxOpRetries; ++r) {
@@ -192,6 +380,9 @@ sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
         continue;
       }
     }
+    if (capture != nullptr) [[unlikely]]
+      capture->requests.push_back(
+          {m.engine.now() - runStart, self, isRead, idx});
     if (isRead) {
       (void)co_await rt.read(self, x);
     } else {
@@ -256,23 +447,24 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
                            const ZipfSampler& zipf, const std::vector<VarId>& objects,
                            std::uint64_t objectBytes, support::SplitMix64 rng,
                            const NodeServePlan& plan, sim::Time phaseStart,
-                           ServeState& st) {
+                           ServeState& st, sim::Time runStart, serve::Trace* capture) {
   const int n = static_cast<int>(objects.size());
   const int count = static_cast<int>(plan.timesUs.size());
   // Trace plans carry their content in the parallel arrays; generated
   // plans draw it from the access stream.
   const bool fromTrace = !plan.object.empty();
   for (int k = 0; k < count; ++k) {
-    VarId x;
+    int idx;
     bool isRead;
     if (fromTrace) {
-      x = objects[static_cast<std::size_t>(plan.object[static_cast<std::size_t>(k)])];
+      idx = plan.object[static_cast<std::size_t>(k)];
       isRead = plan.isRead[static_cast<std::size_t>(k)] != 0;
     } else {
       const int rank = zipf(rng);
-      x = objects[static_cast<std::size_t>((rank + ph.hotShift) % n)];
+      idx = (rank + ph.hotShift) % n;
       isRead = rng.uniform() < ph.readFraction;
     }
+    const VarId x = objects[static_cast<std::size_t>(idx)];
     const sim::Time due = phaseStart + plan.timesUs[static_cast<std::size_t>(k)];
     if (due > m.engine.now()) co_await m.engine.delayUntil(due);
     if (ph.queueLimit > 0) {
@@ -287,6 +479,16 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
         --st.inFlight;
         continue;
       }
+    }
+    if (!m.net.nodeMember(self)) [[unlikely]] {
+      // The processor has left the machine mid-phase (reconfig
+      // remove-node): the rest of its offered load is lost — a failure
+      // for availability accounting and a drop for serving accounting,
+      // like an outage that never heals.
+      ++m.stats.ops.failedOps;
+      ++st.dropped;
+      --st.inFlight;
+      continue;
     }
     if (!m.net.nodeUp(self)) [[unlikely]] {
       bool recovered = false;
@@ -308,6 +510,9 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
         continue;
       }
     }
+    if (capture != nullptr) [[unlikely]]
+      capture->requests.push_back(
+          {m.engine.now() - runStart, self, isRead, idx});
     if (isRead) {
       (void)co_await rt.read(self, x);
     } else {
@@ -325,15 +530,21 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
 }
 
 /// Build the per-node offered-load plans for every open-loop phase of
-/// `spec` on a `procs`-node machine. Pure function of (spec, procs):
-/// generated schedules come from the dedicated arrival streams, trace
-/// schedules from the file (node ids and object ids range-checked here,
-/// before anything is scheduled).
-std::vector<PhaseServePlan> buildServePlans(const WorkloadSpec& spec, int procs) {
+/// `spec` on the evolving machine: each phase is sized by the node-id
+/// space at ITS start (nodes added mid-phase begin serving next phase,
+/// retired ids keep empty plans). Pure function of (spec, timeline):
+/// generated schedules come from the dedicated arrival streams — the
+/// per-node share is 1/members of the phase — trace schedules from the
+/// file (node ids and object ids range-checked here, before anything is
+/// scheduled).
+std::vector<PhaseServePlan> buildServePlans(const WorkloadSpec& spec,
+                                            const ShapeTimeline& tl) {
   std::vector<PhaseServePlan> plans(spec.phases.size());
   for (std::size_t p = 0; p < spec.phases.size(); ++p) {
     const PhaseSpec& ph = spec.phases[p];
     if (!ph.openLoop()) continue;
+    const int procs = tl.phaseProcs[p];
+    const std::vector<std::uint8_t>& member = tl.phaseMember[p];
     PhaseServePlan& plan = plans[p];
     plan.active = true;
     plan.nodes.resize(static_cast<std::size_t>(procs));
@@ -352,6 +563,10 @@ std::vector<PhaseServePlan> buildServePlans(const WorkloadSpec& spec, int procs)
                                     << "': trace node " << req.node
                                     << " out of range for a " << procs
                                     << "-processor machine");
+        DIVA_CHECK_MSG(member[static_cast<std::size_t>(req.node)] != 0,
+                       "workload '" << spec.name << "' phase '" << ph.name
+                                    << "': trace node " << req.node
+                                    << " has left the machine by this phase");
         NodeServePlan& np = plan.nodes[static_cast<std::size_t>(req.node)];
         np.timesUs.push_back(req.timeUs);
         np.isRead.push_back(req.isRead ? 1 : 0);
@@ -371,9 +586,12 @@ std::vector<PhaseServePlan> buildServePlans(const WorkloadSpec& spec, int procs)
               ? static_cast<double>(trace.requests.size()) / lastUs * 1e6
               : 0.0;
     } else {
+      const int members = static_cast<int>(
+          std::count(member.begin(), member.end(), std::uint8_t{1}));
       for (int node = 0; node < procs; ++node) {
+        if (!member[static_cast<std::size_t>(node)]) continue;  // retired id
         plan.nodes[static_cast<std::size_t>(node)].timesUs = serve::generateArrivals(
-            ph.arrival, ph.rounds, procs, spec.seed, static_cast<int>(p),
+            ph.arrival, ph.rounds, members, spec.seed, static_cast<int>(p),
             static_cast<net::NodeId>(node));
       }
       // Burst offered load is the time-averaged rate over on+off windows.
@@ -422,40 +640,54 @@ WorkloadSpec openLoopAt(const WorkloadSpec& spec, double ratePerSec) {
 }
 
 WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
+  return run(m, rt, spec, RunOptions{});
+}
+
+WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
+                   const RunOptions& opts) {
   spec.validate();
   DIVA_CHECK_MSG(m.engine.idle(), "workload::run requires a quiescent engine");
-  const int procs = m.numProcs();
+  const int procs = m.net.numNodes();
   const int numPhases = static_cast<int>(spec.phases.size());
   m.stats.ensurePhases(numPhases);
 
-  // Fault endpoints can only be range-checked against the actual machine
-  // (spec.procs is a suggestion); fail before anything is scheduled.
+  // Replay the fault plans against the evolving shape (spec.procs is a
+  // suggestion; add-node grows the id space mid-run): every event is
+  // validated against the shape it will actually meet, before anything
+  // is scheduled. `faulted` tracks transient faults only — structural
+  // events are `tl.reconfigured`.
   bool faulted = false;
-  for (const PhaseSpec& ph : spec.phases) {
-    for (const net::FaultEvent& ev : ph.faults) {
-      faulted = true;
-      DIVA_CHECK_MSG(ev.a < procs && ev.b < procs,
-                     "workload '" << spec.name << "' phase '" << ph.name << "': fault "
-                                  << net::faultKindName(ev.kind) << " endpoint out of "
-                                     "range for a " << procs << "-processor machine");
-    }
-  }
+  for (const PhaseSpec& ph : spec.phases)
+    for (const net::FaultEvent& ev : ph.faults)
+      if (!net::isStructural(ev.kind)) faulted = true;
+  const ShapeTimeline tl = simulateShape(spec, m);
 
   // Offered-load plans for open-loop phases (generated schedules + trace
   // files), built before anything runs so bad traces fail fast.
-  const std::vector<PhaseServePlan> servePlans = buildServePlans(spec, procs);
+  const std::vector<PhaseServePlan> servePlans = buildServePlans(spec, tl);
+
+  serve::Trace* capture = opts.captureTrace;
+  if (capture != nullptr) {
+    capture->name = spec.name;
+    capture->numObjects = spec.numObjects;
+    capture->objectBytes = spec.objectBytes;
+    capture->requests.clear();
+  }
 
   const support::SplitMix64 master(spec.seed);
 
   // Object population: owners drawn from the placement stream (setup is
   // free, as in the figure benches). Every object carries a lock so any
-  // processor may write it.
+  // processor may write it. The member walk only moves on machines that
+  // shrank before this run — on a fresh machine it is the identity, so
+  // the classic placement is bit-identical.
   support::SplitMix64 placement = master.split(kPlacementStream);
   std::vector<VarId> objects;
   objects.reserve(static_cast<std::size_t>(spec.numObjects));
   for (int i = 0; i < spec.numObjects; ++i) {
-    const NodeId owner =
+    NodeId owner =
         static_cast<NodeId>(placement.below(static_cast<std::uint64_t>(procs)));
+    while (!m.net.nodeMember(owner)) owner = static_cast<NodeId>((owner + 1) % procs);
     objects.push_back(rt.createVarFree(owner, makeRawValue(spec.objectBytes),
                                        /*withLock=*/true));
   }
@@ -474,6 +706,7 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   const std::uint64_t sentBefore = m.net.messagesSent();
   const std::uint64_t reroutedBefore = m.net.reroutedFlights();
   const std::uint64_t parkedBefore = m.net.parkedFlights();
+  const int epochsBefore = m.net.reconfigEpoch();
 
   // Run-total open-loop accumulators (merged across open-loop phases).
   serve::LatencyHistogram totalHist;
@@ -500,7 +733,9 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
       // timestamps (FIFO among equals) an arrival is counted before it
       // can be picked up — `inFlight` is the machine-wide backlog.
       const sim::Time phaseStart = m.engine.now();
-      for (NodeId node = 0; node < procs; ++node) {
+      const int pprocs = static_cast<int>(servePlan.nodes.size());
+      for (NodeId node = 0; node < pprocs; ++node) {
+        if (!m.net.nodeMember(node)) continue;
         for (const double t : servePlan.nodes[static_cast<std::size_t>(node)].timesUs) {
           m.engine.scheduleAt(phaseStart + t, [&serveState] {
             ++serveState.arrived;
@@ -509,22 +744,30 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
           });
         }
       }
-      for (NodeId node = 0; node < procs; ++node) {
+      for (NodeId node = 0; node < pprocs; ++node) {
+        if (!m.net.nodeMember(node)) continue;
         sim::spawn(nodeServePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
                                   accessStream(spec.seed, p, node),
                                   servePlan.nodes[static_cast<std::size_t>(node)],
-                                  phaseStart, serveState));
+                                  phaseStart, serveState, startTime, capture));
       }
     } else {
-      for (NodeId node = 0; node < procs; ++node) {
+      // Member processors at the phase start drive this phase; nodes a
+      // reconfig added mid-phase join at the next boundary.
+      for (NodeId node = 0; node < m.net.numNodes(); ++node) {
+        if (!m.net.nodeMember(node)) continue;
         sim::spawn(nodePhase(m, rt, node, ph, zipf, objects, spec.objectBytes,
-                             accessStream(spec.seed, p, node)));
+                             accessStream(spec.seed, p, node), startTime, capture));
       }
     }
     // Drain to quiescence: the engine acts as the zero-cost outer clock,
     // so phase boundaries in the stats are exact instants (the in-model
     // barrier above is still part of the measured protocol traffic).
     m.run();
+    // Commit any structural epoch this phase delivered: sever retiring
+    // links and rebuild the lock/barrier trees over the new shape. A
+    // no-op on fixed-shape runs.
+    rt.completeReconfig();
 
     WorkloadReport::Phase pr;
     pr.name = ph.name;
@@ -582,6 +825,13 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
   report.repairedVars = m.stats.ops.repairedVars;
   report.reroutedFlights = m.net.reroutedFlights() - reroutedBefore;
   report.parkedFlights = m.net.parkedFlights() - parkedBefore;
+  report.reconfigured = tl.reconfigured;
+  report.reconfigEpochs =
+      static_cast<std::uint64_t>(m.net.reconfigEpoch() - epochsBefore);
+  report.migratedVars = m.stats.ops.migratedVars;
+  report.migrationMessages = m.stats.ops.migrationMessages;
+  report.migrationBytes = m.stats.ops.migrationBytes;
+  report.forwardedOps = m.stats.ops.forwardedOps;
 
   if (std::any_of(servePlans.begin(), servePlans.end(),
                   [](const PhaseServePlan& pl) { return pl.active; })) {
@@ -590,22 +840,39 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec) {
                      openWallUs > 0.0 ? offeredDotWall / openWallUs : 0.0, openWallUs);
   }
 
-  // A faulted run must end with every object intact: nothing lost,
-  // nothing dually owned, no repair still parked (docs/faults.md).
-  // Fault-free runs skip the sweep — it is O(objects) and the healthy
-  // invariants are already pinned by the strategy test suites.
-  if (faulted) rt.checkAllInvariants();
+  if (capture != nullptr) {
+    // Engine execution is time-ordered, but equal-instant issues from
+    // different nodes land in handler order; pin the file to time order
+    // (stable, so same-instant requests keep their execution order).
+    std::stable_sort(capture->requests.begin(), capture->requests.end(),
+                     [](const serve::TraceRequest& a, const serve::TraceRequest& b) {
+                       return a.timeUs < b.timeUs;
+                     });
+  }
+
+  // A faulted or reconfigured run must end with every object intact:
+  // nothing lost, nothing dually owned, no repair or migration still
+  // parked, every object managed by the CURRENT access tree
+  // (docs/faults.md). Fault-free fixed-shape runs skip the sweep — it is
+  // O(objects) and the healthy invariants are already pinned by the
+  // strategy test suites.
+  if (faulted || tl.reconfigured) rt.checkAllInvariants();
   return report;
 }
 
 WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
                      const WorkloadSpec& spec) {
+  return runOn(topo, config, spec, RunOptions{});
+}
+
+WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
+                     const WorkloadSpec& spec, const RunOptions& opts) {
   Machine m(topo);
   RuntimeConfig rc = config;
   rc.seed = spec.seed;
   rc.cacheCapacityBytes = spec.cacheBytes ? spec.cacheBytes : ~0ull;
   Runtime rt(m, rc);
-  return run(m, rt, spec);
+  return run(m, rt, spec, opts);
 }
 
 std::string formatReport(const WorkloadReport& r) {
@@ -647,15 +914,22 @@ std::string formatReport(const WorkloadReport& r) {
     serveRow("total", r.serve);
     st.print(out);
   }
-  // Availability/recovery section only on faulted runs — a fault-free
-  // report renders byte-identically to earlier versions.
-  if (r.faulted) {
+  // Availability/recovery section only on faulted or reconfigured runs —
+  // a fault-free fixed-shape report renders byte-identically to earlier
+  // versions.
+  if (r.faulted || r.reconfigured) {
     out << "availability " << support::fmt(r.availability, 4) << " · served "
         << r.servedOps << " · failed " << r.failedOps << " · retried " << r.retriedOps
         << "\n";
     out << "recovery " << r.recoveryMessages << " msgs · " << kb(r.recoveryBytes)
         << " KB · " << r.repairedVars << " vars repaired · " << r.reroutedFlights
         << " flights rerouted · " << r.parkedFlights << " parked\n";
+  }
+  if (r.reconfigured) {
+    out << "reconfig " << r.reconfigEpochs << " epochs · " << r.migratedVars
+        << " vars migrated · " << r.migrationMessages << " migration msgs · "
+        << kb(r.migrationBytes) << " KB moved · " << r.forwardedOps
+        << " ops forwarded\n";
   }
   return out.str();
 }
@@ -705,7 +979,7 @@ std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
               ratio(static_cast<double>(a.serve.late),
                     static_cast<double>(b.serve.late))});
   }
-  if (a.faulted || b.faulted) {
+  if (a.faulted || b.faulted || a.reconfigured || b.reconfigured) {
     t.addRow({"availability", support::fmt(a.availability, 4),
               support::fmt(b.availability, 4),
               ratio(a.availability, b.availability)});
@@ -722,6 +996,23 @@ std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
               std::to_string(b.repairedVars),
               ratio(static_cast<double>(a.repairedVars),
                     static_cast<double>(b.repairedVars))});
+  }
+  if (a.reconfigured || b.reconfigured) {
+    t.addRow({"vars migrated", std::to_string(a.migratedVars),
+              std::to_string(b.migratedVars),
+              ratio(static_cast<double>(a.migratedVars),
+                    static_cast<double>(b.migratedVars))});
+    t.addRow({"migration messages", std::to_string(a.migrationMessages),
+              std::to_string(b.migrationMessages),
+              ratio(static_cast<double>(a.migrationMessages),
+                    static_cast<double>(b.migrationMessages))});
+    t.addRow({"migration KB", kb(a.migrationBytes), kb(b.migrationBytes),
+              ratio(static_cast<double>(a.migrationBytes),
+                    static_cast<double>(b.migrationBytes))});
+    t.addRow({"forwarded ops", std::to_string(a.forwardedOps),
+              std::to_string(b.forwardedOps),
+              ratio(static_cast<double>(a.forwardedOps),
+                    static_cast<double>(b.forwardedOps))});
   }
   t.print(out);
   return out.str();

@@ -10,6 +10,10 @@
 #include "serve/arrival.hpp"
 #include "support/rng.hpp"
 
+namespace diva::serve {
+struct Trace;
+}
+
 namespace diva::workload {
 
 /// One temporal phase of a synthetic workload: every processor performs
@@ -30,10 +34,15 @@ struct PhaseSpec {
   int hotShift = 0;           ///< rotation of the popularity ranking
   double thinkMeanUs = 0.0;   ///< mean think time between accesses
   bool barrier = true;        ///< processors synchronize at phase end
-  /// Faults injected during this phase, offsets relative to phase start
-  /// (docs/faults.md). A crashed processor stops issuing operations
-  /// (retry, then fail — availability accounting) until it recovers;
-  /// phases with faults leave all RNG draws untouched, so the fault-free
+  /// Faults AND structural `reconfig` events injected during this phase,
+  /// offsets relative to phase start (docs/faults.md). A crashed
+  /// processor stops issuing operations (retry, then fail — availability
+  /// accounting) until it recovers. Structural events reshape the
+  /// machine permanently: nodes added mid-phase start issuing at the
+  /// next phase boundary, retired nodes stop at their next access (their
+  /// remaining offered load is lost), and every event is validated
+  /// before the run starts against the shape it will actually meet.
+  /// Phases with faults leave all RNG draws untouched, so the fault-free
   /// access stream is bit-identical.
   net::FaultPlan faults;
   /// Open-loop serving (docs/serving.md). When the arrival kind is not
@@ -198,6 +207,15 @@ struct WorkloadReport {
   std::uint64_t repairedVars = 0;
   std::uint64_t reroutedFlights = 0;
   std::uint64_t parkedFlights = 0;
+  /// Structural reconfiguration (docs/faults.md "Reconfiguration").
+  /// `reconfigured` is true iff the spec scripts `reconfig` events —
+  /// fixed-shape reports render exactly as before.
+  bool reconfigured = false;
+  std::uint64_t reconfigEpochs = 0;     ///< structural epochs delivered
+  std::uint64_t migratedVars = 0;       ///< variables re-homed across epochs
+  std::uint64_t migrationMessages = 0;  ///< handoff protocol messages
+  std::uint64_t migrationBytes = 0;     ///< payload bytes moved by migration
+  std::uint64_t forwardedOps = 0;       ///< ops forwarded during handoff windows
   /// Run-total open-loop metrics: per-phase latency histograms merged
   /// (element-wise bucket addition), counters summed, offered/achieved
   /// time-weighted over the open-loop phases. All zeros when every phase
@@ -205,19 +223,36 @@ struct WorkloadReport {
   ServeMetrics serve;
 };
 
+/// Optional run()-time hooks.
+struct RunOptions {
+  /// When non-null, every access the drivers issue is appended as a
+  /// request-trace record (serve/trace.hpp format: times relative to the
+  /// run start, objects as indices into the spec's population) — the
+  /// scenario_runner --capture-trace sink. Header fields are filled from
+  /// the spec; requests come out time-sorted, so the trace replays as a
+  /// single trace phase.
+  serve::Trace* captureTrace = nullptr;
+};
+
 /// Run `spec` on an existing machine/runtime. Creates the object
-/// population (free setup), then drives every processor through the
-/// phases; the engine drains between phases, so per-phase metrics have
-/// exact boundaries. The runtime's own configuration (strategy, cache
-/// bound, seed) is taken as-is — `spec.cacheBytes` only applies through
-/// `runOn`. Requires a quiescent engine; leaves it quiescent.
+/// population (free setup), then drives every member processor through
+/// the phases; the engine drains between phases, so per-phase metrics
+/// have exact boundaries and pending reconfiguration epochs commit at
+/// phase boundaries (Runtime::completeReconfig). The runtime's own
+/// configuration (strategy, cache bound, seed) is taken as-is —
+/// `spec.cacheBytes` only applies through `runOn`. Requires a quiescent
+/// engine; leaves it quiescent.
 WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec);
+WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
+                   const RunOptions& opts);
 
 /// Build a machine of shape `topo` and a runtime from `config` (with the
 /// spec's seed and cache bound applied), run `spec`, and return the
 /// report. The one-call form the A/B harness and tests use.
 WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
                      const WorkloadSpec& spec);
+WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
+                     const WorkloadSpec& spec, const RunOptions& opts);
 
 /// Open-loop variant of `spec` for saturation sweeps: every phase's
 /// arrival process is replaced by Poisson at aggregate `ratePerSec`

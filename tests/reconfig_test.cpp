@@ -1,0 +1,441 @@
+// Elastic-machine tests (docs/faults.md "Reconfiguration"): live
+// grow/rewire/shrink at the network layer, scenario `reconfig`
+// round-trips, run-time validation against the evolving shape,
+// strategy-state migration under randomized reconfiguration on several
+// topologies and routing modes, trace capture round-trips, and the
+// committed elastic scenario.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "diva/machine.hpp"
+#include "diva/runtime.hpp"
+#include "net/fault.hpp"
+#include "net/graph_topology.hpp"
+#include "net/network.hpp"
+#include "serve/trace.hpp"
+#include "sim/task.hpp"
+#include "support/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/workload.hpp"
+
+namespace diva {
+namespace {
+
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Network layer: structural events, membership, epochs
+// ---------------------------------------------------------------------------
+
+TEST(Reconfig, GrowRewireShrinkUpdatesMembership) {
+  sim::Engine engine;
+  net::GraphTopology topo(net::ringGraph(8));
+  mesh::LinkStats stats(topo.numLinkSlots(), 1);
+  net::Network net(engine, topo, net::CostModel::gcel(), stats);
+  EXPECT_EQ(net.numMembers(), 8);
+  EXPECT_EQ(net.reconfigEpoch(), 0);
+
+  const net::NodeId a = net.addNode(0);
+  const net::NodeId b = net.addNode(4);
+  EXPECT_EQ(a, 8);
+  EXPECT_EQ(b, 9);
+  engine.run();  // deliver the (coalesced) epoch notification
+  EXPECT_EQ(net.numMembers(), 10);
+  EXPECT_TRUE(net.nodeMember(a));
+  EXPECT_GE(net.reconfigEpoch(), 1);
+
+  net.addLink(a, b);
+  net.removeLink(0, a);  // a stays connected through b
+  engine.run();
+  net.commitReconfig();
+
+  // Messages route across the new edges.
+  int got = 0;
+  net.setHandler(b, net::kFirstAppChannel, [&](net::Message&& m) { got = m.as<int>(); });
+  net.post(net::Message{a, b, net::kFirstAppChannel, 64, 5});
+  engine.run();
+  EXPECT_EQ(got, 5);
+
+  net.removeNode(a);
+  net.removeNode(b);
+  engine.run();
+  net.commitReconfig();
+  EXPECT_EQ(net.numMembers(), 8);
+  EXPECT_FALSE(net.nodeMember(a));
+  // Ids are never reused: the next node gets a fresh id.
+  EXPECT_EQ(net.addNode(1), 10);
+}
+
+TEST(Reconfig, DisconnectingRemovalThrows) {
+  sim::Engine engine;
+  net::GraphTopology topo(net::gridGraph(1, 3));  // path 0-1-2: 1 is a bridge node
+  mesh::LinkStats stats(topo.numLinkSlots(), 1);
+  net::Network net(engine, topo, net::CostModel::gcel(), stats);
+  EXPECT_THROW(net.removeNode(1), support::CheckError);
+  EXPECT_THROW(net.removeLink(0, 1), support::CheckError);
+  // Leaf removal is fine.
+  net.removeNode(2);
+  engine.run();
+  EXPECT_EQ(net.numMembers(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario format: `reconfig` directive
+// ---------------------------------------------------------------------------
+
+TEST(ReconfigScenario, ReconfigDirectivesRoundTrip) {
+  const std::string text =
+      "scenario elastic-mini\n"
+      "objects 8 128\n"
+      "procs 8\n"
+      "phase a\n"
+      "rounds 2\n"
+      "reconfig 100 add-node 0\n"
+      "reconfig 150 add-node 1 2.5 1.5\n"
+      "reconfig 200 add-link 8 9\n"
+      "reconfig 300 remove-link 0 8\n"
+      "reconfig 400 remove-node 8\n"
+      "fault 500 node-down 2\n";
+  const workload::WorkloadSpec spec = workload::parseScenario(text);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  const net::FaultPlan& plan = spec.phases[0].faults;
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan[0].kind, net::FaultEvent::Kind::AddNode);
+  EXPECT_EQ(plan[0].a, 0);
+  EXPECT_EQ(plan[1].kind, net::FaultEvent::Kind::AddNode);
+  EXPECT_DOUBLE_EQ(plan[1].weightMul, 2.5);   // new-edge weight
+  EXPECT_DOUBLE_EQ(plan[1].latencyMul, 1.5);  // new-edge latency
+  EXPECT_EQ(plan[2].kind, net::FaultEvent::Kind::AddLink);
+  EXPECT_EQ(plan[2].a, 8);
+  EXPECT_EQ(plan[2].b, 9);
+  EXPECT_EQ(plan[3].kind, net::FaultEvent::Kind::RemoveLink);
+  EXPECT_EQ(plan[4].kind, net::FaultEvent::Kind::RemoveNode);
+  EXPECT_TRUE(net::isStructural(plan[0].kind));
+  EXPECT_FALSE(net::isStructural(plan[5].kind));
+  // Line numbers survive the parse (run-time validation points at them).
+  EXPECT_EQ(plan[0].line, 6);
+  EXPECT_EQ(plan[4].line, 10);
+  EXPECT_EQ(workload::parseScenario(workload::formatScenario(spec)), spec);
+}
+
+TEST(ReconfigScenario, MalformedReconfigLinesRejectedWithLineNumbers) {
+  auto expectThrowContaining = [](const std::string& text, const std::string& needle) {
+    try {
+      (void)workload::parseScenario(text);
+      FAIL() << "expected CheckError for: " << text;
+    } catch (const support::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  const std::string head = "objects 8\nphase a\n";
+  expectThrowContaining("objects 8\nreconfig 10 add-node 1\nphase a\n",
+                        "before any 'phase'");
+  expectThrowContaining(head + "reconfig 10 shapeshift 1\n", "unknown reconfig kind");
+  expectThrowContaining(head + "reconfig -5 add-node 1\n", "must be >= 0");
+  expectThrowContaining(head + "reconfig 10 add-node 1 0 1\n", "must be positive");
+  expectThrowContaining(head + "reconfig 10 remove-node 1 2\n", "trailing token");
+  expectThrowContaining(head + "reconfig 10 add-link 1\n", "line 3");
+}
+
+TEST(ReconfigScenario, CommittedElasticScenarioParses) {
+  const workload::WorkloadSpec spec =
+      workload::loadScenarioFile(std::string(DIVA_SCENARIO_DIR) + "/elastic.scenario");
+  EXPECT_EQ(spec.name, "elastic");
+  EXPECT_EQ(spec.procs, 16);
+  int structural = 0;
+  for (const auto& ph : spec.phases)
+    for (const auto& ev : ph.faults) structural += net::isStructural(ev.kind) ? 1 : 0;
+  EXPECT_EQ(structural, 21);  // 8 add-node + 4 add-link + 1 remove-link + 8 remove-node
+}
+
+// ---------------------------------------------------------------------------
+// Run-time validation against the evolving shape
+// ---------------------------------------------------------------------------
+
+workload::WorkloadSpec tinySpecWithEvents(const std::string& events) {
+  return workload::parseScenario(
+      "scenario v\n"
+      "objects 4\n"
+      "phase a\n"
+      "rounds 1\n" +
+      events);
+}
+
+TEST(ReconfigWorkload, EndpointsValidatedAgainstEvolvingShape) {
+  // The machine starts with 8 nodes; node 8 only exists because the
+  // add-node fires first. Both the structural add-link and the
+  // non-structural node-down must range-check against the grown shape.
+  const workload::WorkloadSpec ok = tinySpecWithEvents(
+      "reconfig 10 add-node 0\n"
+      "reconfig 20 add-link 8 4\n"
+      "fault 30 node-down 8\n"
+      "fault 40 node-up 8\n");
+  const workload::WorkloadReport r = workload::runOn(
+      net::TopologySpec::graph(net::ringGraph(8)), RuntimeConfig::fixedHome(), ok);
+  EXPECT_TRUE(r.reconfigured);
+  EXPECT_TRUE(r.faulted);
+
+  // Id 9 never exists: rejected before the run starts, naming the line.
+  const workload::WorkloadSpec bad = tinySpecWithEvents(
+      "reconfig 10 add-node 0\n"
+      "reconfig 20 add-link 9 4\n");
+  try {
+    (void)workload::runOn(net::TopologySpec::graph(net::ringGraph(8)),
+                          RuntimeConfig::fixedHome(), bad);
+    FAIL() << "expected CheckError";
+  } catch (const support::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("scenario line 6"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReconfigWorkload, DisconnectingRemovalsRejectedWithLineNumbers) {
+  for (const char* events : {"reconfig 10 remove-node 1\n", "reconfig 10 remove-link 0 1\n"}) {
+    try {
+      (void)workload::runOn(net::TopologySpec::graph(net::gridGraph(1, 3)),
+                            RuntimeConfig::fixedHome(), tinySpecWithEvents(events));
+      FAIL() << "expected CheckError for: " << events;
+    } catch (const support::CheckError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("disconnect"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("scenario line 5"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(ReconfigWorkload, NonGraphTopologyRejected) {
+  try {
+    (void)workload::runOn(net::TopologySpec::mesh2d(2, 2), RuntimeConfig::fixedHome(),
+                          tinySpecWithEvents("reconfig 10 add-node 0\n"));
+    FAIL() << "expected CheckError";
+  } catch (const support::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("graph-backed"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy-state migration: randomized grow/rewire/shrink property test
+// ---------------------------------------------------------------------------
+
+std::int64_t readInt(Machine& m, Runtime& rt, NodeId p, VarId x) {
+  std::int64_t out = 0;
+  sim::spawn([](Runtime& r, NodeId n, VarId v, std::int64_t& o) -> Task<> {
+    o = valueAs<std::int64_t>(co_await r.read(n, v));
+  }(rt, p, x, out));
+  m.engine.run();
+  return out;
+}
+
+void writeInt(Machine& m, Runtime& rt, NodeId p, VarId x, std::int64_t v) {
+  sim::spawn([](Runtime& r, NodeId n, VarId var, std::int64_t val) -> Task<> {
+    co_await r.write(n, var, makeValue(val));
+  }(rt, p, x, v));
+  m.engine.run();
+}
+
+struct ReconfigStratCase {
+  RuntimeConfig config;
+  const char* label;
+};
+
+class ReconfigStrategyTest : public ::testing::TestWithParam<ReconfigStratCase> {};
+
+TEST_P(ReconfigStrategyTest, RandomizedGrowRewireShrinkQuiescence) {
+  // The ISSUE's property test: on three shapes under both routing modes,
+  // interleave random reads/writes with grow → rewire → shrink epochs.
+  // After every epoch no object may be lost or dually owned and every
+  // object must be managed by the new access tree (checkAllInvariants
+  // enforces the superseded-context check); at the end every object
+  // reads back its last written value on the shrunken machine.
+  struct Shape {
+    net::GraphSpec graph;
+    const char* label;
+  };
+  const std::vector<Shape> shapes = {
+      {net::gridGraph(4, 4), "mesh"},
+      {net::ringGraph(16), "ring"},
+      {net::randomRegularGraph(16, 3, 7), "rr"},
+  };
+  for (const Shape& shape : shapes) {
+    for (const bool hier : {false, true}) {
+      SCOPED_TRACE(std::string(shape.label) + (hier ? "/hier" : "/dense"));
+      Machine m(hier ? net::TopologySpec::hierGraph(shape.graph, 4)
+                     : net::TopologySpec::graph(shape.graph));
+      Runtime rt(m, GetParam().config);
+      const int base = m.numProcs();
+      support::SplitMix64 rng(0xE1A5 ^ static_cast<std::uint64_t>(base) ^
+                              (hier ? 0x8000u : 0u));
+      std::vector<VarId> vars;
+      std::vector<std::int64_t> truth;
+      for (int i = 0; i < 10; ++i) {
+        const NodeId owner = static_cast<NodeId>(rng.below(base));
+        truth.push_back(i * 100);
+        vars.push_back(rt.createVarFree(owner, makeValue(truth.back())));
+      }
+      auto traffic = [&](int ops, int salt) {
+        for (int op = 0; op < ops; ++op) {
+          const std::size_t i = rng.below(vars.size());
+          const int members = m.net.numMembers();
+          const NodeId p = m.net.memberAt(static_cast<int>(rng.below(members)));
+          if (rng.uniform() < 0.5) {
+            EXPECT_EQ(readInt(m, rt, p, vars[i]), truth[i]);
+          } else {
+            truth[i] = salt * 1000 + op;
+            writeInt(m, rt, p, vars[i], truth[i]);
+          }
+        }
+      };
+      traffic(8, 1);
+
+      // Grow: two nodes join at random anchors (one coalesced epoch),
+      // then issue traffic themselves.
+      const NodeId a1 = static_cast<NodeId>(rng.below(base));
+      const NodeId a2 = static_cast<NodeId>(rng.below(base));
+      const NodeId n1 = m.net.addNode(a1);
+      const NodeId n2 = m.net.addNode(a2);
+      m.engine.run();  // deliver the epoch before the new nodes issue
+      rt.checkAllInvariants();
+      truth[0] = 7777;
+      writeInt(m, rt, n1, vars[0], truth[0]);
+      EXPECT_EQ(readInt(m, rt, n2, vars[0]), truth[0]);
+      traffic(8, 2);
+      rt.completeReconfig();
+      rt.checkAllInvariants();
+
+      // Rewire: link the newcomers, drop n2's anchor edge (it stays
+      // connected through n1's link).
+      m.net.addLink(n1, n2);
+      m.net.removeLink(a2, n2);
+      m.engine.run();
+      traffic(6, 3);
+      rt.completeReconfig();
+      rt.checkAllInvariants();
+
+      // Shrink back: retire the newcomers one epoch at a time.
+      m.net.removeNode(n2);
+      m.engine.run();
+      rt.checkAllInvariants();
+      traffic(6, 4);
+      m.net.removeNode(n1);
+      m.engine.run();
+      rt.completeReconfig();
+      rt.checkAllInvariants();
+      EXPECT_EQ(m.net.numMembers(), base);
+
+      // Quiescence on the final shape: nothing lost.
+      for (std::size_t i = 0; i < vars.size(); ++i)
+        EXPECT_EQ(readInt(m, rt, 0, vars[i]), truth[i]);
+      rt.checkAllInvariants();
+      EXPECT_GT(m.stats.ops.migratedVars, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ReconfigStrategyTest,
+    ::testing::Values(ReconfigStratCase{RuntimeConfig::accessTree(4, 1), "at4"},
+                      ReconfigStratCase{RuntimeConfig::accessTree(2, 4), "at2_4"},
+                      ReconfigStratCase{RuntimeConfig::fixedHome(), "fh"}),
+    [](const ::testing::TestParamInfo<ReconfigStratCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------------
+// Workload layer: elastic runs, metrics, trace capture round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ReconfigWorkload, ElasticScenarioRunsDeterministicallyWithFullAvailability) {
+  const workload::WorkloadSpec spec =
+      workload::loadScenarioFile(std::string(DIVA_SCENARIO_DIR) + "/elastic.scenario");
+  const net::TopologySpec topo =
+      net::TopologySpec::graph(net::randomRegularGraph(16, 4, 1));
+  const workload::WorkloadReport r1 =
+      workload::runOn(topo, RuntimeConfig::accessTree(4, 1), spec);
+  EXPECT_TRUE(r1.reconfigured);
+  EXPECT_EQ(r1.reconfigEpochs, 15u);  // 4 grow + 3 rewire + 8 shrink instants
+  EXPECT_DOUBLE_EQ(r1.availability, 1.0);
+  EXPECT_EQ(r1.failedOps, 0u);
+  EXPECT_GT(r1.migratedVars, 0u);
+  EXPECT_GT(r1.migrationMessages, 0u);
+  const std::string text = workload::formatReport(r1);
+  EXPECT_NE(text.find("reconfig"), std::string::npos);
+  EXPECT_NE(text.find("vars migrated"), std::string::npos);
+  // Bit-determinism, epochs included: a second run renders identically.
+  const workload::WorkloadReport r2 =
+      workload::runOn(topo, RuntimeConfig::accessTree(4, 1), spec);
+  EXPECT_EQ(text, workload::formatReport(r2));
+}
+
+TEST(ReconfigWorkload, ReconfigFreeReportOmitsReconfigSection) {
+  workload::WorkloadSpec spec;
+  spec.name = "flat";
+  spec.numObjects = 8;
+  spec.phases.push_back(workload::PhaseSpec{"p0", 4, 0.8, 1.0, 0, 50.0, true, {}});
+  const workload::WorkloadReport r = workload::runOn(
+      net::TopologySpec::mesh2d(4, 4), RuntimeConfig::fixedHome(), spec);
+  EXPECT_FALSE(r.reconfigured);
+  EXPECT_EQ(r.reconfigEpochs, 0u);
+  EXPECT_EQ(workload::formatReport(r).find("reconfig"), std::string::npos);
+}
+
+TEST(TraceCapture, CaptureThenReplayMatchesOpCounts) {
+  workload::WorkloadSpec spec;
+  spec.name = "cap";
+  spec.numObjects = 8;
+  spec.objectBytes = 128;
+  spec.seed = 5;
+  spec.phases.push_back(workload::PhaseSpec{"p0", 4, 0.5, 1.0, 0, 20.0, true, {}});
+
+  serve::Trace captured;
+  workload::RunOptions opts;
+  opts.captureTrace = &captured;
+  const workload::WorkloadReport live = workload::runOn(
+      net::TopologySpec::mesh2d(2, 2), RuntimeConfig::fixedHome(), spec, opts);
+  EXPECT_EQ(captured.name, "cap");
+  EXPECT_EQ(captured.numObjects, 8);
+  ASSERT_EQ(captured.requests.size(), static_cast<std::size_t>(live.servedOps));
+  std::size_t capturedReads = 0;
+  for (std::size_t i = 0; i < captured.requests.size(); ++i) {
+    const serve::TraceRequest& req = captured.requests[i];
+    EXPECT_GE(req.node, 0);
+    EXPECT_LT(req.node, 4);
+    EXPECT_LT(req.object, 8);
+    if (i > 0) EXPECT_GE(req.timeUs, captured.requests[i - 1].timeUs);
+    capturedReads += req.isRead ? 1u : 0u;
+  }
+
+  // Round-trip: the formatted capture replays as a trace phase and
+  // serves the same number of operations.
+  const std::string path = ::testing::TempDir() + "reconfig_capture_roundtrip.trace";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << serve::formatTrace(captured);
+  }
+  workload::WorkloadSpec replay;
+  replay.name = "replay";
+  replay.numObjects = 8;
+  replay.objectBytes = 128;
+  replay.seed = 5;
+  workload::PhaseSpec ph;
+  ph.name = "replayed";
+  ph.tracePath = path;
+  replay.phases.push_back(ph);
+  const workload::WorkloadReport back = workload::runOn(
+      net::TopologySpec::mesh2d(2, 2), RuntimeConfig::fixedHome(), replay);
+  EXPECT_EQ(back.servedOps, live.servedOps);
+  EXPECT_EQ(back.failedOps, 0u);
+  // The replayed op mix is the captured one.
+  std::uint64_t replayReads = 0;
+  for (const auto& p : back.phases) replayReads += p.reads;
+  EXPECT_EQ(replayReads, capturedReads);
+}
+
+}  // namespace
+}  // namespace diva

@@ -60,6 +60,10 @@ def main() -> int:
         # BFS + crash repair on the measured path); runs within a small
         # factor of the fault-free series on the dev box.
         "workload_churn_messages_per_sec": 50_000,
+        # Elastic churn: grow/rewire/shrink reconfiguration with live
+        # state migration on the measured path (docs/faults.md
+        # "Reconfiguration"); ~1.3M msgs/s on the dev box.
+        "workload_reconfig_messages_per_sec": 50_000,
         # Open-loop serving driver (scheduled arrivals + latency
         # histogram on the hot path): ~1.4M msgs/s on the dev box.
         "workload_openloop_messages_per_sec": 50_000,

@@ -28,7 +28,14 @@
 //               aggregate Poisson arrivals on a geometric ladder of
 //               offered rates from LO to HI req/s, and print the
 //               offered-vs-achieved/p99 table per strategy plus
-//               machine-readable `SWEEP rung=...` lines
+//               machine-readable `SWEEP rung=...` lines (each carrying
+//               availability too, so faulted/reconfigured sweeps expose
+//               the latency-vs-availability trade-off per rung)
+//   --capture-trace <path>
+//               record the access-tree run's request stream to <path> in
+//               the request-trace format (docs/serving.md `t node op
+//               object` lines, times relative to the run start) — the
+//               file replays through a `trace` phase
 //   --help      print this usage to stdout and exit 0
 // Shape comes from DIVA_TOPOLOGY (mesh2d | torus2d | hypercube | ring |
 // star | random-regular | graph:<path> | hier-<graph shape>), else the
@@ -44,10 +51,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "net/topology_env.hpp"
+#include "serve/trace.hpp"
 #include "support/check.hpp"
 #include "workload/scenario.hpp"
 #include "workload/workload.hpp"
@@ -58,7 +67,8 @@ namespace {
 
 const char kUsage[] =
     "usage: %s <scenario-file> [--procs N] [--arity N] [--leaf K]\n"
-    "       [--min-availability F] [--max-p99-us X] [--sweep LO:HI:N] [--help]\n"
+    "       [--min-availability F] [--max-p99-us X] [--sweep LO:HI:N]\n"
+    "       [--capture-trace <path>] [--help]\n"
     "       (machine shape from DIVA_TOPOLOGY; see file header)\n"
     "exit codes: 0 ok, 1 gate failed, 2 bad usage, 3 bad scenario file\n";
 
@@ -104,6 +114,8 @@ int runSweep(const workload::WorkloadSpec& spec, const net::TopologySpec& topo,
     double offered;
     workload::ServeMetrics at;
     workload::ServeMetrics fh;
+    double atAvail;
+    double fhAvail;
   };
   std::vector<Rung> results;
   results.reserve(rungs.size());
@@ -113,7 +125,7 @@ int runSweep(const workload::WorkloadSpec& spec, const net::TopologySpec& topo,
         workload::runOn(topo, RuntimeConfig::accessTree(arity, leaf), open);
     const workload::WorkloadReport fh =
         workload::runOn(topo, RuntimeConfig::fixedHome(), open);
-    results.push_back({rate, at.serve, fh.serve});
+    results.push_back({rate, at.serve, fh.serve, at.availability, fh.availability});
   }
   // Knee detection: on an unsaturated rung, achieved throughput scales
   // with the geometric ladder step q; past the knee it plateaus. A rung
@@ -143,10 +155,13 @@ int runSweep(const workload::WorkloadSpec& spec, const net::TopologySpec& topo,
   }
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Rung& r = results[i];
+    // Availability rides along on every rung: on a faulted or
+    // reconfigured sweep, (p99, availability) pairs per offered rate ARE
+    // the latency-vs-availability trade-off curve.
     std::printf("SWEEP rung=%zu offered=%.0f at_achieved=%.0f at_p99_us=%.2f "
-                "fh_achieved=%.0f fh_p99_us=%.2f\n",
+                "fh_achieved=%.0f fh_p99_us=%.2f at_avail=%.4f fh_avail=%.4f\n",
                 i, r.offered, r.at.achievedPerSec, r.at.p99Us, r.fh.achievedPerSec,
-                r.fh.p99Us);
+                r.fh.p99Us, r.atAvail, r.fhAvail);
   }
   return 0;
 }
@@ -161,6 +176,7 @@ int main(int argc, char** argv) {
   double minAvailability = -1.0;
   double maxP99Us = -1.0;
   std::string sweepArg;
+  std::string capturePath;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto intFlag = [&](int& out) {
@@ -189,6 +205,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage(argv[0]);
       sweepArg = argv[++i];
       if (sweepLadder(sweepArg).empty()) return usage(argv[0]);
+    } else if (arg == "--capture-trace") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      capturePath = argv[++i];
+      if (capturePath.empty()) return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (path.empty()) {
@@ -216,10 +236,25 @@ int main(int argc, char** argv) {
     if (!sweepArg.empty())
       return runSweep(spec, topo, arity, leaf, sweepLadder(sweepArg));
 
+    // The capture records the access-tree run (the paper's strategy);
+    // fixed-home sees the same spec, so either stream replays both.
+    serve::Trace captured;
+    workload::RunOptions atOpts;
+    if (!capturePath.empty()) atOpts.captureTrace = &captured;
     const workload::WorkloadReport at =
-        workload::runOn(topo, RuntimeConfig::accessTree(arity, leaf), spec);
+        workload::runOn(topo, RuntimeConfig::accessTree(arity, leaf), spec, atOpts);
     const workload::WorkloadReport fh =
         workload::runOn(topo, RuntimeConfig::fixedHome(), spec);
+
+    if (!capturePath.empty()) {
+      std::ofstream out(capturePath);
+      DIVA_CHECK_MSG(out.good(), "cannot open capture file '" << capturePath << "'");
+      out << serve::formatTrace(captured);
+      out.close();
+      DIVA_CHECK_MSG(out.good(), "failed writing capture file '" << capturePath << "'");
+      std::printf("captured %zu requests to %s\n\n", captured.requests.size(),
+                  capturePath.c_str());
+    }
 
     std::fputs(workload::formatReport(at).c_str(), stdout);
     std::fputs("\n", stdout);
