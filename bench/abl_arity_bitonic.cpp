@@ -26,15 +26,20 @@ int main() {
   support::Table table({"strategy", "congestion ratio", "exec time ratio",
                         "time vs 4-ary"});
 
-  double fourAryTime = 0;
+  double fourAryTime = 0, fhTime = 0;
   std::vector<std::pair<StratSpec, bs::Result>> rows;
   for (const auto& spec : {accessTree(4), accessTree(2), accessTree(2, 4),
                            accessTree(4, 16), accessTree(16), fixedHome()}) {
     Machine m(topo);
     Runtime rt(m, spec.config.on(topo));
     rows.emplace_back(spec, bs::runDiva(m, rt, cfg));
-    if (spec.config.arity == 4 && spec.config.leafSize == 1)
+    // fixedHome() leaves arity/leafSize at their defaults (4/1), so the
+    // 4-ary match must also check the strategy kind.
+    if (spec.config.kind == StrategyKind::AccessTree &&
+        spec.config.arity == 4 && spec.config.leafSize == 1)
       fourAryTime = rows.back().second.timeUs;
+    if (spec.config.kind == StrategyKind::FixedHome)
+      fhTime = rows.back().second.timeUs;
   }
   table.addRow({"hand-optimized", "1.00", "1.00", ""});
   for (const auto& [spec, r] : rows) {
@@ -45,5 +50,9 @@ int main() {
                   support::fmtPercent(r.timeUs / fourAryTime)});
   }
   table.print();
+
+  // Headline ratio for BENCH_engine.json: 4-ary access tree vs fixed
+  // home execution time on the sort.
+  printDatapoint("abl_arity_bitonic", topo, fourAryTime / fhTime);
   return 0;
 }

@@ -29,11 +29,16 @@ int main() {
                         "messages [10^3]"});
   table.addRow({"hand-optimized", "1.00", "1.00", support::fmt(0.0, 0)});
 
+  double fourAryTime = 0, fhTime = 0;
   for (const auto& spec : {accessTree(2), accessTree(2, 4), accessTree(4),
                            accessTree(4, 16), accessTree(16), fixedHome()}) {
     Machine m(topo, cm);
     Runtime rt(m, spec.config.on(topo));
     const auto r = mm::runDiva(m, rt, cfg);
+    if (spec.config.kind == StrategyKind::AccessTree && spec.config.arity == 4 &&
+        spec.config.leafSize == 1)
+      fourAryTime = r.timeUs;
+    if (spec.config.kind == StrategyKind::FixedHome) fhTime = r.timeUs;
     table.addRow({spec.name,
                   ratioCell(static_cast<double>(r.congestionBytes),
                             static_cast<double>(ho.congestionBytes)),
@@ -41,5 +46,9 @@ int main() {
                   support::fmt(m.net.messagesSent() / 1e3, 0)});
   }
   table.print();
+
+  // Headline ratio for BENCH_engine.json: 4-ary access tree vs fixed
+  // home communication time on the multiplication.
+  printDatapoint("abl_arity_matmul", topo, fourAryTime / fhTime);
   return 0;
 }

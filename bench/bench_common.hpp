@@ -81,11 +81,18 @@ inline net::TopologySpec topoForSide(int side, bool requireGrid = false) {
 }
 
 /// Machine-readable sweep record consumed by bench/run_bench.sh, which
-/// stores the last one per figure in BENCH_engine.json.
+/// stores the last one per figure in BENCH_engine.json. The named-field
+/// form is for benches whose headline ratio is not access-tree vs fixed
+/// home (e.g. abl_embedding compares random vs regular embedding).
+inline void printDatapoint(const char* fig, const net::TopologySpec& spec,
+                           const char* field, double value) {
+  std::printf("DATAPOINT %s topology=%s %s=%.4f\n", fig,
+              spec.describe().c_str(), field, value);
+}
+
 inline void printDatapoint(const char* fig, const net::TopologySpec& spec,
                            double atOverFhTime) {
-  std::printf("DATAPOINT %s topology=%s at_fh_time=%.4f\n", fig,
-              spec.describe().c_str(), atOverFhTime);
+  printDatapoint(fig, spec, "at_fh_time", atOverFhTime);
 }
 
 }  // namespace diva::bench

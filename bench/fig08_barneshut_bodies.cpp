@@ -25,5 +25,18 @@ int main() {
                   support::fmt(p.result.totalMessages / 1e6, 2)});
   }
   table.print();
+
+  // Headline ratio for BENCH_engine.json: 4-ary access tree vs fixed
+  // home total execution time at the largest body count of the sweep.
+  double fhTime = 0, at4Time = 0;
+  const int maxBodies = points.back().bodies;
+  for (const auto& p : points) {
+    if (p.bodies != maxBodies) continue;
+    if (p.strat.config.kind == StrategyKind::FixedHome) fhTime = p.result.timeUs;
+    if (p.strat.config.kind == StrategyKind::AccessTree &&
+        p.strat.config.arity == 4 && p.strat.config.leafSize == 1)
+      at4Time = p.result.timeUs;
+  }
+  printDatapoint("fig08_barneshut_bodies", topoForShape(16, 16), at4Time / fhTime);
   return 0;
 }

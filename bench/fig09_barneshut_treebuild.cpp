@@ -29,5 +29,20 @@ int main() {
          support::fmtPercent(p.result.phaseWallUs[bh::kTreeBuild] / wallSum)});
   }
   table.print();
+
+  // Headline ratio for BENCH_engine.json: 4-ary access tree vs fixed
+  // home tree-building wall time at the largest body count — the phase
+  // where the paper's multicast-vs-home-bottleneck gap is widest.
+  double fhWall = 0, at4Wall = 0;
+  const int maxBodies = points.back().bodies;
+  for (const auto& p : points) {
+    if (p.bodies != maxBodies) continue;
+    if (p.strat.config.kind == StrategyKind::FixedHome)
+      fhWall = p.result.phaseWallUs[bh::kTreeBuild];
+    if (p.strat.config.kind == StrategyKind::AccessTree &&
+        p.strat.config.arity == 4 && p.strat.config.leafSize == 1)
+      at4Wall = p.result.phaseWallUs[bh::kTreeBuild];
+  }
+  printDatapoint("fig09_barneshut_treebuild", topoForShape(16, 16), at4Wall / fhWall);
   return 0;
 }

@@ -31,5 +31,20 @@ int main() {
                   support::fmtPercent(1.0 - computePerProc / wall)});
   }
   table.print();
+
+  // Headline ratio for BENCH_engine.json: 4-ary access tree vs fixed
+  // home force-phase wall time at the largest body count — the phase
+  // that dominates total execution time in the paper.
+  double fhWall = 0, at4Wall = 0;
+  const int maxBodies = points.back().bodies;
+  for (const auto& p : points) {
+    if (p.bodies != maxBodies) continue;
+    if (p.strat.config.kind == StrategyKind::FixedHome)
+      fhWall = p.result.phaseWallUs[bh::kForce];
+    if (p.strat.config.kind == StrategyKind::AccessTree &&
+        p.strat.config.arity == 4 && p.strat.config.leafSize == 1)
+      at4Wall = p.result.phaseWallUs[bh::kForce];
+  }
+  printDatapoint("fig10_barneshut_force", topoForShape(16, 16), at4Wall / fhWall);
   return 0;
 }

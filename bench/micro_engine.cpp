@@ -10,6 +10,7 @@
 #include "mesh/route.hpp"
 #include "net/graph_topology.hpp"
 #include "net/hier_routing.hpp"
+#include "obs/tracer.hpp"
 #include "serve/arrival.hpp"
 #include "workload/workload.hpp"
 
@@ -190,6 +191,41 @@ void BM_WorkloadZipfChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(sent));
 }
 BENCHMARK(BM_WorkloadZipfChurn);
+
+// Traced variant of the zipf churn: the identical workload with an
+// ENABLED tracer attached (all categories), so the cost of recording
+// transaction/serve spans and network instants on the hot path is
+// measured next to the untraced series. The records are cleared (not
+// exported) each iteration — this prices recording, not JSON export.
+// `workload_traced_messages_per_sec` in BENCH_engine.json; the ratio to
+// `workload_messages_per_sec` is the traced-run overhead documented in
+// docs/benchmarks.md and docs/observability.md.
+void BM_WorkloadTraced(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.name = "bench-zipf-traced";
+  spec.numObjects = 128;
+  spec.objectBytes = 256;
+  spec.seed = 1;
+  spec.phases.push_back(
+      workload::PhaseSpec{"hot", 16, 0.9, 1.0, 0, 0.0, true});
+  spec.phases.push_back(
+      workload::PhaseSpec{"drift", 16, 0.9, 1.0, 64, 0.0, true});
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    Machine m(net::TopologySpec::mesh2d(8, 8));
+    Runtime rt(m, RuntimeConfig::accessTree(4, 1, spec.seed));
+    obs::Tracer tracer;
+    tracer.enable(m.engine, obs::kCatAll);
+    workload::RunOptions opts;
+    opts.tracer = &tracer;
+    (void)workload::run(m, rt, spec, opts);
+    sent += m.net.messagesSent();
+    benchmark::DoNotOptimize(tracer.numRecords(obs::kCatAll));
+    tracer.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_WorkloadTraced);
 
 // Faulted variant of the workload churn: the same 8×8-mesh zipf traffic
 // with a link flap and a processor crash/recover per phase, so the

@@ -24,22 +24,32 @@ fi
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_engine fig03_matmul_blocksize \
   fig04_matmul_scaling fig06_bitonic_keys fig07_bitonic_scaling \
-  scenario_runner -j >/dev/null
+  fig08_barneshut_bodies fig09_barneshut_treebuild fig10_barneshut_force \
+  fig11_barneshut_scaling abl_arity_bitonic abl_arity_matmul \
+  abl_bounded_memory abl_embedding scenario_runner -j >/dev/null
 
 GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 CXX_BIN=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)
 COMPILER=$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)
 
 # Per-figure topology datapoints: "DATAPOINT <fig> topology=<shape>
-# at_fh_time=<x>" lines, quick sweeps — a couple hundred ms each. The
-# scaling figures (4/7) run on the torus leg; the parameter figures (3/6)
-# on the paper's own 16×16 mesh, so their at/fh ratios are directly
-# comparable against the published bars (see docs/benchmarks.md).
+# <field>=<x>" lines (field is at_fh_time for every bench with a fixed
+# home leg), quick sweeps. The scaling figures (4/7) run on the torus
+# leg; the parameter figures (3/6), the Barnes–Hut figures (8–11) and
+# the ablations on the paper's own mesh, so their ratios are directly
+# comparable against the published bars (see docs/benchmarks.md). The
+# Barnes–Hut quick sweeps are the slow ones (~1 min each for 8/9/10,
+# which share the sweep; ~30 s for 11) — the rest are a couple hundred
+# ms to ~10 s.
 FIG_DATA=$(
   for fig in fig04_matmul_scaling fig07_bitonic_scaling; do
     DIVA_QUICK=1 DIVA_TOPOLOGY=torus2d "$BUILD_DIR/bench/$fig" | grep '^DATAPOINT'
   done
-  for fig in fig03_matmul_blocksize fig06_bitonic_keys; do
+  for fig in fig03_matmul_blocksize fig06_bitonic_keys \
+             fig08_barneshut_bodies fig09_barneshut_treebuild \
+             fig10_barneshut_force fig11_barneshut_scaling \
+             abl_arity_bitonic abl_arity_matmul abl_bounded_memory \
+             abl_embedding; do
     DIVA_QUICK=1 DIVA_TOPOLOGY=mesh2d "$BUILD_DIR/bench/$fig" | grep '^DATAPOINT'
   done
 )
@@ -76,8 +86,8 @@ cmd = [
     "--benchmark_filter=BM_EngineEventChurn|BM_NetworkMessageChurn"
     "|BM_NetworkMessageChurnTorus|BM_NetworkMessageChurnGraph"
     "|BM_HierRoutingMessageChurn|BM_HierRoutingAppendRoute"
-    "|BM_WorkloadZipfChurn|BM_WorkloadChurn|BM_WorkloadReconfig"
-    "|BM_WorkloadOpenLoop",
+    "|BM_WorkloadZipfChurn|BM_WorkloadTraced|BM_WorkloadChurn"
+    "|BM_WorkloadReconfig|BM_WorkloadOpenLoop",
     f"--benchmark_repetitions={reps}",
     "--benchmark_report_aggregates_only=true",
     f"--benchmark_out={raw_path}",
@@ -106,9 +116,11 @@ for line in os.environ.get("FIG_DATA", "").splitlines():
     if not parts or parts[0] != "DATAPOINT":
         continue
     fields = dict(kv.split("=", 1) for kv in parts[2:])
+    # topology stays a string; every other field is a numeric ratio
+    # (at_fh_time for most benches, random_regular_time for the
+    # embedding ablation — see bench_common.hpp printDatapoint).
     figures[parts[1]] = {
-        "topology": fields["topology"],
-        "at_fh_time": float(fields["at_fh_time"]),
+        k: (v if k == "topology" else float(v)) for k, v in fields.items()
     }
 
 # Saturation-sweep rungs (offered vs achieved req/s + p99 latency +
@@ -151,6 +163,10 @@ entry = {
     # Full-protocol-stack churn (strategy + locks + barriers) driven by
     # the synthetic-workload subsystem; see bench/micro_engine.cpp.
     "workload_messages_per_sec": round(rate("BM_WorkloadZipfChurn")),
+    # The identical workload with an enabled all-categories tracer
+    # attached (docs/observability.md): the ratio to the line above is
+    # the traced-run recording overhead.
+    "workload_traced_messages_per_sec": round(rate("BM_WorkloadTraced")),
     # Same workload with per-phase link flaps and a processor
     # crash/recover: detour BFS, crash repair and availability retries on
     # the measured path (docs/faults.md).
@@ -182,6 +198,8 @@ entry = {
         "hier_routing_messages_per_sec": "graph-rr64d3s1-hier16",
         "hier_routing_routes_per_sec": "graph-rr1024d4s3-hier16",
         "workload_messages_per_sec": "mesh2d-8x8 zipf-churn (access tree)",
+        "workload_traced_messages_per_sec":
+            "mesh2d-8x8 zipf-churn (access tree), tracer enabled (all cats)",
         "workload_churn_messages_per_sec":
             "mesh2d-8x8 zipf-churn + link flaps + node crash (access tree)",
         "workload_reconfig_messages_per_sec":

@@ -270,12 +270,20 @@ void AccessTreeStrategy::handleMessage(net::Message&& msg) {
     case AtBody::K::Recover:
       // Cost-only: repair mutates tree state and caches synchronously at
       // drain time (see repairVar); this message charges the salvage and
-      // scrub traffic so congestion-during-repair is visible.
+      // scrub traffic so congestion-during-repair is visible. Arrival
+      // closes the repair span its send opened.
+      if (obs::Tracer* tr = net_.tracer())
+        tr->endAsync(obs::kCatRepair, msg.dst, "repair",
+                     static_cast<std::int64_t>(b.var));
       break;
     case AtBody::K::Migrate:
       // Cost-only: migration mutates tree state and caches synchronously
       // at epoch/drain time (see migrateVar); this message charges the
       // handoff traffic so congestion-during-migration is visible.
+      // Arrival closes the migration span its send opened.
+      if (obs::Tracer* tr = net_.tracer())
+        tr->endAsync(obs::kCatMigration, msg.dst, "migrate",
+                     static_cast<std::int64_t>(b.var));
       break;
   }
 }
@@ -850,6 +858,8 @@ void AccessTreeStrategy::repairVar(VarId x, NodeId p) {
   auto recover = [&](NodeId src, NodeId dst, std::uint64_t bytes) {
     ++stats_.ops.recoveryMessages;
     stats_.ops.recoveryBytes += bytes;
+    if (obs::Tracer* tr = net_.tracer())
+      tr->beginAsync(obs::kCatRepair, src, "repair", static_cast<std::int64_t>(x));
     AtBody r;
     r.k = AtBody::K::Recover;
     r.var = x;
@@ -916,6 +926,8 @@ void AccessTreeStrategy::sendMigrate(NodeId src, NodeId dst, VarId x,
                                      std::uint64_t payloadBytes) {
   ++stats_.ops.migrationMessages;
   stats_.ops.migrationBytes += payloadBytes;
+  if (obs::Tracer* tr = net_.tracer())
+    tr->beginAsync(obs::kCatMigration, src, "migrate", static_cast<std::int64_t>(x));
   AtBody b;
   b.k = AtBody::K::Migrate;
   b.var = x;

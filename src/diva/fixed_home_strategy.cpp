@@ -284,12 +284,20 @@ void FixedHomeStrategy::handleMessage(net::Message&& msg) {
     case FhBody::K::Recover:
       // Cost-only: repair mutates directory and caches synchronously at
       // crash/drain time (see repairVar); this message charges the
-      // salvage traffic so congestion-during-repair is visible.
+      // salvage traffic so congestion-during-repair is visible. Arrival
+      // closes the repair span its send opened.
+      if (obs::Tracer* tr = net_.tracer())
+        tr->endAsync(obs::kCatRepair, msg.dst, "repair",
+                     static_cast<std::int64_t>(peeked.var));
       return;
     case FhBody::K::Migrate:
       // Cost-only, mirroring Recover: epoch migration moves directory and
       // home copy synchronously (see migrateVar); this message charges
-      // the handoff traffic.
+      // the handoff traffic. Arrival closes the migration span its send
+      // opened.
+      if (obs::Tracer* tr = net_.tracer())
+        tr->endAsync(obs::kCatMigration, msg.dst, "migrate",
+                     static_cast<std::int64_t>(peeked.var));
       return;
     default:
       DIVA_CHECK_MSG(false, "unhandled fixed-home message kind");
@@ -524,6 +532,8 @@ void FixedHomeStrategy::sendRecover(NodeId src, NodeId dst, VarId x,
                                     std::uint64_t payloadBytes) {
   ++stats_.ops.recoveryMessages;
   stats_.ops.recoveryBytes += payloadBytes;
+  if (obs::Tracer* tr = net_.tracer())
+    tr->beginAsync(obs::kCatRepair, src, "repair", static_cast<std::int64_t>(x));
   FhBody b;
   b.k = FhBody::K::Recover;
   b.var = x;
@@ -590,6 +600,8 @@ void FixedHomeStrategy::sendMigrate(NodeId src, NodeId dst, VarId x,
                                     std::uint64_t payloadBytes) {
   ++stats_.ops.migrationMessages;
   stats_.ops.migrationBytes += payloadBytes;
+  if (obs::Tracer* tr = net_.tracer())
+    tr->beginAsync(obs::kCatMigration, src, "migrate", static_cast<std::int64_t>(x));
   FhBody b;
   b.k = FhBody::K::Migrate;
   b.var = x;

@@ -216,6 +216,7 @@ void Network::setNodeUp(NodeId n, bool up) {
   nodeAlive_[static_cast<std::size_t>(n)] = want;
   liveNodes_ += up ? 1 : -1;
   DIVA_CHECK_MSG(liveNodes_ > 0, "crashing node " << n << " would kill the whole machine");
+  if (tracer_) tracer_->instant(obs::kCatFault, n, up ? "node-up" : "node-down");
   for (const LivenessListener& fn : livenessListeners_)
     if (fn) fn(n, up);
 }
@@ -231,6 +232,7 @@ void Network::setLinkUp(NodeId u, NodeId v, bool up) {
     return;
   linkAlive_[static_cast<std::size_t>(uv)] = want;
   linkAlive_[static_cast<std::size_t>(vu)] = want;
+  if (tracer_) tracer_->instant(obs::kCatFault, u, up ? "link-up" : "link-down", v);
   if (up) retryParked();
 }
 
@@ -247,6 +249,7 @@ void Network::degradeLink(NodeId u, NodeId v, double weightMul, double latencyMu
     linkHopLatencyUs_[static_cast<std::size_t>(slot)] =
         topo_->linkLatency(slot) * cost_.hopLatencyUs * latencyMul;
   }
+  if (tracer_) tracer_->instant(obs::kCatFault, u, "degrade-link", v);
 }
 
 int Network::addLivenessListener(LivenessListener fn) {
@@ -291,12 +294,14 @@ void Network::rerouteOrPark(Flight* f) {
     // this exact node when a heal reconnects it (a plan that partitions
     // the machine forever simply strands the messages that need the cut).
     ++parkedFlights_;
+    if (tracer_) tracer_->instant(obs::kCatNet, cur, "park", dst);
     limbo_.push_back(f);
     return;
   }
   // Rewrite the rest of the route in place: keep the hops already
   // crossed (they position `cur`), splice the detour in reverse from dst.
   ++reroutedFlights_;
+  if (tracer_) tracer_->instant(obs::kCatNet, cur, "detour", dst);
   f->path.truncate(f->idx);
   const std::size_t spliceAt = f->path.size();
   for (NodeId n = dst; n != cur; n = bfsPrevNode_[static_cast<std::size_t>(n)])
@@ -528,6 +533,17 @@ void Network::deliverReconfig() {
     targetTopo_ = std::move(target);
   }
   ++reconfigEpoch_;
+  if (tracer_ && tracer_->on(obs::kCatReconfig)) {
+    // Epoch span: delivery of the new shape to the quiescent commit. An
+    // add-only epoch has no handoff window — it is complete at delivery.
+    tracer_->beginAsync(obs::kCatReconfig, obs::Tracer::kMachineTrack, "epoch",
+                        reconfigEpoch_);
+    if (retainedEdges_.empty())
+      tracer_->endAsync(obs::kCatReconfig, obs::Tracer::kMachineTrack, "epoch",
+                        reconfigEpoch_);
+    else
+      openEpochSpans_.push_back(reconfigEpoch_);
+  }
   for (const ReconfigListener& fn : reconfigListeners_)
     if (fn) fn();
 }
@@ -537,6 +553,11 @@ void Network::commitReconfig() {
                  "commitReconfig before the reconfiguration epoch was delivered");
   if (retainedEdges_.empty()) return;
   DIVA_CHECK(targetTopo_ != nullptr);
+  if (tracer_) {
+    for (const std::int64_t id : openEpochSpans_)
+      tracer_->endAsync(obs::kCatReconfig, obs::Tracer::kMachineTrack, "epoch", id);
+  }
+  openEpochSpans_.clear();
   retainedEdges_.clear();
   retiring_.clear();
   // Install the very topology object strategies decomposed at the epoch —

@@ -10,6 +10,7 @@
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "support/frame_pool.hpp"
@@ -210,6 +211,16 @@ class Network {
   int addReconfigListener(ReconfigListener fn);
   void removeReconfigListener(int token);
 
+  /// Attach a protocol tracer (nullptr detaches) — see obs/tracer.hpp.
+  /// Like the delivery probe, a pure observer that never perturbs the
+  /// run: unset (the default) nothing is paid anywhere; set, the *cold*
+  /// fault/detour/reconfig paths record instants and epoch spans, and
+  /// strategies read it back through tracer() for their own protocol
+  /// spans. Per-hop traffic is never traced — link time series come from
+  /// the obs::Sampler instead.
+  void setTracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Diagnostic tap on message delivery, invoked as (time, dst, channel)
   /// immediately before every handler dispatch / mailbox append. Used by
   /// the determinism regression test to hash the delivery trace; costs
@@ -303,6 +314,8 @@ class Network {
   support::FramePool framePool_;
   std::uint64_t messagesSent_ = 0;
   DeliveryProbe deliveryProbe_;  ///< empty unless a trace consumer taps in
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<std::int64_t> openEpochSpans_;  ///< epoch ids between deliver & commit
 
   // Fault state. linkAlive_/nodeAlive_ are all-ones on a healthy machine;
   // the hot path reads linkAlive_ once per hop, everything else below is

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "serve/latency_histogram.hpp"
+#include "support/check.hpp"
+
+namespace diva::obs {
+
+std::string jsonNumber(double v) {
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+void MetricsRegistry::histogram(std::string name,
+                                const serve::LatencyHistogram* h) {
+  gauge(name + "/count", [h] { return static_cast<double>(h->count()); });
+  gauge(name + "/p50", [h] { return h->p50(); });
+  gauge(name + "/p90", [h] { return h->p90(); });
+  gauge(name + "/p99", [h] { return h->p99(); });
+  gauge(name + "/p999", [h] { return h->p999(); });
+  gauge(name + "/max", [h] { return h->max(); });
+  gauge(name + "/mean", [h] { return h->mean(); });
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string r;
+  r.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') r += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    r += c;
+  }
+  return r;
+}
+
+/// One (path-split) registry entry flattened for the tree walk.
+struct Flat {
+  std::vector<std::string> path;
+  std::size_t index;  ///< into the registry
+};
+
+/// Emit the subtree of entries[lo..hi) that share path[..depth), which
+/// is already grouped (registration order preserved; a re-opened group
+/// name would emit a duplicate key, so register groups contiguously).
+void emitGroup(std::ostream& out, const MetricsRegistry& reg,
+               const std::vector<Flat>& flats, std::size_t lo, std::size_t hi,
+               std::size_t depth) {
+  // Array detection: every child segment at this depth is the integer
+  // run 0,1,2,... in order.
+  bool isArray = hi > lo;
+  std::size_t next = 0;
+  for (std::size_t i = lo; i < hi && isArray;) {
+    const std::string& seg = flats[i].path[depth];
+    if (seg != std::to_string(next)) isArray = false;
+    std::size_t j = i;
+    while (j < hi && flats[j].path[depth] == seg) ++j;
+    i = j;
+    ++next;
+  }
+  out << (isArray ? '[' : '{');
+  bool first = true;
+  for (std::size_t i = lo; i < hi;) {
+    const std::string& seg = flats[i].path[depth];
+    std::size_t j = i;
+    while (j < hi && flats[j].path[depth] == seg) ++j;
+    if (!first) out << ',';
+    first = false;
+    if (!isArray) out << '"' << jsonEscape(seg) << "\":";
+    if (j == i + 1 && flats[i].path.size() == depth + 1) {
+      const std::size_t idx = flats[i].index;
+      if (reg.isNumeric(idx))
+        out << jsonNumber(reg.numberAt(idx));
+      else
+        out << '"' << jsonEscape(reg.textAt(idx)) << '"';
+    } else {
+      emitGroup(out, reg, flats, i, j, depth + 1);
+    }
+    i = j;
+  }
+  out << (isArray ? ']' : '}');
+}
+
+}  // namespace
+
+void MetricsRegistry::writeJson(std::ostream& out) const {
+  std::vector<Flat> flats;
+  flats.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Flat f;
+    f.index = i;
+    const std::string& name = entries_[i].name;
+    std::size_t pos = 0;
+    while (pos <= name.size()) {
+      std::size_t slash = name.find('/', pos);
+      if (slash == std::string::npos) slash = name.size();
+      f.path.push_back(name.substr(pos, slash - pos));
+      pos = slash + 1;
+    }
+    DIVA_CHECK_MSG(!f.path.empty(), "empty metric name");
+    flats.push_back(std::move(f));
+  }
+  if (flats.empty()) {
+    out << "{}";
+    return;
+  }
+  emitGroup(out, *this, flats, 0, flats.size(), 0);
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+}  // namespace diva::obs

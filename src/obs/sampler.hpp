@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace diva {
+struct Machine;
+}
+
+namespace diva::obs {
+
+/// Periodic time-series sampler, scheduled as ordinary engine events.
+///
+/// At every sample instant the sampler reads the whole MetricsRegistry
+/// (plus, when bound to a Machine, a per-link congestion snapshot of the
+/// *current* topology — heatmap-ready) and appends long-form rows
+/// `(time_us, phase, metric, value)`. Output is CSV or JSON, chosen by
+/// the writer called.
+///
+/// Scheduling protocol, driven by the workload runner:
+///  - phaseBegin(): boundary sample at the phase start, then a tick
+///    chain at the configured interval;
+///  - each tick samples and reschedules itself — unless the model's
+///    event queue has drained, in which case the chain stops silently so
+///    the sampler never keeps a finished phase alive;
+///  - phaseEnd(): boundary sample at the phase end.
+/// So a phase spanning S µs at interval I yields floor(S/I) interior
+/// samples plus the two boundaries (fewer interior ones only if the
+/// model goes idle early). The sampler is an observer with one caveat:
+/// its final pending tick can extend the engine's idle time by up to one
+/// interval, so phase wall-clock readings with sampling ON can exceed
+/// the sampling-OFF run by < I per phase (sampling OFF is what the
+/// golden hashes pin, and stays bit-identical).
+class Sampler {
+ public:
+  /// Arm the sampler: sample every `intervalUs` simulated µs (> 0).
+  void configure(sim::Engine& engine, double intervalUs);
+  bool enabled() const { return engine_ != nullptr; }
+
+  /// Register the standard machine metrics (engine, network, ops
+  /// counters, link aggregates) and enable per-link congestion
+  /// snapshots. Call after configure(), before the run.
+  void bindMachine(const Machine& m);
+
+  /// Additional metrics (per-phase serve gauges, ...) register here;
+  /// use mark()/truncate() for phase-scoped lifetimes.
+  MetricsRegistry& registry() { return registry_; }
+
+  void phaseBegin(int phase);
+  void phaseEnd();
+
+  std::size_t samplesTaken() const { return samples_; }
+  std::size_t numRows() const { return rows_.size(); }
+
+  /// Long-form CSV: `time_us,phase,metric,value` (header row included).
+  void writeCsv(std::ostream& out) const;
+  /// The same rows as a JSON array of objects.
+  void writeJson(std::ostream& out) const;
+
+ private:
+  struct Row {
+    double t;
+    int phase;
+    std::string metric;  ///< copied: registry entries may be phase-scoped
+    double value;
+  };
+
+  void sample();
+  void tick();
+
+  sim::Engine* engine_ = nullptr;
+  double intervalUs_ = 0.0;
+  const Machine* machine_ = nullptr;
+  int phase_ = 0;
+  bool active_ = false;  ///< between phaseBegin and phaseEnd
+  MetricsRegistry registry_;
+  std::vector<Row> rows_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace diva::obs

@@ -98,6 +98,9 @@ class Engine {
     return s;
   }
 
+  /// Live queue-tier occupancy (diagnostics / time-series sampling).
+  EventQueue::Occupancy queueOccupancy() const { return queue_.occupancy(); }
+
   /// Awaitable that suspends the current task until `now() + dt`.
   auto delay(Time dt) { return DelayAwaiter{this, now_ + dt}; }
 

@@ -171,6 +171,20 @@ class EventQueue {
 
   const Stats& stats() const { return stats_; }
 
+  /// Live tier occupancy (diagnostics / time-series sampling): events in
+  /// the bucket ring, distinct-timestamp runs in the sorted front tier,
+  /// and far-future groups in the overflow heap. O(1) — the sorted tiers
+  /// are counted in distinct timestamps, not events, precisely so no hot
+  /// push/pop pays for a per-event count.
+  struct Occupancy {
+    std::size_t ringEvents = 0;
+    std::size_t frontRuns = 0;
+    std::size_t overflowGroups = 0;
+  };
+  Occupancy occupancy() const {
+    return {ringCount_, runs_.size() - runIdx_, overflowHeap_.size()};
+  }
+
  private:
   static constexpr std::size_t kInitialCapacity = 256;
   static constexpr std::size_t kInitialTableSize = 256;  // power of two

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "serve/latency_histogram.hpp"
 #include "serve/trace.hpp"
 #include "support/check.hpp"
@@ -352,6 +355,11 @@ sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
                       std::uint64_t objectBytes, support::SplitMix64 rng,
                       sim::Time runStart, serve::Trace* capture) {
   const int n = static_cast<int>(objects.size());
+  // Transaction spans on this processor's track (obs/tracer.hpp). The
+  // category gate is hoisted: tracing off (or txn filtered out) costs
+  // one null test per guarded site and records nothing.
+  obs::Tracer* tr = m.net.tracer();
+  if (tr != nullptr && !tr->on(obs::kCatTxn)) tr = nullptr;
   for (int round = 0; round < ph.rounds; ++round) {
     if (ph.thinkMeanUs > 0.0)
       co_await m.net.compute(self, rng.uniform(0.0, 2.0 * ph.thinkMeanUs));
@@ -384,15 +392,26 @@ sim::Task<> nodePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec& ph,
       capture->requests.push_back(
           {m.engine.now() - runStart, self, isRead, idx});
     if (isRead) {
+      if (tr) tr->begin(obs::kCatTxn, self, "read", idx);
       (void)co_await rt.read(self, x);
+      if (tr) tr->end(obs::kCatTxn, self);
     } else {
       // Writers serialize through the object's lock: concurrent
       // unsynchronized writes to one variable are outside the coherence
       // contract, and lock traffic is part of what a contended
-      // write-heavy workload measures.
+      // write-heavy workload measures. The outer span is the whole
+      // transaction issue→commit; lock / write / unlock nest inside it.
+      if (tr) tr->begin(obs::kCatTxn, self, "write-txn", idx);
+      if (tr) tr->begin(obs::kCatTxn, self, "lock");
       co_await rt.lock(self, x);
+      if (tr) tr->end(obs::kCatTxn, self);
+      if (tr) tr->begin(obs::kCatTxn, self, "write");
       co_await rt.write(self, x, makeRawValue(objectBytes));
+      if (tr) tr->end(obs::kCatTxn, self);
+      if (tr) tr->begin(obs::kCatTxn, self, "unlock");
       co_await rt.unlock(self, x);
+      if (tr) tr->end(obs::kCatTxn, self);
+      if (tr) tr->end(obs::kCatTxn, self);
     }
   }
   if (ph.barrier) co_await rt.barrier(self);
@@ -450,6 +469,11 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
                            ServeState& st, sim::Time runStart, serve::Trace* capture) {
   const int n = static_cast<int>(objects.size());
   const int count = static_cast<int>(plan.timesUs.size());
+  // Serve spans on this processor's track: pickup→completion, with the
+  // queueing delay already accrued at pickup as the span argument; shed
+  // and outage losses are drop instants.
+  obs::Tracer* tr = m.net.tracer();
+  if (tr != nullptr && !tr->on(obs::kCatServe)) tr = nullptr;
   // Trace plans carry their content in the parallel arrays; generated
   // plans draw it from the access stream.
   const bool fromTrace = !plan.object.empty();
@@ -477,6 +501,7 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
       if (static_cast<int>(firstNotDue - begin) > ph.queueLimit) {
         ++st.dropped;
         --st.inFlight;
+        if (tr) tr->instant(obs::kCatServe, self, "drop-shed", idx);
         continue;
       }
     }
@@ -488,6 +513,7 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
       ++m.stats.ops.failedOps;
       ++st.dropped;
       --st.inFlight;
+      if (tr) tr->instant(obs::kCatServe, self, "drop-retired", idx);
       continue;
     }
     if (!m.net.nodeUp(self)) [[unlikely]] {
@@ -507,12 +533,16 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
         ++m.stats.ops.failedOps;
         ++st.dropped;
         --st.inFlight;
+        if (tr) tr->instant(obs::kCatServe, self, "drop-outage", idx);
         continue;
       }
     }
     if (capture != nullptr) [[unlikely]]
       capture->requests.push_back(
           {m.engine.now() - runStart, self, isRead, idx});
+    if (tr)
+      tr->begin(obs::kCatServe, self, "serve",
+                static_cast<std::int64_t>(m.engine.now() - due));
     if (isRead) {
       (void)co_await rt.read(self, x);
     } else {
@@ -520,6 +550,7 @@ sim::Task<> nodeServePhase(Machine& m, Runtime& rt, NodeId self, const PhaseSpec
       co_await rt.write(self, x, makeRawValue(objectBytes));
       co_await rt.unlock(self, x);
     }
+    if (tr) tr->end(obs::kCatServe, self);
     const double latencyUs = m.engine.now() - due;
     st.hist.record(latencyUs);
     ++st.served;
@@ -674,6 +705,16 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
     capture->requests.clear();
   }
 
+  // Observability taps (obs/): attach the caller's tracer to the machine
+  // for the duration of this run — the network and the strategies read
+  // it back through Network::tracer() — and drive the caller's sampler
+  // across the phase loop. Both null by default, costing nothing.
+  obs::Tracer* const tracer = opts.tracer;
+  obs::Tracer* const prevTracer = m.net.tracer();
+  if (tracer != nullptr) m.net.setTracer(tracer);
+  obs::Sampler* const sampler =
+      (opts.sampler != nullptr && opts.sampler->enabled()) ? opts.sampler : nullptr;
+
   const support::SplitMix64 master(spec.seed);
 
   // Object population: owners drawn from the placement stream (setup is
@@ -720,6 +761,13 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
     const Stats::Counters opsBefore = m.stats.ops;
     const std::uint64_t phaseSentBefore = m.net.messagesSent();
 
+    // Phase span on the machine track; phases never overlap, so plain
+    // sync begin/end nest trivially.
+    obs::Tracer* ptr = tracer;
+    if (ptr != nullptr && !ptr->on(obs::kCatPhase)) ptr = nullptr;
+    if (ptr != nullptr)
+      ptr->beginDyn(obs::kCatPhase, obs::Tracer::kMachineTrack, "phase:" + ph.name);
+
     // Fault offsets are relative to the phase start; an empty plan
     // schedules nothing, so fault-free runs are bit-identical.
     net::scheduleFaultPlan(m.engine, m.net, ph.faults, m.engine.now());
@@ -734,13 +782,16 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
       // can be picked up — `inFlight` is the machine-wide backlog.
       const sim::Time phaseStart = m.engine.now();
       const int pprocs = static_cast<int>(servePlan.nodes.size());
+      obs::Tracer* atr = tracer;
+      if (atr != nullptr && !atr->on(obs::kCatServe)) atr = nullptr;
       for (NodeId node = 0; node < pprocs; ++node) {
         if (!m.net.nodeMember(node)) continue;
         for (const double t : servePlan.nodes[static_cast<std::size_t>(node)].timesUs) {
-          m.engine.scheduleAt(phaseStart + t, [&serveState] {
+          m.engine.scheduleAt(phaseStart + t, [&serveState, atr, node] {
             ++serveState.arrived;
             if (++serveState.inFlight > serveState.maxInFlight)
               serveState.maxInFlight = serveState.inFlight;
+            if (atr != nullptr) atr->instant(obs::kCatServe, node, "arrive");
           });
         }
       }
@@ -760,14 +811,40 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
                              accessStream(spec.seed, p, node), startTime, capture));
       }
     }
+    // Open-loop phases expose the live backlog to the sampler; the gauges
+    // borrow `serveState`, so they are truncated again before it dies.
+    std::size_t samplerMark = 0;
+    if (sampler != nullptr) {
+      samplerMark = sampler->registry().mark();
+      if (servePlan.active) {
+        sampler->registry().gauge("serve/in_flight", [&serveState] {
+          return static_cast<double>(serveState.inFlight);
+        });
+        sampler->registry().gauge("serve/arrived", [&serveState] {
+          return static_cast<double>(serveState.arrived);
+        });
+        sampler->registry().gauge("serve/served", [&serveState] {
+          return static_cast<double>(serveState.served);
+        });
+        sampler->registry().gauge("serve/dropped", [&serveState] {
+          return static_cast<double>(serveState.dropped);
+        });
+      }
+      sampler->phaseBegin(p);
+    }
     // Drain to quiescence: the engine acts as the zero-cost outer clock,
     // so phase boundaries in the stats are exact instants (the in-model
     // barrier above is still part of the measured protocol traffic).
     m.run();
+    if (sampler != nullptr) {
+      sampler->phaseEnd();
+      sampler->registry().truncate(samplerMark);
+    }
     // Commit any structural epoch this phase delivered: sever retiring
     // links and rebuild the lock/barrier trees over the new shape. A
     // no-op on fixed-shape runs.
     rt.completeReconfig();
+    if (ptr != nullptr) ptr->end(obs::kCatPhase, obs::Tracer::kMachineTrack);
 
     WorkloadReport::Phase pr;
     pr.name = ph.name;
@@ -857,6 +934,7 @@ WorkloadReport run(Machine& m, Runtime& rt, const WorkloadSpec& spec,
   // O(objects) and the healthy invariants are already pinned by the
   // strategy test suites.
   if (faulted || tl.reconfigured) rt.checkAllInvariants();
+  if (tracer != nullptr) m.net.setTracer(prevTracer);
   return report;
 }
 
@@ -872,41 +950,139 @@ WorkloadReport runOn(const net::TopologySpec& topo, const RuntimeConfig& config,
   rc.seed = spec.seed;
   rc.cacheCapacityBytes = spec.cacheBytes ? spec.cacheBytes : ~0ull;
   Runtime rt(m, rc);
+  // The machine only exists inside this call, so observers handed in
+  // unarmed are armed here against its engine.
+  if (opts.tracer != nullptr && !opts.tracer->enabled())
+    opts.tracer->enable(m.engine, opts.traceMask);
+  if (opts.sampler != nullptr && !opts.sampler->enabled() && opts.sampleIntervalUs > 0.0)
+    opts.sampler->configure(m.engine, opts.sampleIntervalUs);
+  if (opts.sampler != nullptr && opts.sampler->enabled()) opts.sampler->bindMachine(m);
   return run(m, rt, spec, opts);
 }
+
+namespace {
+
+// Column descriptors shared by formatReport (text layout) and
+// registerReport (JSON keys): one source of truth, so adding a column
+// changes both renderings together. `runCell` is null for columns the
+// total row leaves blank.
+struct PhaseCol {
+  const char* header;  ///< text-table column header
+  const char* key;     ///< registry key under phase/<i>/
+  double (*num)(const WorkloadReport::Phase& p);      ///< registry value
+  std::string (*cell)(const WorkloadReport::Phase& p);  ///< table cell
+  std::string (*runCell)(const WorkloadReport& r);    ///< total-row cell
+};
+
+const PhaseCol kPhaseCols[] = {
+    {"wall ms", "wall_us", [](const WorkloadReport::Phase& p) { return p.wallUs; },
+     [](const WorkloadReport::Phase& p) { return support::fmt(p.wallUs / 1e3, 2); },
+     [](const WorkloadReport& r) { return support::fmt(r.completionUs / 1e3, 2); }},
+    {"injected", "injected",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.injected); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.injected); },
+     [](const WorkloadReport& r) { return std::to_string(r.injected); }},
+    {"link msgs", "link_messages",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.linkMessages); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.linkMessages); },
+     [](const WorkloadReport& r) { return std::to_string(r.linkMessages); }},
+    {"link KB", "link_bytes",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.linkBytes); },
+     [](const WorkloadReport::Phase& p) { return kb(p.linkBytes); },
+     [](const WorkloadReport& r) { return kb(r.linkBytes); }},
+    {"cong msgs", "congestion_messages",
+     [](const WorkloadReport::Phase& p) {
+       return static_cast<double>(p.congestionMessages);
+     },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.congestionMessages); },
+     [](const WorkloadReport& r) { return std::to_string(r.congestionMessages); }},
+    {"cong KB", "congestion_bytes",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.congestionBytes); },
+     [](const WorkloadReport::Phase& p) { return kb(p.congestionBytes); },
+     [](const WorkloadReport& r) { return kb(r.congestionBytes); }},
+    {"reads", "reads",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.reads); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.reads); }, nullptr},
+    {"hits", "read_hits",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.readHits); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.readHits); }, nullptr},
+    {"writes", "writes",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.writes); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.writes); }, nullptr},
+    {"invals", "invalidations",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.invalidations); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.invalidations); },
+     nullptr},
+    {"locks", "locks",
+     [](const WorkloadReport::Phase& p) { return static_cast<double>(p.locks); },
+     [](const WorkloadReport::Phase& p) { return std::to_string(p.locks); }, nullptr},
+};
+
+struct ServeCol {
+  const char* header;  ///< text-table column header
+  const char* key;     ///< registry key under .../serve/
+  double (*num)(const ServeMetrics& sv);
+  std::string (*cell)(const ServeMetrics& sv);
+};
+
+const ServeCol kServeCols[] = {
+    {"offered/s", "offered_per_sec", [](const ServeMetrics& sv) { return sv.offeredPerSec; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.offeredPerSec, 0); }},
+    {"achieved/s", "achieved_per_sec",
+     [](const ServeMetrics& sv) { return sv.achievedPerSec; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.achievedPerSec, 0); }},
+    {"p50 µs", "p50_us", [](const ServeMetrics& sv) { return sv.p50Us; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.p50Us, 2); }},
+    {"p90 µs", "p90_us", [](const ServeMetrics& sv) { return sv.p90Us; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.p90Us, 2); }},
+    {"p99 µs", "p99_us", [](const ServeMetrics& sv) { return sv.p99Us; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.p99Us, 2); }},
+    {"p999 µs", "p999_us", [](const ServeMetrics& sv) { return sv.p999Us; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.p999Us, 2); }},
+    {"max µs", "max_us", [](const ServeMetrics& sv) { return sv.maxUs; },
+     [](const ServeMetrics& sv) { return support::fmt(sv.maxUs, 2); }},
+    {"served", "served", [](const ServeMetrics& sv) { return static_cast<double>(sv.served); },
+     [](const ServeMetrics& sv) { return std::to_string(sv.served); }},
+    {"dropped", "dropped",
+     [](const ServeMetrics& sv) { return static_cast<double>(sv.dropped); },
+     [](const ServeMetrics& sv) { return std::to_string(sv.dropped); }},
+    {"late", "late", [](const ServeMetrics& sv) { return static_cast<double>(sv.late); },
+     [](const ServeMetrics& sv) { return std::to_string(sv.late); }},
+    {"peak infl", "max_in_flight",
+     [](const ServeMetrics& sv) { return static_cast<double>(sv.maxInFlight); },
+     [](const ServeMetrics& sv) { return std::to_string(sv.maxInFlight); }},
+};
+
+}  // namespace
 
 std::string formatReport(const WorkloadReport& r) {
   std::ostringstream out;
   out << "workload '" << r.workload << "' · strategy " << r.strategy << " · "
       << r.topology << " (" << r.procs << " procs)\n";
-  support::Table t({"phase", "wall ms", "injected", "link msgs", "link KB", "cong msgs",
-                    "cong KB", "reads", "hits", "writes", "invals", "locks"});
+  std::vector<std::string> headers{"phase"};
+  for (const PhaseCol& c : kPhaseCols) headers.emplace_back(c.header);
+  support::Table t(headers);
   for (const WorkloadReport::Phase& p : r.phases) {
-    t.addRow({p.name, support::fmt(p.wallUs / 1e3, 2), std::to_string(p.injected),
-              std::to_string(p.linkMessages), kb(p.linkBytes),
-              std::to_string(p.congestionMessages), kb(p.congestionBytes),
-              std::to_string(p.reads), std::to_string(p.readHits),
-              std::to_string(p.writes), std::to_string(p.invalidations),
-              std::to_string(p.locks)});
+    std::vector<std::string> row{p.name};
+    for (const PhaseCol& c : kPhaseCols) row.push_back(c.cell(p));
+    t.addRow(row);
   }
-  t.addRow({"total", support::fmt(r.completionUs / 1e3, 2), std::to_string(r.injected),
-            std::to_string(r.linkMessages), kb(r.linkBytes),
-            std::to_string(r.congestionMessages), kb(r.congestionBytes), "", "", "", "",
-            ""});
+  std::vector<std::string> total{"total"};
+  for (const PhaseCol& c : kPhaseCols)
+    total.push_back(c.runCell != nullptr ? c.runCell(r) : std::string());
+  t.addRow(total);
   t.print(out);
   // SLO table only when some phase ran open loop — closed-loop reports
   // render byte-identically to earlier versions.
   if (r.serve.active) {
     out << "open-loop serving · latency from scheduled arrival (docs/serving.md)\n";
-    support::Table st({"phase", "offered/s", "achieved/s", "p50 µs", "p90 µs", "p99 µs",
-                       "p999 µs", "max µs", "served", "dropped", "late", "peak infl"});
+    std::vector<std::string> sheaders{"phase"};
+    for (const ServeCol& c : kServeCols) sheaders.emplace_back(c.header);
+    support::Table st(sheaders);
     auto serveRow = [&st](const std::string& name, const ServeMetrics& sv) {
-      st.addRow({name, support::fmt(sv.offeredPerSec, 0),
-                 support::fmt(sv.achievedPerSec, 0), support::fmt(sv.p50Us, 2),
-                 support::fmt(sv.p90Us, 2), support::fmt(sv.p99Us, 2),
-                 support::fmt(sv.p999Us, 2), support::fmt(sv.maxUs, 2),
-                 std::to_string(sv.served), std::to_string(sv.dropped),
-                 std::to_string(sv.late), std::to_string(sv.maxInFlight)});
+      std::vector<std::string> row{name};
+      for (const ServeCol& c : kServeCols) row.push_back(c.cell(sv));
+      st.addRow(row);
     };
     for (const WorkloadReport::Phase& p : r.phases) {
       if (p.serve.active) serveRow(p.name, p.serve);
@@ -1016,6 +1192,63 @@ std::string formatComparison(const WorkloadReport& a, const WorkloadReport& b) {
   }
   t.print(out);
   return out.str();
+}
+
+void registerReport(obs::MetricsRegistry& reg, const WorkloadReport& r) {
+  reg.text("run/workload", r.workload);
+  reg.text("run/strategy", r.strategy);
+  reg.text("run/topology", r.topology);
+  reg.value("run/procs", static_cast<double>(r.procs));
+  reg.value("run/completion_us", r.completionUs);
+  reg.value("run/injected", static_cast<double>(r.injected));
+  reg.value("run/link_messages", static_cast<double>(r.linkMessages));
+  reg.value("run/link_bytes", static_cast<double>(r.linkBytes));
+  reg.value("run/congestion_messages", static_cast<double>(r.congestionMessages));
+  reg.value("run/congestion_bytes", static_cast<double>(r.congestionBytes));
+  reg.value("run/faulted", r.faulted ? 1.0 : 0.0);
+  reg.value("run/served_ops", static_cast<double>(r.servedOps));
+  reg.value("run/failed_ops", static_cast<double>(r.failedOps));
+  reg.value("run/retried_ops", static_cast<double>(r.retriedOps));
+  reg.value("run/availability", r.availability);
+  reg.value("run/recovery_messages", static_cast<double>(r.recoveryMessages));
+  reg.value("run/recovery_bytes", static_cast<double>(r.recoveryBytes));
+  reg.value("run/repaired_vars", static_cast<double>(r.repairedVars));
+  reg.value("run/rerouted_flights", static_cast<double>(r.reroutedFlights));
+  reg.value("run/parked_flights", static_cast<double>(r.parkedFlights));
+  reg.value("run/reconfigured", r.reconfigured ? 1.0 : 0.0);
+  reg.value("run/reconfig_epochs", static_cast<double>(r.reconfigEpochs));
+  reg.value("run/migrated_vars", static_cast<double>(r.migratedVars));
+  reg.value("run/migration_messages", static_cast<double>(r.migrationMessages));
+  reg.value("run/migration_bytes", static_cast<double>(r.migrationBytes));
+  reg.value("run/forwarded_ops", static_cast<double>(r.forwardedOps));
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const WorkloadReport::Phase& p = r.phases[i];
+    const std::string base = "phase/" + std::to_string(i) + "/";
+    reg.text(base + "name", p.name);
+    for (const PhaseCol& c : kPhaseCols) reg.value(base + c.key, c.num(p));
+    reg.value(base + "failed_ops", static_cast<double>(p.failedOps));
+    reg.value(base + "retried_ops", static_cast<double>(p.retriedOps));
+    reg.value(base + "recovery_messages", static_cast<double>(p.recoveryMessages));
+    reg.value(base + "recovery_bytes", static_cast<double>(p.recoveryBytes));
+    if (p.serve.active) {
+      for (const ServeCol& c : kServeCols)
+        reg.value(base + "serve/" + c.key, c.num(p.serve));
+      reg.value(base + "serve/arrived", static_cast<double>(p.serve.arrived));
+      reg.value(base + "serve/mean_us", p.serve.meanUs);
+    }
+  }
+  if (r.serve.active) {
+    for (const ServeCol& c : kServeCols)
+      reg.value(std::string("serve/") + c.key, c.num(r.serve));
+    reg.value("serve/arrived", static_cast<double>(r.serve.arrived));
+    reg.value("serve/mean_us", r.serve.meanUs);
+  }
+}
+
+std::string reportJson(const WorkloadReport& r) {
+  obs::MetricsRegistry reg;
+  registerReport(reg, r);
+  return reg.toJson();
 }
 
 }  // namespace diva::workload

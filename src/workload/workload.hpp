@@ -14,6 +14,12 @@ namespace diva::serve {
 struct Trace;
 }
 
+namespace diva::obs {
+class Tracer;
+class Sampler;
+class MetricsRegistry;
+}
+
 namespace diva::workload {
 
 /// One temporal phase of a synthetic workload: every processor performs
@@ -232,6 +238,32 @@ struct RunOptions {
   /// the spec; requests come out time-sorted, so the trace replays as a
   /// single trace phase.
   serve::Trace* captureTrace = nullptr;
+  /// When non-null (and enabled), the run records protocol spans and
+  /// instants into this tracer (obs/tracer.hpp): transaction and serve
+  /// spans on per-processor tracks, phase extents on the machine track,
+  /// plus the network- and strategy-level migration/repair/reconfig/
+  /// fault events. Attached to the machine via Network::setTracer for
+  /// the duration of the run. Null (the default) costs nothing and the
+  /// run is bit-identical — pinned by the golden-hash tests.
+  obs::Tracer* tracer = nullptr;
+  /// Category mask runOn() arms a not-yet-enabled tracer with (the
+  /// machine — and its engine — only exists inside runOn). Callers using
+  /// run() on their own machine enable the tracer themselves; an already
+  /// enabled tracer is used as-is and this mask is ignored.
+  std::uint32_t traceMask = 0xffu;  // obs::kCatAll
+  /// When non-null (and configured), the run drives this periodic
+  /// time-series sampler (obs/sampler.hpp) across every phase: boundary
+  /// samples at phase edges plus interval ticks scheduled as ordinary
+  /// engine events. The caller binds the machine (runOn does it for
+  /// you); open-loop phases additionally register queue-occupancy
+  /// gauges for their duration. Sampling ON can extend each phase's
+  /// measured wall time by less than one interval (the final pending
+  /// tick); OFF is bit-identical.
+  obs::Sampler* sampler = nullptr;
+  /// Sample interval runOn() configures a not-yet-armed sampler with,
+  /// in simulated µs; <= 0 leaves an unconfigured sampler inert. Like
+  /// traceMask, only consulted by runOn().
+  double sampleIntervalUs = 0.0;
 };
 
 /// Run `spec` on an existing machine/runtime. Creates the object
@@ -264,6 +296,16 @@ WorkloadSpec openLoopAt(const WorkloadSpec& spec, double ratePerSec);
 /// Deterministic text rendering of a report (fixed-precision numbers):
 /// same seed → byte-identical output.
 std::string formatReport(const WorkloadReport& r);
+
+/// Register every field of `r` into a metrics registry under "run/...",
+/// "phase/<i>/..." and "serve/..." paths. Driven by the same descriptor
+/// tables that lay out formatReport's columns, so the text report and
+/// the JSON report are one source of truth (obs/metrics.hpp).
+void registerReport(obs::MetricsRegistry& reg, const WorkloadReport& r);
+
+/// The report as nested JSON — registerReport on a fresh registry,
+/// rendered by MetricsRegistry::writeJson. Deterministic.
+std::string reportJson(const WorkloadReport& r);
 
 /// Strategy A/B table: per-metric columns for `a` and `b` plus the a/b
 /// ratio — the access-tree vs fixed-home comparison of the paper, on

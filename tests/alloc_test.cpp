@@ -23,6 +23,7 @@
 
 #include "diva/machine.hpp"
 #include "net/graph_topology.hpp"
+#include "obs/tracer.hpp"
 #include "serve/latency_histogram.hpp"
 #include "sim/engine.hpp"
 
@@ -306,6 +307,39 @@ TEST(Alloc, RecvCoroutineFramesRecycleInSteadyState) {
   const std::uint64_t before = allocCount();
   m.engine.run();
   EXPECT_EQ(allocCount() - before, 0u) << "recv coroutine frames hit the heap";
+}
+
+// A *disabled* tracer attached to the machine leaves the hot path
+// allocation-free: every record call compiled into the message pipeline,
+// the strategies and the workload drivers is one mask test and a return.
+// This is the ISSUE-10 "observability off = bit-identical" budget half —
+// the golden-hash tests pin the value half.
+TEST(Alloc, DisabledTracerOnTheHotPathNeverAllocates) {
+  Machine m(8, 8);
+  obs::Tracer tracer;  // never enabled
+  m.net.setTracer(&tracer);
+  std::uint64_t budget = 20'000;
+  registerRelayHandlers(m, budget);
+  injectSeedMessages(m);
+  m.engine.run();  // warm-up at working depth
+  ASSERT_EQ(budget, 0u);
+
+  budget = 20'000;
+  injectSeedMessages(m);
+  const std::uint64_t before = allocCount();
+  m.engine.run();
+  // Hammer the disabled record API directly too: every call must bail on
+  // the mask test without touching the heap.
+  for (int i = 0; i < 10'000; ++i) {
+    tracer.begin(obs::kCatTxn, 0, "read", i);
+    tracer.instant(obs::kCatFault, 1, "node-down", i);
+    tracer.end(obs::kCatTxn, 0);
+    tracer.beginAsync(obs::kCatMigration, 0, "migrate", i);
+    tracer.endAsync(obs::kCatMigration, 1, "migrate", i);
+  }
+  EXPECT_EQ(allocCount() - before, 0u) << "disabled tracer allocated";
+  EXPECT_EQ(tracer.numRecords(), 0u);
+  EXPECT_EQ(budget, 0u);
 }
 
 TEST(Alloc, LatencyHistogramRecordingNeverAllocates) {

@@ -56,6 +56,11 @@ def main() -> int:
         # Full-protocol-stack churn (synthetic-workload subsystem over the
         # access tree, locks and barriers): ~1.8M msgs/s on the dev box.
         "workload_messages_per_sec": 100_000,
+        # Same workload with an enabled all-categories tracer recording
+        # spans/instants on the hot path (docs/observability.md); runs
+        # within ~2x of the untraced series on the dev box, so a floor
+        # half the untraced one catches tracing becoming pathological.
+        "workload_traced_messages_per_sec": 50_000,
         # Same workload under link flaps and processor crashes (detour
         # BFS + crash repair on the measured path); runs within a small
         # factor of the fault-free series on the dev box.

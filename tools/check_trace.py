@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the obs tracer.
+
+CI guard for `scenario_runner --trace-json` output (docs/observability.md):
+checks the schema field by field, per-track timestamp monotonicity,
+balanced LIFO B/E sync spans per track, and id-matched b/e async spans —
+the properties Perfetto needs to render the file and the tracer promises
+by construction, so any violation means the tracer (not the run) broke.
+
+Usage:
+  check_trace.py <trace.json> [--require cat1,cat2] [--metrics <csv>]
+
+--require fails unless every listed category appears in at least one
+event (e.g. `--require reconfig,migration,phase` on the traced elastic
+run). --metrics additionally validates a sampler time-series CSV: exact
+header, well-typed rows, non-decreasing timestamps.
+
+Exit codes: 0 valid, 1 validation failed, 2 bad usage / unreadable file.
+"""
+
+import json
+import sys
+
+KNOWN_CATS = {
+    "txn", "serve", "migration", "repair", "reconfig", "fault", "net", "phase",
+}
+KNOWN_PHASES = {"M", "B", "E", "i", "b", "e"}
+CSV_HEADER = "time_us,phase,metric,value"
+
+
+def fail(msg: str) -> int:
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path: str, required: set) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+
+    last_ts = {}      # (pid, tid) -> last timestamp
+    sync_depth = {}   # (pid, tid) -> open B count
+    async_open = {}   # (cat, name, id) -> open b count
+    seen_cats = set()
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            return fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown ph {ph!r}")
+        if not isinstance(ev.get("pid"), int):
+            return fail(f"{where}: missing integer pid")
+        if ph == "M":  # metadata carries no timestamp/category
+            continue
+        if not isinstance(ev.get("tid"), int):
+            return fail(f"{where}: missing integer tid")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(f"{where}: missing numeric ts")
+        cat = ev.get("cat")
+        if cat not in KNOWN_CATS:
+            return fail(f"{where}: unknown cat {cat!r}")
+        seen_cats.add(cat)
+        if ph != "E" and not isinstance(ev.get("name"), str):
+            return fail(f"{where}: missing name")
+
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            return fail(f"{where}: ts {ts} decreases on track {track}")
+        last_ts[track] = ts
+
+        if ph == "B":
+            sync_depth[track] = sync_depth.get(track, 0) + 1
+        elif ph == "E":
+            depth = sync_depth.get(track, 0) - 1
+            if depth < 0:
+                return fail(f"{where}: E without open B on track {track}")
+            sync_depth[track] = depth
+        elif ph == "i":
+            if ev.get("s") != "t":
+                return fail(f"{where}: instant must carry s=\"t\"")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                return fail(f"{where}: async event without id")
+            key = (cat, ev["name"], ev["id"])
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            else:
+                n = async_open.get(key, 0) - 1
+                if n < 0:
+                    return fail(f"{where}: e without open b for {key}")
+                async_open[key] = n
+
+    open_sync = {k: v for k, v in sync_depth.items() if v != 0}
+    if open_sync:
+        return fail(f"unbalanced B/E at end of trace: {open_sync}")
+    open_async = {k: v for k, v in async_open.items() if v != 0}
+    if open_async:
+        return fail(f"unclosed async spans at end of trace: {open_async}")
+    missing = required - seen_cats
+    if missing:
+        return fail(f"required categories absent: {sorted(missing)} "
+                    f"(present: {sorted(seen_cats)})")
+    print(f"check_trace: {path} ok — {len(events)} events, "
+          f"{len(last_ts)} tracks, categories {sorted(seen_cats)}")
+    return 0
+
+
+def check_metrics(path: str) -> int:
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines or lines[0] != CSV_HEADER:
+        return fail(f"{path}: first line must be '{CSV_HEADER}'")
+    last_t = float("-inf")
+    for i, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 4:
+            return fail(f"{path}:{i}: expected 4 fields, got {len(parts)}")
+        try:
+            t = float(parts[0])
+            int(parts[1])
+            float(parts[3])
+        except ValueError as e:
+            return fail(f"{path}:{i}: {e}")
+        if not parts[2]:
+            return fail(f"{path}:{i}: empty metric name")
+        if t < last_t:
+            return fail(f"{path}:{i}: time {t} decreases")
+        last_t = t
+    print(f"check_trace: {path} ok — {len(lines) - 1} samples rows")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args or args[0].startswith("-"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = args[0]
+    required = set()
+    metrics_path = None
+    i = 1
+    while i < len(args):
+        if args[i] == "--require" and i + 1 < len(args):
+            required.update(c for c in args[i + 1].split(",") if c)
+            i += 2
+        elif args[i] == "--metrics" and i + 1 < len(args):
+            metrics_path = args[i + 1]
+            i += 2
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    unknown = required - KNOWN_CATS
+    if unknown:
+        print(f"check_trace: unknown --require categories {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+    rc = check_trace(trace_path, required)
+    if rc == 0 and metrics_path is not None:
+        rc = check_metrics(metrics_path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,26 @@
 //               the request-trace format (docs/serving.md `t node op
 //               object` lines, times relative to the run start) — the
 //               file replays through a `trace` phase
+//   --trace-json <path>
+//               record the access-tree run as Chrome trace-event JSON
+//               (docs/observability.md) — open in Perfetto or
+//               chrome://tracing; the fixed-home run is not traced
+//   --trace-categories a,b
+//               restrict --trace-json to the named categories
+//               (txn,serve,migration,repair,reconfig,fault,net,phase;
+//               default all)
+//   --metrics-out <path>
+//               sample the access-tree run's metrics registry on a
+//               simulated-time interval and write the long-form time
+//               series to <path> — JSON when the path ends in .json,
+//               CSV otherwise (docs/observability.md)
+//   --sample-interval-us N
+//               sampling interval for --metrics-out in simulated µs
+//               (default 1000)
+//   --report-json
+//               after the text reports, print both whole reports as one
+//               JSON object {"access_tree":…, "fixed_home":…} — same
+//               values as the text tables, one source of truth
 //   --help      print this usage to stdout and exit 0
 // Shape comes from DIVA_TOPOLOGY (mesh2d | torus2d | hypercube | ring |
 // star | random-regular | graph:<path> | hier-<graph shape>), else the
@@ -56,6 +76,8 @@
 #include <vector>
 
 #include "net/topology_env.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "serve/trace.hpp"
 #include "support/check.hpp"
 #include "workload/scenario.hpp"
@@ -68,7 +90,9 @@ namespace {
 const char kUsage[] =
     "usage: %s <scenario-file> [--procs N] [--arity N] [--leaf K]\n"
     "       [--min-availability F] [--max-p99-us X] [--sweep LO:HI:N]\n"
-    "       [--capture-trace <path>] [--help]\n"
+    "       [--capture-trace <path>] [--trace-json <path>]\n"
+    "       [--trace-categories a,b] [--metrics-out <path>]\n"
+    "       [--sample-interval-us N] [--report-json] [--help]\n"
     "       (machine shape from DIVA_TOPOLOGY; see file header)\n"
     "exit codes: 0 ok, 1 gate failed, 2 bad usage, 3 bad scenario file\n";
 
@@ -177,6 +201,11 @@ int main(int argc, char** argv) {
   double maxP99Us = -1.0;
   std::string sweepArg;
   std::string capturePath;
+  std::string traceJsonPath;
+  obs::Cat traceMask = obs::kCatAll;
+  std::string metricsPath;
+  double sampleIntervalUs = 1000.0;
+  bool reportJsonFlag = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto intFlag = [&](int& out) {
@@ -209,6 +238,28 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage(argv[0]);
       capturePath = argv[++i];
       if (capturePath.empty()) return usage(argv[0]);
+    } else if (arg == "--trace-json") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      traceJsonPath = argv[++i];
+      if (traceJsonPath.empty()) return usage(argv[0]);
+    } else if (arg == "--trace-categories") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      try {
+        traceMask = obs::parseCategories(argv[++i]);
+      } catch (const support::CheckError& e) {
+        std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      metricsPath = argv[++i];
+      if (metricsPath.empty()) return usage(argv[0]);
+    } else if (arg == "--sample-interval-us") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      sampleIntervalUs = std::atof(argv[++i]);
+      if (!(sampleIntervalUs > 0.0)) return usage(argv[0]);
+    } else if (arg == "--report-json") {
+      reportJsonFlag = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (path.empty()) {
@@ -239,12 +290,46 @@ int main(int argc, char** argv) {
     // The capture records the access-tree run (the paper's strategy);
     // fixed-home sees the same spec, so either stream replays both.
     serve::Trace captured;
+    obs::Tracer tracer;
+    obs::Sampler sampler;
     workload::RunOptions atOpts;
     if (!capturePath.empty()) atOpts.captureTrace = &captured;
+    if (!traceJsonPath.empty()) {
+      atOpts.tracer = &tracer;
+      atOpts.traceMask = traceMask;
+    }
+    if (!metricsPath.empty()) {
+      atOpts.sampler = &sampler;
+      atOpts.sampleIntervalUs = sampleIntervalUs;
+    }
     const workload::WorkloadReport at =
         workload::runOn(topo, RuntimeConfig::accessTree(arity, leaf), spec, atOpts);
     const workload::WorkloadReport fh =
         workload::runOn(topo, RuntimeConfig::fixedHome(), spec);
+
+    if (!traceJsonPath.empty()) {
+      std::ofstream out(traceJsonPath);
+      DIVA_CHECK_MSG(out.good(), "cannot open trace file '" << traceJsonPath << "'");
+      tracer.writeChromeJson(out);
+      out.close();
+      DIVA_CHECK_MSG(out.good(), "failed writing trace file '" << traceJsonPath << "'");
+      std::printf("traced %zu events to %s\n\n", tracer.numRecords(),
+                  traceJsonPath.c_str());
+    }
+    if (!metricsPath.empty()) {
+      const bool json = metricsPath.size() >= 5 &&
+                        metricsPath.compare(metricsPath.size() - 5, 5, ".json") == 0;
+      std::ofstream out(metricsPath);
+      DIVA_CHECK_MSG(out.good(), "cannot open metrics file '" << metricsPath << "'");
+      if (json)
+        sampler.writeJson(out);
+      else
+        sampler.writeCsv(out);
+      out.close();
+      DIVA_CHECK_MSG(out.good(), "failed writing metrics file '" << metricsPath << "'");
+      std::printf("sampled %zu instants (%zu rows) to %s\n\n", sampler.samplesTaken(),
+                  sampler.numRows(), metricsPath.c_str());
+    }
 
     if (!capturePath.empty()) {
       std::ofstream out(capturePath);
@@ -261,6 +346,11 @@ int main(int argc, char** argv) {
     std::fputs(workload::formatReport(fh).c_str(), stdout);
     std::fputs("\n", stdout);
     std::fputs(workload::formatComparison(at, fh).c_str(), stdout);
+
+    if (reportJsonFlag) {
+      std::printf("{\"access_tree\":%s,\"fixed_home\":%s}\n",
+                  workload::reportJson(at).c_str(), workload::reportJson(fh).c_str());
+    }
 
     bool ok = true;
     if (minAvailability >= 0.0) {
